@@ -1,0 +1,269 @@
+package gpbft_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gpbft"
+	"gpbft/internal/types"
+)
+
+// fastOpts returns small-scale options with a quick network so tests
+// run in milliseconds of wall time.
+func fastOpts(p gpbft.Protocol, nodes int) gpbft.Options {
+	o := gpbft.DefaultOptions(p, nodes)
+	o.Network = gpbft.NetworkProfile{
+		LatencyBase:   time.Millisecond,
+		LatencyJitter: 500 * time.Microsecond,
+		ProcTime:      100 * time.Microsecond,
+		SendTime:      20 * time.Microsecond,
+	}
+	o.ViewChangeTimeout = 500 * time.Millisecond
+	return o
+}
+
+func TestPBFTClusterCommits(t *testing.T) {
+	c, err := gpbft.NewCluster(fastOpts(gpbft.PBFT, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := c.SubmitNodeTx(10*time.Millisecond, 0, []byte("reading"), 1)
+	c.RunUntilIdle(10 * time.Second)
+	h, err := c.VerifyAgreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 1 {
+		t.Fatalf("height %d, want >= 1", h)
+	}
+	if c.Metrics().CommittedCount() != 1 {
+		t.Fatalf("committed %d", c.Metrics().CommittedCount())
+	}
+	if c.Metrics().MeanLatency() <= 0 {
+		t.Fatal("latency must be positive")
+	}
+	_ = tx
+}
+
+func TestGPBFTClusterCommitsWithClients(t *testing.T) {
+	// 12 nodes, committee capped at 6: nodes 6..11 are candidates that
+	// submit through the committee.
+	o := fastOpts(gpbft.GPBFT, 12)
+	o.MaxEndorsers = 6
+	o.DisableEraSwitch = true
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CommitteeSize() != 6 {
+		t.Fatalf("committee %d, want 6", c.CommitteeSize())
+	}
+	for i := 0; i < 12; i++ {
+		c.SubmitNodeTx(time.Duration(10+i)*time.Millisecond, i, []byte("d"), 1)
+	}
+	c.RunUntilIdle(30 * time.Second)
+	if got := c.Metrics().CommittedCount(); got != 12 {
+		t.Fatalf("committed %d of 12", got)
+	}
+	// Candidate (observer) nodes do not commit blocks locally — only
+	// the committee holds the ledger until they are elected. Agreement
+	// is checked across committee members.
+	for i := 0; i < 6; i++ {
+		if c.Node(i).CommitErr != nil {
+			t.Fatalf("node %d: %v", i, c.Node(i).CommitErr)
+		}
+		if c.Node(i).App.Chain().Height() < 1 {
+			t.Fatalf("endorser %d has empty chain", i)
+		}
+	}
+}
+
+func TestGPBFTTrafficMuchLowerThanPBFT(t *testing.T) {
+	run := func(p gpbft.Protocol) float64 {
+		o := fastOpts(p, 20)
+		o.MaxEndorsers = 5
+		o.DisableEraSwitch = true
+		c, err := gpbft.NewCluster(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunUntilIdle(time.Second) // drain startup
+		c.Traffic().Reset()
+		c.SubmitNodeTx(c.Now()+10*time.Millisecond, 0, []byte("x"), 1)
+		c.RunUntilIdle(c.Now() + 20*time.Second)
+		if c.Metrics().CommittedCount() != 1 {
+			t.Fatalf("%v: tx not committed", p)
+		}
+		return c.Traffic().KB()
+	}
+	pbftKB := run(gpbft.PBFT)
+	gpbftKB := run(gpbft.GPBFT)
+	if gpbftKB >= pbftKB/2 {
+		t.Fatalf("G-PBFT traffic %.1fKB not much lower than PBFT %.1fKB", gpbftKB, pbftKB)
+	}
+}
+
+func TestGPBFTEraSwitchAdmitsCandidate(t *testing.T) {
+	o := fastOpts(gpbft.GPBFT, 7)
+	o.GenesisEndorsers = 6 // node 6 starts as a candidate
+	o.MaxEndorsers = 10    // room for it to be elected
+	o.MinEndorsers = 4
+	o.EraPeriod = 2 * time.Second
+	o.SwitchPeriod = 250 * time.Millisecond
+	o.QualificationWindow = 1 * time.Second
+	o.MinReports = 3
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone reports periodically (endorsers must keep
+	// re-authenticating; the candidate needs residency history).
+	for i := 0; i < 7; i++ {
+		c.ScheduleReports(i, 50*time.Millisecond, 300*time.Millisecond, 30)
+	}
+	c.RunUntilIdle(30 * time.Second)
+
+	ce := c.CoreEngine(6)
+	if !ce.IsEndorser() {
+		t.Fatalf("candidate was not admitted: era=%d endorser=%v chainH=%d",
+			ce.Era(), ce.IsEndorser(), c.Node(6).App.Chain().Height())
+	}
+	if ce.Era() == 0 {
+		t.Fatal("era never advanced")
+	}
+	// The candidate synced the full chain and agrees with node 0.
+	if _, err := c.VerifyAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// And the chain's committee now includes it.
+	if !c.Node(0).App.Chain().IsEndorser(c.Address(6)) {
+		t.Fatal("chain committee does not include the new endorser")
+	}
+	if c.Metrics().EraSwitches() == 0 {
+		t.Fatal("no era switch observed")
+	}
+}
+
+func TestGPBFTEraSwitchExpelsSilentEndorser(t *testing.T) {
+	// Endorser 5 never reports: geographic re-authentication must expel
+	// it at the first era switch (insufficient reports).
+	o := fastOpts(gpbft.GPBFT, 6)
+	o.MaxEndorsers = 6
+	o.MinEndorsers = 4
+	o.EraPeriod = 2 * time.Second
+	o.SwitchPeriod = 100 * time.Millisecond
+	o.QualificationWindow = time.Second
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // node 5 stays silent
+		c.ScheduleReports(i, 50*time.Millisecond, 300*time.Millisecond, 30)
+	}
+	c.RunUntilIdle(30 * time.Second)
+
+	chain := c.Node(0).App.Chain()
+	if chain.IsEndorser(c.Address(5)) {
+		t.Fatal("silent endorser was not expelled")
+	}
+	if c.CoreEngine(5).IsEndorser() {
+		t.Fatal("expelled endorser still believes it participates")
+	}
+	if got := len(chain.Endorsers()); got != 5 {
+		t.Fatalf("committee size %d, want 5", got)
+	}
+	// The survivors keep committing transactions in the new era.
+	before := chain.Height()
+	c.SubmitNodeTx(c.Now()+10*time.Millisecond, 0, []byte("post-switch"), 1)
+	c.RunUntilIdle(c.Now() + 10*time.Second)
+	if chain.Height() <= before {
+		t.Fatal("no commits after the era switch")
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() (uint64, int64, time.Duration) {
+		o := fastOpts(gpbft.GPBFT, 8)
+		o.MaxEndorsers = 6
+		o.DisableEraSwitch = true
+		o.Seed = 99
+		c, err := gpbft.NewCluster(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			c.SubmitNodeTx(time.Duration(5+i*3)*time.Millisecond, i, []byte{byte(i)}, 1)
+		}
+		c.RunUntilIdle(20 * time.Second)
+		return c.MaxHeight(), c.Traffic().Bytes(), c.Metrics().MeanLatency()
+	}
+	h1, b1, l1 := run()
+	h2, b2, l2 := run()
+	if h1 != h2 || b1 != b2 || l1 != l2 {
+		t.Fatalf("non-deterministic: (%d,%d,%v) vs (%d,%d,%v)", h1, b1, l1, h2, b2, l2)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := gpbft.NewCluster(gpbft.Options{Nodes: 2}); err == nil {
+		t.Fatal("2 nodes must fail")
+	}
+	o := gpbft.DefaultOptions(gpbft.PBFT, 4)
+	o.MinEndorsers = 10
+	o.MaxEndorsers = 5
+	if _, err := gpbft.NewCluster(o); err == nil {
+		t.Fatal("bad endorser bounds must fail")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if gpbft.PBFT.String() != "PBFT" || gpbft.GPBFT.String() != "G-PBFT" {
+		t.Fatal("protocol names wrong")
+	}
+}
+
+func TestMetricsQuantiles(t *testing.T) {
+	o := fastOpts(gpbft.PBFT, 4)
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.SubmitNodeTx(time.Duration(10+i*10)*time.Millisecond, i%4, []byte(fmt.Sprintf("p%d", i)), 1)
+	}
+	c.RunUntilIdle(20 * time.Second)
+	m := c.Metrics()
+	if m.CommittedCount() != 10 {
+		t.Fatalf("committed %d", m.CommittedCount())
+	}
+	if m.Quantile(0) > m.Quantile(0.5) || m.Quantile(0.5) > m.Quantile(1) {
+		t.Fatal("quantiles must be monotone")
+	}
+	if m.MaxLatency() != m.Quantile(1) {
+		t.Fatal("max must equal q1.0")
+	}
+	if m.PendingCount() != 0 {
+		t.Fatalf("pending %d", m.PendingCount())
+	}
+	if m.BlocksObserved() == 0 || m.SubmittedCount() != 10 {
+		t.Fatal("metrics accounting off")
+	}
+}
+
+// Guard against accidental API breakage: the README quickstart compiles.
+func TestQuickstartShape(t *testing.T) {
+	o := gpbft.DefaultOptions(gpbft.GPBFT, 8)
+	o.Network.ProcTime = 50 * time.Microsecond
+	o.DisableEraSwitch = true
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tx *types.Transaction = c.SubmitNodeTx(time.Millisecond, 1, []byte("quickstart"), 2)
+	c.RunUntilIdle(30 * time.Second)
+	if c.Metrics().CommittedCount() != 1 {
+		t.Fatal("quickstart tx did not commit")
+	}
+	_ = tx
+}

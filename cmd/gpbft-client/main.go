@@ -1,0 +1,77 @@
+// Command gpbft-client submits transactions to a running gpbft-node
+// over TCP: it frames signed Request envelopes exactly as a committee
+// peer would, acting as an IoT device at a fixed location.
+//
+//	gpbft-client -to 127.0.0.1:9000 -count 10 -interval 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/pbft"
+	"gpbft/internal/transport"
+	"gpbft/internal/types"
+)
+
+func main() {
+	var (
+		to       = flag.String("to", "127.0.0.1:9000", "node endpoint")
+		count    = flag.Int("count", 1, "number of transactions")
+		interval = flag.Duration("interval", 100*time.Millisecond, "gap between transactions")
+		fee      = flag.Uint64("fee", 1, "fee per transaction")
+		keyIdx   = flag.Int("key", 1000, "deterministic key index of this device")
+		lng      = flag.Float64("lng", 114.1795, "device longitude")
+		lat      = flag.Float64("lat", 22.3050, "device latitude")
+		payload  = flag.String("payload", "sensor-reading", "transaction payload")
+		kind     = flag.String("kind", "data", "data or report")
+	)
+	flag.Parse()
+
+	kp := gcrypto.DeterministicKeyPair(*keyIdx)
+	conn, err := net.DialTimeout("tcp", *to, 5*time.Second)
+	if err != nil {
+		fatalf("dial %s: %v", *to, err)
+	}
+	defer conn.Close()
+
+	for i := 0; i < *count; i++ {
+		tx := &types.Transaction{
+			Nonce: uint64(time.Now().UnixNano()),
+			Fee:   *fee,
+			Geo: types.GeoInfo{
+				Location:  geo.Point{Lng: *lng, Lat: *lat},
+				Timestamp: time.Now().UTC(),
+			},
+		}
+		switch *kind {
+		case "data":
+			tx.Type = types.TxNormal
+			tx.Payload = []byte(fmt.Sprintf("%s #%d", *payload, i))
+		case "report":
+			tx.Type = types.TxLocationReport
+		default:
+			fatalf("unknown -kind %q", *kind)
+		}
+		tx.Sign(kp)
+		env := consensus.Seal(kp, &pbft.Request{Tx: *tx})
+		if err := transport.WriteFrame(conn, env); err != nil {
+			fatalf("send: %v", err)
+		}
+		fmt.Printf("sent %s tx %s from %s\n", tx.Type, tx.ID().Short(), kp.Address().Short())
+		if i < *count-1 {
+			time.Sleep(*interval)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gpbft-client: "+format+"\n", args...)
+	os.Exit(1)
+}

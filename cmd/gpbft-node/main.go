@@ -1,0 +1,230 @@
+// Command gpbft-node runs one full node over real TCP. A committee of
+// nodes started with the same -committee value and consecutive -index
+// values (sharing -base-port) forms a blockchain; clients submit
+// transactions with cmd/gpbft-client.
+//
+// A 4-node G-PBFT committee on one machine:
+//
+//	gpbft-node -index 0 &
+//	gpbft-node -index 1 &
+//	gpbft-node -index 2 &
+//	gpbft-node -index 3 &
+//	gpbft-client -to 127.0.0.1:9000 -count 5
+//
+// Node identities are deterministic (derived from -index) so that all
+// participants compute the same genesis block without a coordination
+// step; pass -chain-id to isolate deployments.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/core"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/ledger"
+	"gpbft/internal/pbft"
+	"gpbft/internal/runtime"
+	"gpbft/internal/store"
+	"gpbft/internal/transport"
+	"gpbft/internal/types"
+)
+
+func main() {
+	var (
+		index     = flag.Int("index", 0, "node index (derives identity, position and port)")
+		committee = flag.Int("committee", 4, "genesis committee size")
+		nodes     = flag.Int("nodes", 0, "total nodes incl. candidates (default = committee)")
+		basePort  = flag.Int("base-port", 9000, "peer i listens on base-port+i")
+		host      = flag.String("host", "127.0.0.1", "host peers are reachable at")
+		listen    = flag.String("listen", "", "listen address (default host:base-port+index)")
+		protocol  = flag.String("protocol", "gpbft", "pbft or gpbft")
+		chainID   = flag.String("chain-id", "gpbft-tcp", "chain identifier")
+		eraPeriod = flag.Duration("era", 30*time.Second, "era switch period T (gpbft)")
+		swPeriod  = flag.Duration("switch", 250*time.Millisecond, "switch pause")
+		report    = flag.Duration("report", 5*time.Second, "own location-report period (gpbft; 0 = off)")
+		batch     = flag.Int("batch", 32, "max transactions per block")
+		quiet     = flag.Bool("quiet", false, "suppress per-block logging")
+		dataPath  = flag.String("data", "", "block-log file for durable persistence (empty = in-memory only)")
+		fsync     = flag.Bool("fsync", false, "fsync the block log after every commit")
+	)
+	flag.Parse()
+
+	if *nodes == 0 {
+		*nodes = *committee
+	}
+	if *index < 0 || *index >= *nodes {
+		fatalf("index %d out of range [0,%d)", *index, *nodes)
+	}
+	if *committee < 4 {
+		fatalf("committee must be at least 4")
+	}
+	epoch := time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC)
+
+	// Deterministic identities and positions: every node derives the
+	// same genesis.
+	keys := make([]*gcrypto.KeyPair, *nodes)
+	positions := make([]geo.Point, *nodes)
+	for i := range keys {
+		keys[i] = gcrypto.DeterministicKeyPair(i)
+		positions[i] = geo.Point{Lng: 114.175 + float64(i)*0.0004, Lat: 22.302 + float64(i%7)*0.0005}
+	}
+	self := keys[*index]
+
+	g := &ledger.Genesis{ChainID: *chainID, Timestamp: epoch, Policy: ledger.DefaultPolicy()}
+	g.Policy.EraPeriod = *eraPeriod
+	g.Policy.SwitchPeriod = *swPeriod
+	g.Policy.ReportInterval = *report
+	g.Policy.QualificationWindow = 3 * *eraPeriod
+	if *committee > g.Policy.MaxEndorsers {
+		g.Policy.MaxEndorsers = *committee
+	}
+	for i := 0; i < *committee; i++ {
+		g.Endorsers = append(g.Endorsers, types.EndorserInfo{
+			Address: keys[i].Address(), PubKey: keys[i].Public(),
+			Geohash: geo.MustEncode(positions[i], geo.CSCPrecision),
+		})
+	}
+	chain, err := ledger.NewChain(g)
+	if err != nil {
+		fatalf("genesis: %v", err)
+	}
+
+	// Durable persistence: replay the block log into the chain, then
+	// append every commit.
+	var blockLog *store.BlockLog
+	if *dataPath != "" {
+		lg, recovered, err := store.Open(*dataPath, store.Options{Sync: *fsync})
+		if err != nil {
+			fatalf("block log: %v", err)
+		}
+		blockLog = lg
+		defer blockLog.Close()
+		for i, b := range recovered {
+			if err := chain.AddBlock(b); err != nil {
+				fatalf("replay block %d: %v", i, err)
+			}
+		}
+		if len(recovered) > 0 {
+			log.Printf("recovered %d blocks from %s (height %d)", len(recovered), *dataPath, chain.Height())
+		}
+	}
+
+	app := runtime.NewApp(chain, runtime.NewMempool(0), self.Address(), epoch, *batch)
+
+	var engine consensus.Engine
+	switch *protocol {
+	case "pbft":
+		com, err := consensus.NewCommittee(g.Endorsers)
+		if err != nil {
+			fatalf("committee: %v", err)
+		}
+		eng, err := pbft.New(pbft.Config{
+			Committee: com, Key: self, App: app,
+			Timers: consensus.NewTimerAllocator(), StartHeight: 1,
+		})
+		if err != nil {
+			fatalf("pbft: %v", err)
+		}
+		engine = eng
+	case "gpbft":
+		eng, err := core.New(core.Config{
+			Chain: chain, Key: self, App: app,
+			Timers: consensus.NewTimerAllocator(), Epoch: epoch,
+		})
+		if err != nil {
+			fatalf("gpbft: %v", err)
+		}
+		engine = eng
+	default:
+		fatalf("unknown -protocol %q", *protocol)
+	}
+
+	addr := *listen
+	if addr == "" {
+		addr = fmt.Sprintf("%s:%d", *host, *basePort+*index)
+	}
+	tcp, err := transport.New(transport.Config{Listen: addr, Self: self.Address()})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer tcp.Close()
+	for i := 0; i < *nodes; i++ {
+		if i != *index {
+			tcp.AddPeer(transport.Peer{
+				Addr:     keys[i].Address(),
+				HostPort: fmt.Sprintf("%s:%d", *host, *basePort+i),
+			})
+		}
+	}
+
+	node := &runtime.Node{ID: self.Address(), Key: self, App: app, Engine: engine}
+	node.OnCommit = func(now consensus.Time, b *types.Block) {
+		if blockLog != nil {
+			if err := blockLog.Append(b); err != nil {
+				log.Printf("WARNING: persist height %d: %v", b.Header.Height, err)
+			}
+		}
+		if !*quiet {
+			log.Printf("committed height=%d era=%d txs=%d fees=%d hash=%s",
+				b.Header.Height, b.Header.Era, len(b.Txs), b.TotalFees(), b.Hash().Short())
+		}
+	}
+	if !*quiet {
+		node.OnEraSwitch = func(now consensus.Time, era uint64, com []gcrypto.Address) {
+			log.Printf("era switch -> era=%d committee=%d", era, len(com))
+		}
+	}
+	runner := transport.NewRunner(node, tcp)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		cancel()
+	}()
+
+	// Periodic own location reports keep this node authenticated (and
+	// let candidate nodes qualify).
+	if *protocol == "gpbft" && *report > 0 {
+		go func() {
+			nonce := uint64(0)
+			ticker := time.NewTicker(*report)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					nonce++
+					tx := &types.Transaction{
+						Type:  types.TxLocationReport,
+						Nonce: nonce,
+						Geo:   types.GeoInfo{Location: positions[*index], Timestamp: time.Now().UTC()},
+					}
+					tx.Sign(self)
+					_ = runner.Submit(tx)
+				}
+			}
+		}()
+	}
+
+	log.Printf("gpbft-node index=%d addr=%s listen=%s protocol=%s committee=%d nodes=%d",
+		*index, self.Address().Short(), addr, *protocol, *committee, *nodes)
+	runner.Run(ctx)
+	log.Printf("shutting down at height %d", chain.Height())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gpbft-node: "+format+"\n", args...)
+	os.Exit(1)
+}

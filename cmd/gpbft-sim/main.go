@@ -1,0 +1,183 @@
+// Command gpbft-sim regenerates the paper's evaluation: every figure
+// and table of Section V plus the analytic-model cross-check of
+// Section IV, on the deterministic discrete-event simulator.
+//
+// Usage:
+//
+//	gpbft-sim -exp all                 # quick sweep, everything
+//	gpbft-sim -exp fig3a -full         # paper-scale sweep (slow)
+//	gpbft-sim -exp table3 -sizes 40,202 -runs 10
+//	gpbft-sim -exp fig6 -csv out.csv
+//
+// Experiments: fig3a fig3b fig4 fig5a fig5b fig6 table2 table3 table4
+// model ablation tps all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpbft"
+	"gpbft/internal/harness"
+	"gpbft/internal/stats"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig3a|fig3b|fig4|fig5a|fig5b|fig6|table2|table3|table4|model|ablation|tps|all")
+		full    = flag.Bool("full", false, "paper-scale sweep (4..202 nodes, 10 runs; slow)")
+		sizes   = flag.String("sizes", "", "comma-separated node counts (overrides preset)")
+		runs    = flag.Int("runs", 0, "runs per group (overrides preset)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		window  = flag.Duration("window", 0, "load window per run (overrides preset)")
+		era     = flag.Duration("era", 0, "era switch period T (overrides preset)")
+		report  = flag.Duration("report", 0, "device location-report period (overrides preset)")
+		perNode = flag.Duration("rate", 0, "per-node proposal interval (overrides preset)")
+		csv     = flag.String("csv", "", "also write the final table(s) as CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := harness.Quick()
+	if *full {
+		cfg = harness.Default()
+	}
+	cfg.Seed = *seed
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 4 {
+				fatalf("bad -sizes entry %q", s)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *window > 0 {
+		cfg.LoadWindow = *window
+	}
+	if *era > 0 {
+		cfg.EraPeriod = *era
+	}
+	if *report > 0 {
+		cfg.ReportEvery = *report
+	}
+	if *perNode > 0 {
+		cfg.PerNodeInterval = *perNode
+	}
+
+	w := os.Stdout
+	var tables []*stats.Table
+	start := time.Now()
+
+	switch *exp {
+	case "fig3a":
+		res, err := cfg.Fig3a(w)
+		check(err)
+		tables = append(tables, res.BoxplotTable("fig3a"))
+	case "fig3b":
+		res, err := cfg.Fig3b(w)
+		check(err)
+		tables = append(tables, res.BoxplotTable("fig3b"))
+	case "fig4":
+		t, err := cfg.Fig4(w, nil, nil)
+		check(err)
+		tables = append(tables, t)
+	case "fig5a":
+		res, err := cfg.Fig5a(w)
+		check(err)
+		tables = append(tables, res.Table("fig5a"))
+	case "fig5b":
+		res, err := cfg.Fig5b(w)
+		check(err)
+		tables = append(tables, res.Table("fig5b"))
+	case "fig6":
+		t, err := cfg.Fig6(w, nil, nil)
+		check(err)
+		tables = append(tables, t)
+	case "table2":
+		tables = append(tables, harness.Table2(w))
+	case "table3":
+		pl, err := cfg.CollectLatency(gpbft.PBFT, w)
+		check(err)
+		gl, err := cfg.CollectLatency(gpbft.GPBFT, w)
+		check(err)
+		pc, err := cfg.CollectComm(gpbft.PBFT, w)
+		check(err)
+		gc, err := cfg.CollectComm(gpbft.GPBFT, w)
+		check(err)
+		t, err := cfg.Table3(w, pl, gl, pc, gc)
+		check(err)
+		tables = append(tables, t)
+	case "table4":
+		tables = append(tables, harness.Table4(w))
+	case "model":
+		t, err := cfg.Model(w)
+		check(err)
+		tables = append(tables, t)
+	case "ablation":
+		check(cfg.Ablations(w))
+	case "tps":
+		t, err := cfg.Throughput(w)
+		check(err)
+		tables = append(tables, t)
+	case "all":
+		pl, err := cfg.Fig3a(w)
+		check(err)
+		gl, err := cfg.Fig3b(w)
+		check(err)
+		t4f, err := cfg.Fig4(w, pl, gl)
+		check(err)
+		pc, err := cfg.Fig5a(w)
+		check(err)
+		gc, err := cfg.Fig5b(w)
+		check(err)
+		t6, err := cfg.Fig6(w, pc, gc)
+		check(err)
+		t3, err := cfg.Table3(w, pl, gl, pc, gc)
+		check(err)
+		tables = append(tables, pl.BoxplotTable("fig3a"), gl.BoxplotTable("fig3b"), t4f,
+			pc.Table("fig5a"), gc.Table("fig5b"), t6, t3,
+			harness.Table2(w), harness.Table4(w))
+		tm, err := cfg.Model(w)
+		check(err)
+		tables = append(tables, tm)
+	default:
+		fatalf("unknown experiment %q", *exp)
+	}
+
+	fmt.Fprintf(w, "# completed %q in %v (sizes=%v runs=%d window=%v)\n",
+		*exp, time.Since(start).Round(time.Millisecond), cfg.Sizes, cfg.Runs, cfg.LoadWindow)
+
+	if *csv != "" {
+		var sb strings.Builder
+		for _, t := range tables {
+			if t.Title != "" {
+				sb.WriteString("# " + t.Title + "\n")
+			}
+			sb.WriteString(t.CSV())
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(*csv, []byte(sb.String()), 0o644); err != nil {
+			fatalf("write csv: %v", err)
+		}
+		fmt.Fprintf(w, "# wrote %s\n", *csv)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gpbft-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Parking lot: the paper's motivating scenario — "a payment machine in
+// a parking lot" as a fixed, loyal endorser. Eight payment machines
+// form the committee; forty cars (mobile devices) drive in, pay, and
+// leave. The example shows the incentive mechanism at work: machines
+// earn 70/30 fee splits for producing and endorsing blocks, and the
+// geographic-timer proposer bias favours the longest-resident machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gpbft"
+	"gpbft/internal/workload"
+)
+
+func main() {
+	const machines = 8
+	const cars = 40
+
+	opts := gpbft.DefaultOptions(gpbft.GPBFT, machines)
+	opts.MaxEndorsers = machines
+	// Era switches every 3 s rotate block production: a machine's
+	// geographic timer resets when it produces a block, so the
+	// longest-resident machine leads the next era — the incentive's
+	// rotation in action.
+	opts.ForceEraSwitch = true
+	opts.EraPeriod = 3 * time.Second
+	cluster, err := gpbft.NewCluster(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The machines report their (fixed) positions periodically, so the
+	// election table accrues their geographic timers.
+	for i := 0; i < machines; i++ {
+		cluster.ScheduleReports(i, 100*time.Millisecond, 500*time.Millisecond, 40)
+	}
+
+	// Cars are mobile IoT devices; each pays a parking fee through the
+	// machine nearest to its entry point (round-robin here).
+	fleet := workload.NewPopulation(workload.HongKongTestbed(), workload.Spec{
+		Mobile: cars, SeedBase: 20000, Speed: 8, // ~30 km/h
+	}, 7)
+	for i, car := range fleet.OfKind(workload.Mobile) {
+		at := time.Duration(200+i*400) * time.Millisecond
+		fee := uint64(100 + 10*(i%4)) // parking fees 100..130
+		payment := car.DataTx(opts.Epoch.Add(at), []byte(fmt.Sprintf("parking-fee car=%s", car.Name)), fee)
+		cluster.SubmitTx(at, i%machines, payment)
+		car.Advance(time.Second)
+	}
+
+	cluster.RunUntilIdle(2 * time.Minute)
+	if _, err := cluster.VerifyAgreement(); err != nil {
+		log.Fatalf("chains disagree: %v", err)
+	}
+
+	m := cluster.Metrics()
+	fmt.Printf("payments committed : %d/%d, mean latency %v\n",
+		m.CommittedCount(), m.SubmittedCount(), m.MeanLatency().Round(time.Millisecond))
+
+	// Incentive accounting: 70% of each block's fees to its producer,
+	// 30% shared by the endorsing machines.
+	chain := cluster.Node(0).App.Chain()
+	rewards := chain.Rewards()
+	fmt.Println("\nmachine earnings (70/30 fee split):")
+	var total uint64
+	for i := 0; i < machines; i++ {
+		addr := cluster.Address(i)
+		bal := rewards.Balance(addr)
+		total += bal
+		fmt.Printf("  machine %d (%s): %3d fee units, %d blocks produced, geo timer %v\n",
+			i, addr.Short(), bal, rewards.BlocksProduced(addr),
+			chain.Table().Timer(addr.String()).Round(time.Second))
+	}
+	fmt.Printf("  total distributed: %d (no fees lost)\n", total)
+}

@@ -1,0 +1,86 @@
+// Smart city: the era-switch mechanism under churn. A car-monitoring
+// system runs on smart street lamps (fixed endorsers). Mid-run the
+// city installs two new lamps — they report their positions, pass the
+// 72-hour-scaled qualification window, and are elected into the
+// committee at an era switch. Later one lamp is knocked over by a
+// truck (it starts moving and then goes silent): geographic
+// re-authentication expels it at the next switch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gpbft"
+)
+
+func main() {
+	const (
+		lamps     = 7 // genesis committee: lamps 0..6; lamp 6 will fail
+		doomed    = 6 // the lamp a truck knocks over at t≈6s
+		totalNode = 9 // plus lamps 7 and 8, installed mid-run
+	)
+
+	opts := gpbft.DefaultOptions(gpbft.GPBFT, totalNode)
+	opts.GenesisEndorsers = lamps
+	opts.MaxEndorsers = 12
+	opts.EraPeriod = 2 * time.Second
+	opts.SwitchPeriod = 250 * time.Millisecond
+	opts.QualificationWindow = 3 * time.Second // scaled-down 72 h
+	opts.MinReports = 3
+	opts.ReportInterval = 500 * time.Millisecond
+
+	cluster, err := gpbft.NewCluster(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Genesis lamps report faithfully... except the doomed one, which
+	// stops reporting for good after ~6 s.
+	for i := 0; i < lamps; i++ {
+		count := 60
+		if i == doomed {
+			count = 12 // reports until ~6s, then silence
+		}
+		cluster.ScheduleReports(i, 100*time.Millisecond, 500*time.Millisecond, count)
+	}
+	// New lamps 7 and 8 are installed at t=2s and report from then on.
+	for i := lamps; i < totalNode; i++ {
+		cluster.ScheduleReports(i, 2*time.Second, 500*time.Millisecond, 56)
+	}
+	// Car-monitoring data flows the whole time, via the healthy lamps.
+	for k := 0; k < 60; k++ {
+		at := time.Duration(300+k*400) * time.Millisecond
+		cluster.SubmitNodeTx(at, k%doomed, []byte(fmt.Sprintf("plate-scan #%d", k)), 1)
+	}
+
+	// Observe the committee at one-second checkpoints.
+	chain := cluster.Node(0).App.Chain()
+	for sec := 1; sec <= 30; sec++ {
+		cluster.Run(time.Duration(sec) * time.Second)
+		if sec%3 == 0 {
+			fmt.Printf("t=%2ds era=%d committee=%d height=%d\n",
+				sec, chain.Era(), len(chain.Endorsers()), chain.Height())
+		}
+	}
+	cluster.RunUntilIdle(2 * time.Minute)
+
+	fmt.Println()
+	if cluster.CoreEngine(7).IsEndorser() && cluster.CoreEngine(8).IsEndorser() {
+		fmt.Println("✓ new lamps 7 and 8 were elected into the committee")
+	} else {
+		fmt.Println("✗ new lamps were NOT elected")
+	}
+	if !chain.IsEndorser(cluster.Address(doomed)) {
+		fmt.Println("✓ the knocked-over lamp was expelled by geographic re-authentication")
+	} else {
+		fmt.Println("✗ the failed lamp is still in the committee")
+	}
+	fmt.Printf("final era=%d, committee=%d, chain height=%d, era switches observed=%d\n",
+		chain.Era(), len(chain.Endorsers()), chain.Height(), cluster.Metrics().EraSwitches())
+	if _, err := cluster.VerifyAgreement(); err != nil {
+		log.Fatalf("agreement: %v", err)
+	}
+	fmt.Println("all committee chains agree ✓")
+}

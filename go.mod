@@ -1,0 +1,3 @@
+module gpbft
+
+go 1.22

@@ -1,0 +1,151 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// Committee is the fixed membership of one PBFT instance (one G-PBFT
+// era). Members are sorted by address so every honest node derives the
+// same primary rotation.
+type Committee struct {
+	members []types.EndorserInfo
+	index   map[gcrypto.Address]int
+}
+
+// ErrEmptyCommittee is returned when constructing a committee with no
+// members.
+var ErrEmptyCommittee = errors.New("consensus: empty committee")
+
+// NewCommittee builds a committee from endorser infos; order-insensitive
+// (members are canonically sorted by address).
+func NewCommittee(members []types.EndorserInfo) (*Committee, error) {
+	ms := make([]types.EndorserInfo, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Address.Less(ms[j].Address) })
+	return NewOrderedCommittee(ms)
+}
+
+// NewOrderedCommittee builds a committee preserving the given member
+// order for primary rotation. G-PBFT uses it to bias block production
+// toward endorsers with longer geographic timers ("A longer time in
+// the geographic timer will have a higher chance of generating a new
+// block", Section III-B5): the caller orders members by timer and the
+// rotation follows.
+func NewOrderedCommittee(members []types.EndorserInfo) (*Committee, error) {
+	if len(members) == 0 {
+		return nil, ErrEmptyCommittee
+	}
+	ms := make([]types.EndorserInfo, len(members))
+	copy(ms, members)
+	c := &Committee{members: ms, index: make(map[gcrypto.Address]int, len(ms))}
+	for i, m := range ms {
+		if _, dup := c.index[m.Address]; dup {
+			return nil, fmt.Errorf("consensus: duplicate member %s", m.Address.Short())
+		}
+		c.index[m.Address] = i
+	}
+	return c, nil
+}
+
+// Size returns the number of members (the paper's n, within an era).
+func (c *Committee) Size() int { return len(c.members) }
+
+// F returns the maximum tolerated faults: floor((n-1)/3).
+func (c *Committee) F() int { return (len(c.members) - 1) / 3 }
+
+// Quorum returns the certificate size for prepares and commits:
+// ⌈(n+f+1)/2⌉, which equals 2f+1 when n = 3f+1 and grows with the
+// extra members otherwise. This is the smallest size for which any two
+// quorums intersect in at least f+1 members (so at least one honest
+// member), the intersection property PBFT safety rests on — plain
+// 2f+1 is NOT safe for n ≠ 3f+1 (e.g. n = 5, f = 1: two 3-quorums can
+// share just one, possibly Byzantine, member).
+func (c *Committee) Quorum() int {
+	n := len(c.members)
+	return (n+c.F())/2 + 1
+}
+
+// QuorumFor computes the same quorum rule for an arbitrary committee
+// size (used by certificate verification outside a Committee value).
+func QuorumFor(n int) int {
+	f := (n - 1) / 3
+	return (n+f)/2 + 1
+}
+
+// WeakQuorum returns f+1, enough to contain one honest node.
+func (c *Committee) WeakQuorum() int { return c.F() + 1 }
+
+// Primary returns the primary's address for a view: round-robin over
+// the sorted membership, exactly one primary per view (Section III-B4).
+func (c *Committee) Primary(view uint64) gcrypto.Address {
+	return c.members[int(view%uint64(len(c.members)))].Address
+}
+
+// IsMember reports whether addr belongs to the committee.
+func (c *Committee) IsMember(addr gcrypto.Address) bool {
+	_, ok := c.index[addr]
+	return ok
+}
+
+// IndexOf returns the member's position in the sorted order, or -1.
+func (c *Committee) IndexOf(addr gcrypto.Address) int {
+	i, ok := c.index[addr]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Member returns the info at position i.
+func (c *Committee) Member(i int) types.EndorserInfo { return c.members[i] }
+
+// Members returns the sorted membership.
+func (c *Committee) Members() []types.EndorserInfo {
+	out := make([]types.EndorserInfo, len(c.members))
+	copy(out, c.members)
+	return out
+}
+
+// Addresses returns the sorted member addresses.
+func (c *Committee) Addresses() []gcrypto.Address {
+	out := make([]gcrypto.Address, len(c.members))
+	for i, m := range c.members {
+		out[i] = m.Address
+	}
+	return out
+}
+
+// Others returns all member addresses except self; the broadcast
+// audience for a member.
+func (c *Committee) Others(self gcrypto.Address) []gcrypto.Address {
+	out := make([]gcrypto.Address, 0, len(c.members)-1)
+	for _, m := range c.members {
+		if m.Address != self {
+			out = append(out, m.Address)
+		}
+	}
+	return out
+}
+
+// PubKey returns the public key of a member, or nil for non-members.
+func (c *Committee) PubKey(addr gcrypto.Address) gcrypto.PublicKey {
+	i, ok := c.index[addr]
+	if !ok {
+		return nil
+	}
+	return c.members[i].PubKey
+}
+
+// Keys returns the address → public key map (for certificate checks).
+func (c *Committee) Keys() map[gcrypto.Address]gcrypto.PublicKey {
+	out := make(map[gcrypto.Address]gcrypto.PublicKey, len(c.members))
+	for _, m := range c.members {
+		out[m.Address] = m.PubKey
+	}
+	return out
+}

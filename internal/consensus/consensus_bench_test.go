@@ -1,0 +1,40 @@
+package consensus
+
+import (
+	"testing"
+
+	"gpbft/internal/gcrypto"
+)
+
+func BenchmarkSeal(b *testing.B) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	p := &fakePayload{N: 42, S: "prepare"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Seal(kp, p)
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	env := Seal(kp, &fakePayload{N: 42, S: "prepare"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var got fakePayload
+		if err := Open(env, KindRequest, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvelopeWire(b *testing.B) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	env := Seal(kp, &fakePayload{N: 42, S: "prepare"})
+	wire := EncodeEnvelope(env)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeEnvelope(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

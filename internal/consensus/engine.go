@@ -1,0 +1,97 @@
+package consensus
+
+import (
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// Time is a timestamp relative to the start of the run. The simulator
+// supplies virtual time; the real-time runner supplies time.Since(t0).
+type Time = time.Duration
+
+// TimerID identifies a pending timer set by an engine.
+type TimerID uint64
+
+// Action is an output of an engine step, executed by the runner.
+type Action interface{ isAction() }
+
+// Send transmits an envelope to one node.
+type Send struct {
+	To  gcrypto.Address
+	Env *Envelope
+}
+
+// Broadcast transmits an envelope to every node in To (the engine
+// decides the audience — usually the committee minus itself).
+type Broadcast struct {
+	To  []gcrypto.Address
+	Env *Envelope
+}
+
+// CommitBlock delivers a decided block, in sequence order, for the
+// runtime to append to the chain.
+type CommitBlock struct {
+	Block *types.Block
+}
+
+// StartTimer asks the runner to fire OnTimer(id) after Delay.
+type StartTimer struct {
+	ID    TimerID
+	Delay time.Duration
+}
+
+// StopTimer cancels a pending timer; firing a stopped timer is a no-op
+// for the runner, engines must also tolerate spurious fires.
+type StopTimer struct {
+	ID TimerID
+}
+
+// EraSwitched reports that the engine completed an era switch; the
+// runtime uses it to re-register committee membership and metrics.
+type EraSwitched struct {
+	Era       uint64
+	Committee []gcrypto.Address
+}
+
+func (Send) isAction()        {}
+func (Broadcast) isAction()   {}
+func (CommitBlock) isAction() {}
+func (StartTimer) isAction()  {}
+func (StopTimer) isAction()   {}
+func (EraSwitched) isAction() {}
+
+// Engine is an event-driven consensus state machine.
+type Engine interface {
+	// Init starts the engine and returns its first actions (timers,
+	// initial broadcasts).
+	Init(now Time) []Action
+	// OnEnvelope feeds a received message.
+	OnEnvelope(now Time, env *Envelope) []Action
+	// OnTimer fires a timer the engine previously started.
+	OnTimer(now Time, id TimerID) []Action
+	// OnRequest submits a transaction arriving at this node (from a
+	// local client or forwarded by the runtime).
+	OnRequest(now Time, tx *types.Transaction) []Action
+}
+
+// CommitNotifiable is implemented by engines that want a callback once
+// the runtime has APPLIED committed blocks to the chain. The engine's
+// own commit actions run before the chain advances, so a primary that
+// proposes strictly on top of the committed head needs this second
+// chance to keep the pipeline moving when no further input arrives.
+type CommitNotifiable interface {
+	OnCommitApplied(now Time) []Action
+}
+
+// Application is the runtime surface an engine drives blocks through:
+// building a block proposal from the mempool and validating a proposal
+// from a peer. Implementations live in the node runtime.
+type Application interface {
+	// BuildBlock assembles a proposal for the given era/view/seq on top
+	// of the current head. It may return an empty block.
+	BuildBlock(now Time, era, view, seq uint64) *types.Block
+	// ValidateBlock checks a proposal received in a pre-prepare.
+	ValidateBlock(b *types.Block) error
+}

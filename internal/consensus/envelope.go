@@ -1,0 +1,187 @@
+// Package consensus defines the machinery shared by the PBFT baseline
+// and G-PBFT: the signed message envelope, the action list an engine
+// emits, the event-driven engine interface that both the discrete-event
+// simulator and the real-time runner drive, and committee membership
+// arithmetic (f, quorums, primary rotation).
+//
+// Engines are pure state machines: they never spawn goroutines, read
+// wall clocks, or touch sockets. All inputs arrive through OnEnvelope /
+// OnTimer / OnRequest with an explicit timestamp, and all outputs are
+// returned as Actions. This is what makes the same engine runnable both
+// under the deterministic simulator and over real TCP.
+package consensus
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"gpbft/internal/codec"
+	"gpbft/internal/gcrypto"
+)
+
+// MsgKind discriminates protocol payload types inside an envelope.
+type MsgKind uint8
+
+// Message kinds across both protocols. PBFT kinds are also used inside
+// a G-PBFT era; the Era* kinds belong to the era-switch layer.
+const (
+	KindRequest MsgKind = iota + 1
+	KindPrePrepare
+	KindPrepare
+	KindCommit
+	KindCheckpoint
+	KindViewChange
+	KindNewView
+	KindEraSwitch
+	KindBlockSync
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindPrePrepare:
+		return "pre-prepare"
+	case KindPrepare:
+		return "prepare"
+	case KindCommit:
+		return "commit"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindViewChange:
+		return "view-change"
+	case KindNewView:
+		return "new-view"
+	case KindEraSwitch:
+		return "era-switch"
+	case KindBlockSync:
+		return "block-sync"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Payload is a protocol message body with a canonical encoding.
+type Payload interface {
+	codec.Marshaler
+	Kind() MsgKind
+}
+
+// Envelope is a signed, attributed protocol message: the paper's threat
+// model lets adversaries inject their own messages but not forge or
+// tamper with others', which the signature enforces.
+type Envelope struct {
+	MsgKind   MsgKind
+	From      gcrypto.Address
+	FromPub   []byte
+	Body      []byte
+	Signature []byte
+
+	// wireSize caches the serialized size (an envelope is immutable
+	// once sealed; broadcasts meter it once per recipient).
+	wireSize int
+}
+
+// Errors returned by envelope operations.
+var (
+	ErrEnvelopeSig  = errors.New("consensus: envelope signature invalid")
+	ErrEnvelopeKind = errors.New("consensus: envelope kind mismatch")
+)
+
+func envelopeDigest(kind MsgKind, from gcrypto.Address, body []byte) []byte {
+	w := codec.NewWriter(64 + len(body))
+	w.String("gpbft/envelope/v1")
+	w.Uint8(uint8(kind))
+	w.Raw(from[:])
+	w.WriteBytes(body)
+	return w.Bytes()
+}
+
+// Seal encodes and signs a payload into an envelope.
+func Seal(kp *gcrypto.KeyPair, p Payload) *Envelope {
+	body := codec.Encode(p)
+	e := &Envelope{
+		MsgKind: p.Kind(),
+		From:    kp.Address(),
+		FromPub: append([]byte(nil), kp.Public()...),
+		Body:    body,
+	}
+	e.Signature = kp.Sign(envelopeDigest(e.MsgKind, e.From, body))
+	return e
+}
+
+// Verify checks the envelope signature and sender binding.
+func (e *Envelope) Verify() error {
+	if len(e.FromPub) != ed25519.PublicKeySize {
+		return ErrEnvelopeSig
+	}
+	if err := gcrypto.Verify(e.FromPub, e.From, envelopeDigest(e.MsgKind, e.From, e.Body), e.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrEnvelopeSig, err)
+	}
+	return nil
+}
+
+// MarshalCanonical appends the wire encoding of the envelope.
+func (e *Envelope) MarshalCanonical(w *codec.Writer) {
+	w.Uint8(uint8(e.MsgKind))
+	w.Raw(e.From[:])
+	w.WriteBytes(e.FromPub)
+	w.WriteBytes(e.Body)
+	w.WriteBytes(e.Signature)
+}
+
+// UnmarshalCanonical decodes an envelope.
+func (e *Envelope) UnmarshalCanonical(r *codec.Reader) error {
+	e.MsgKind = MsgKind(r.Uint8())
+	r.RawInto(e.From[:])
+	e.FromPub = r.ReadBytes()
+	e.Body = r.ReadBytes()
+	e.Signature = r.ReadBytes()
+	return r.Err()
+}
+
+// EncodeEnvelope returns the wire bytes of e.
+func EncodeEnvelope(e *Envelope) []byte { return codec.Encode(e) }
+
+// DecodeEnvelope parses wire bytes into an envelope.
+func DecodeEnvelope(b []byte) (*Envelope, error) {
+	r := codec.NewReader(b)
+	var e Envelope
+	if err := e.UnmarshalCanonical(r); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// WireSize returns the serialized size of the envelope in bytes; the
+// simulator meters traffic with it. The value is cached: envelopes are
+// immutable once sealed.
+func (e *Envelope) WireSize() int {
+	if e.wireSize == 0 {
+		e.wireSize = len(EncodeEnvelope(e))
+	}
+	return e.wireSize
+}
+
+// Open verifies the envelope, checks its kind, and decodes the body
+// into dst (which must match the kind's payload type).
+func Open(e *Envelope, want MsgKind, dst interface {
+	UnmarshalCanonical(*codec.Reader) error
+}) error {
+	if e.MsgKind != want {
+		return ErrEnvelopeKind
+	}
+	if err := e.Verify(); err != nil {
+		return err
+	}
+	r := codec.NewReader(e.Body)
+	if err := dst.UnmarshalCanonical(r); err != nil {
+		return err
+	}
+	return r.Finish()
+}

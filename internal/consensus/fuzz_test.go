@@ -1,0 +1,27 @@
+package consensus
+
+import (
+	"bytes"
+	"testing"
+
+	"gpbft/internal/gcrypto"
+)
+
+// FuzzDecodeEnvelope: the wire decoder must be total and canonical.
+func FuzzDecodeEnvelope(f *testing.F) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	f.Add(EncodeEnvelope(Seal(kp, &fakePayload{N: 1, S: "seed"})))
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeEnvelope(env), data) {
+			t.Fatal("envelope does not re-encode canonically")
+		}
+		// Verify must be total too (almost always failing, never panicking).
+		_ = env.Verify()
+	})
+}

@@ -1,0 +1,21 @@
+package consensus
+
+import "sync/atomic"
+
+// TimerAllocator hands out process-unique timer IDs. The G-PBFT era
+// layer and its inner per-era PBFT engines share one allocator so that
+// timer IDs never collide across engine generations.
+type TimerAllocator struct {
+	next atomic.Uint64
+}
+
+// NewTimerAllocator returns an allocator starting at 1 (0 is reserved
+// as "no timer").
+func NewTimerAllocator() *TimerAllocator {
+	return &TimerAllocator{}
+}
+
+// Next returns a fresh TimerID.
+func (a *TimerAllocator) Next() TimerID {
+	return TimerID(a.next.Add(1))
+}

@@ -1,0 +1,290 @@
+// Package core implements the paper's primary contribution: the
+// Geographic-PBFT era layer. It wraps a fresh PBFT instance per era
+// ("G-PBFT can be regarded as a splice of multiple successive PBFT",
+// Section III-B4) and adds:
+//
+//   - geographic authentication of endorsers and candidates
+//     (Algorithm 1), driven by the on-chain election table;
+//   - the Sybil guard of Section IV-A1 (no two identities in one CSC
+//     cell, deployment-region membership);
+//   - the era-switch mechanism of Section III-E, agreed through a
+//     configuration transaction committed by the old committee, with a
+//     switch period during which no transactions commit;
+//   - the incentive mechanism's proposer bias (longer geographic timer
+//     ⇒ earlier in the primary rotation) and expulsion of endorsers
+//     that miss blocks or fork.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/ledger"
+	"gpbft/internal/types"
+)
+
+// ElectionResult is the outcome of one Algorithm 1 pass.
+type ElectionResult struct {
+	// Invalid are current endorsers that failed re-authentication
+	// (moved, under-reported, left the region, or caused a fork).
+	Invalid []gcrypto.Address
+	// Qualified are candidates admitted for the next era, best first.
+	Qualified []types.EndorserInfo
+	// Rejected maps candidate addresses to the reason they failed
+	// qualification (diagnostics and tests).
+	Rejected map[gcrypto.Address]string
+	// Stalled reports that applying the removals would shrink the
+	// committee below the policy minimum even after additions; the
+	// protocol then keeps the old committee and stops switching, as the
+	// paper prescribes the system to halt below the minimum.
+	Stalled bool
+}
+
+// IsEmpty reports whether the result changes nothing.
+func (r *ElectionResult) IsEmpty() bool {
+	return len(r.Invalid) == 0 && len(r.Qualified) == 0
+}
+
+// Change converts the result into the config-transaction payload for
+// the next era.
+func (r *ElectionResult) Change(newEra uint64) *types.ConfigChange {
+	return &types.ConfigChange{
+		NewEra: newEra,
+		Add:    append([]types.EndorserInfo(nil), r.Qualified...),
+		Remove: append([]gcrypto.Address(nil), r.Invalid...),
+	}
+}
+
+// RunElection executes Algorithm 1 against the chain's election table.
+// asOf anchors all lookbacks; callers pass the head block's timestamp
+// so every honest endorser computes the identical result from the same
+// committed state.
+//
+// Lines 2-14 of the algorithm re-authenticate current endorsers over
+// the last era period; lines 15-26 qualify candidates over the
+// qualification window.
+func RunElection(chain *ledger.Chain, asOf time.Time) ElectionResult {
+	policy := chain.Policy()
+	table := chain.Table()
+	// Anchor lookbacks at table time: under load, committed reports
+	// lag the head timestamp by the consensus queue delay, and judging
+	// devices against wall time would starve everyone. Table time is
+	// itself derived from committed state, so it is identical on every
+	// honest endorser.
+	if tt := table.LatestTimestamp(); !tt.IsZero() && tt.Before(asOf) {
+		asOf = tt
+	}
+	res := ElectionResult{Rejected: make(map[gcrypto.Address]string)}
+
+	endorsers := chain.Endorsers()
+	current := make(map[gcrypto.Address]bool, len(endorsers))
+	for _, e := range endorsers {
+		current[e.Address] = true
+	}
+
+	// Endorsers that produced fork evidence are expelled outright:
+	// "If there are block missing and forking caused by an endorser,
+	// the endorser will be removed from the endorser list."
+	forkers := make(map[gcrypto.Address]bool)
+	for _, f := range chain.Forks() {
+		forkers[f.Proposer] = true
+	}
+
+	// --- lines 2-14: re-authenticate the committee ---
+	authSince := asOf.Add(-policy.EraPeriod)
+	for _, v := range endorsers {
+		addr := v.Address
+		if policy.Whitelisted(addr) {
+			continue // whitelisted endorsers stay without qualification
+		}
+		if forkers[addr] {
+			res.Invalid = append(res.Invalid, addr)
+			continue
+		}
+		g := table.ReportsSince(addr.String(), authSince)
+		if reason, ok := disqualify(g, &policy, policy.MinReports); ok {
+			res.Rejected[addr] = reason
+			res.Invalid = append(res.Invalid, addr)
+		}
+	}
+
+	// --- lines 15-26: qualify candidates ---
+	room := policy.MaxEndorsers - (len(endorsers) - len(res.Invalid))
+	if room > 0 {
+		qualSince := asOf.Add(-policy.QualificationWindow)
+		type scored struct {
+			info  types.EndorserInfo
+			timer time.Duration
+		}
+		var pool []scored
+		for _, addrStr := range table.Devices() {
+			addr, err := gcrypto.ParseAddress(addrStr)
+			if err != nil || current[addr] {
+				continue
+			}
+			if policy.Blacklisted(addr) {
+				res.Rejected[addr] = "blacklisted"
+				continue
+			}
+			pub := chain.AccountKey(addr)
+			if pub == nil {
+				res.Rejected[addr] = "unknown public key"
+				continue
+			}
+			entry, ok := table.LatestEntry(addrStr)
+			if !ok {
+				continue
+			}
+			if policy.Whitelisted(addr) {
+				// "Nodes in the whitelist can be identified as
+				// endorsers directly without any qualifications."
+				pool = append(pool, scored{
+					info:  types.EndorserInfo{Address: addr, PubKey: pub, Geohash: entry.CSC.Geohash},
+					timer: 1<<62 - 1,
+				})
+				continue
+			}
+			g := table.ReportsSince(addrStr, qualSince)
+			if reason, bad := disqualify(g, &policy, policy.MinReports); bad {
+				res.Rejected[addr] = reason
+				continue
+			}
+			// "An IoT device stays at the same location (has the same
+			// CSC) for 72 hours will be elected as an endorser."
+			if entry.Timer < policy.QualificationWindow {
+				res.Rejected[addr] = "geographic timer below qualification window"
+				continue
+			}
+			// Sybil guard: the CSC cell must have exactly one occupant
+			// over the window — "different nodes cannot report the same
+			// geographic information at the same time".
+			if occ := table.CellOccupants(entry.CSC.Geohash, qualSince); len(occ) > 1 {
+				res.Rejected[addr] = "CSC cell contested (possible Sybil)"
+				continue
+			}
+			// Witness supervision (threat model: "nodes can monitor and
+			// supervise each other"): when enabled, the claimed cell
+			// must be confirmed by enough nearby endorsers, and any
+			// credible dispute is disqualifying — this catches liars
+			// whose self-reports are perfectly consistent.
+			if policy.MinWitnesses > 0 {
+				if reason, bad := witnessVerdict(chain, &policy, addr, entry.CSC.Geohash, qualSince); bad {
+					res.Rejected[addr] = reason
+					continue
+				}
+			}
+			pool = append(pool, scored{
+				info:  types.EndorserInfo{Address: addr, PubKey: pub, Geohash: entry.CSC.Geohash},
+				timer: entry.Timer,
+			})
+		}
+		// Longest-resident candidates first (the incentive's loyalty
+		// signal), address as the deterministic tiebreak.
+		sort.Slice(pool, func(i, j int) bool {
+			if pool[i].timer != pool[j].timer {
+				return pool[i].timer > pool[j].timer
+			}
+			return pool[i].info.Address.Less(pool[j].info.Address)
+		})
+		if len(pool) > room {
+			for _, s := range pool[room:] {
+				res.Rejected[s.info.Address] = "committee at maximum size"
+			}
+			pool = pool[:room]
+		}
+		for _, s := range pool {
+			res.Qualified = append(res.Qualified, s.info)
+		}
+	}
+
+	sort.Slice(res.Invalid, func(i, j int) bool { return res.Invalid[i].Less(res.Invalid[j]) })
+
+	// Below-minimum guard: the paper stops the system under the
+	// minimum; we refuse the switch instead so the old committee keeps
+	// serving (conservative, documented in DESIGN.md).
+	if len(endorsers)-len(res.Invalid)+len(res.Qualified) < policy.MinEndorsers {
+		return ElectionResult{Stalled: true, Rejected: res.Rejected}
+	}
+	return res
+}
+
+// witnessVerdict evaluates committed witness statements about a
+// candidate's claimed cell: only statements from current endorsers
+// located within the witness range are credible; one credible dispute
+// rejects; fewer than MinWitnesses confirmations rejects.
+func witnessVerdict(chain *ledger.Chain, policy *ledger.AdmittancePolicy, subject gcrypto.Address, cell string, since time.Time) (string, bool) {
+	cellCenter, err := geo.Decode(cell)
+	if err != nil {
+		return "unresolvable claimed cell", true
+	}
+	endorserCells := make(map[gcrypto.Address]string)
+	for _, e := range chain.Endorsers() {
+		endorserCells[e.Address] = e.Geohash
+	}
+	confirms := make(map[gcrypto.Address]bool)
+	for _, st := range chain.Witnesses().StatementsFor(subject, since) {
+		if st.Geohash != cell {
+			continue // statement about an older claim
+		}
+		wCell, isEndorser := endorserCells[st.Witness]
+		if !isEndorser {
+			continue // only committee members are credible witnesses
+		}
+		if policy.WitnessRangeMeters > 0 {
+			wPos, err := geo.Decode(wCell)
+			if err != nil || wPos.DistanceMeters(cellCenter) > policy.WitnessRangeMeters {
+				continue // witness too far away to know
+			}
+		}
+		if !st.Seen {
+			return "disputed by witness (claimed location unoccupied)", true
+		}
+		confirms[st.Witness] = true
+	}
+	if len(confirms) < policy.MinWitnesses {
+		return "insufficient witness confirmations", true
+	}
+	return "", false
+}
+
+// disqualify applies the shared checks of Algorithm 1 to a report
+// window: enough reports (Len(G) >= n), no movement (all lng/lat
+// equal), and region membership.
+func disqualify(g []ledger.Entry, policy *ledger.AdmittancePolicy, minReports int) (string, bool) {
+	if len(g) < minReports {
+		return "insufficient geographic reports", true
+	}
+	first := g[0].CSC.Geohash
+	for i := 1; i < len(g); i++ {
+		if g[i].CSC.Geohash != first {
+			return "location changed during window", true
+		}
+	}
+	if !policy.Region.IsZero() {
+		pt, err := geo.Decode(first)
+		if err != nil || !policy.InRegion(pt) {
+			return "outside deployment region", true
+		}
+	}
+	return "", false
+}
+
+// OrderByGeoTimer orders committee members by descending geographic
+// timer (address tiebreak): the primary rotation then favours
+// longer-resident endorsers, implementing the incentive's block
+// generation bias.
+func OrderByGeoTimer(members []types.EndorserInfo, table *ledger.ElectionTable) []types.EndorserInfo {
+	out := make([]types.EndorserInfo, len(members))
+	copy(out, members)
+	sort.Slice(out, func(i, j int) bool {
+		ti := table.Timer(out[i].Address.String())
+		tj := table.Timer(out[j].Address.String())
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Address.Less(out[j].Address)
+	})
+	return out
+}

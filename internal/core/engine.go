@@ -1,0 +1,717 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/ledger"
+	"gpbft/internal/pbft"
+	"gpbft/internal/runtime"
+	"gpbft/internal/types"
+)
+
+// ProposerPolicy selects how the committee is ordered for primary
+// rotation within an era.
+type ProposerPolicy int
+
+const (
+	// ProposerGeoTimer orders by descending geographic timer — the
+	// paper's incentive bias ("A longer time in the geographic timer
+	// will have a higher chance of generating a new block").
+	ProposerGeoTimer ProposerPolicy = iota
+	// ProposerAddress is plain canonical rotation (the ablation
+	// baseline).
+	ProposerAddress
+)
+
+// Config configures one G-PBFT node engine.
+type Config struct {
+	Chain *ledger.Chain
+	Key   *gcrypto.KeyPair
+	App   *runtime.App
+	// Timers is shared with the inner per-era PBFT engines.
+	Timers *consensus.TimerAllocator
+	// Epoch maps engine time to wall-clock timestamps.
+	Epoch time.Time
+
+	// Inner PBFT knobs (passed through).
+	CheckpointInterval uint64
+	ViewChangeTimeout  time.Duration
+
+	// EraPeriod / SwitchPeriod override the chain policy when non-zero.
+	EraPeriod    time.Duration
+	SwitchPeriod time.Duration
+
+	ProposerPolicy ProposerPolicy
+	// DisableEraSwitch turns the era layer off (ablation: a static
+	// committee forever).
+	DisableEraSwitch bool
+	// ForceEraSwitch performs a switch every T even when the election
+	// changes nothing (an empty config change that only bumps the era).
+	// This is the paper's literal behaviour ("Era switch will be made
+	// every T seconds in our system") and produces the switch-period
+	// latency outliers of Figure 3b.
+	ForceEraSwitch bool
+}
+
+// timer purposes of the era layer.
+type tpurpose uint8
+
+const (
+	tEraTick tpurpose = iota + 1
+	tResume
+)
+
+// maxBuffered bounds the next-era message buffer.
+const maxBuffered = 4096
+
+// Engine is the G-PBFT era layer: a consensus.Engine that runs a fresh
+// PBFT instance per era and orchestrates geographic authentication,
+// era switches, block sync and announcements. Candidate nodes run the
+// same engine in observer mode (no inner instance) until elected.
+type Engine struct {
+	cfg    Config
+	self   gcrypto.Address
+	chain  *ledger.Chain
+	policy ledger.AdmittancePolicy
+
+	era       uint64
+	committee *consensus.Committee
+	inner     *pbft.Engine // nil while not an endorser
+
+	switching   bool
+	pendingEra  uint64
+	pendingAdds []gcrypto.Address
+
+	timers   map[consensus.TimerID]tpurpose
+	eraTID   consensus.TimerID
+	resumeID consensus.TimerID
+
+	buffered []*consensus.Envelope
+
+	syncInFlight bool
+	syncTarget   uint64
+
+	nonce uint64
+
+	// stats
+	eraSwitches  uint64
+	switchPauses time.Duration
+}
+
+// New constructs a G-PBFT node engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Chain == nil || cfg.Key == nil || cfg.App == nil {
+		return nil, errors.New("gpbft: config needs Chain, Key and App")
+	}
+	if cfg.Timers == nil {
+		cfg.Timers = consensus.NewTimerAllocator()
+	}
+	policy := cfg.Chain.Policy()
+	if cfg.EraPeriod == 0 {
+		cfg.EraPeriod = policy.EraPeriod
+	}
+	if cfg.SwitchPeriod == 0 {
+		cfg.SwitchPeriod = policy.SwitchPeriod
+	}
+	return &Engine{
+		cfg:    cfg,
+		self:   cfg.Key.Address(),
+		chain:  cfg.Chain,
+		policy: policy,
+		timers: make(map[consensus.TimerID]tpurpose),
+	}, nil
+}
+
+// --- accessors ---
+
+// Era returns the engine's current era.
+func (e *Engine) Era() uint64 { return e.era }
+
+// IsEndorser reports whether this node participates in the current
+// era's committee.
+func (e *Engine) IsEndorser() bool { return e.inner != nil }
+
+// Committee returns the current era's committee (nil for an observer
+// that has never joined).
+func (e *Engine) Committee() *consensus.Committee { return e.committee }
+
+// Inner exposes the current PBFT instance (tests and metrics).
+func (e *Engine) Inner() *pbft.Engine { return e.inner }
+
+// Switching reports whether an era switch pause is in progress.
+func (e *Engine) Switching() bool { return e.switching }
+
+// EraSwitches returns how many era switches this node completed.
+func (e *Engine) EraSwitches() uint64 { return e.eraSwitches }
+
+// --- lifecycle ---
+
+// Init implements consensus.Engine.
+func (e *Engine) Init(now consensus.Time) []consensus.Action {
+	e.era = e.chain.Era()
+	var acts []consensus.Action
+	acts = e.buildInstance(now, acts)
+	acts = e.armEraTimer(acts)
+	return acts
+}
+
+// buildCommittee derives the era committee from chain state, ordered
+// per the proposer policy.
+func (e *Engine) buildCommittee() (*consensus.Committee, error) {
+	members := e.chain.Endorsers()
+	if e.cfg.ProposerPolicy == ProposerGeoTimer {
+		members = OrderByGeoTimer(members, e.chain.Table())
+	}
+	return consensus.NewOrderedCommittee(members)
+}
+
+// buildInstance (re)creates the inner PBFT engine if self is in the
+// committee, otherwise leaves the node an observer.
+func (e *Engine) buildInstance(now consensus.Time, acts []consensus.Action) []consensus.Action {
+	com, err := e.buildCommittee()
+	if err != nil {
+		return acts
+	}
+	e.committee = com
+	if !com.IsMember(e.self) {
+		e.inner = nil
+		return acts
+	}
+	inner, err := pbft.New(pbft.Config{
+		Era:                e.era,
+		Committee:          com,
+		Key:                e.cfg.Key,
+		App:                &eraApp{Application: e.cfg.App, eng: e},
+		Timers:             e.cfg.Timers,
+		StartHeight:        e.chain.Height() + 1,
+		CheckpointInterval: e.cfg.CheckpointInterval,
+		ViewChangeTimeout:  e.cfg.ViewChangeTimeout,
+	})
+	if err != nil {
+		return acts
+	}
+	e.inner = inner
+	acts = append(acts, e.filterInner(inner.Init(now))...)
+	return acts
+}
+
+// armEraTimer schedules the next Algorithm 1 pass ("Algorithm 1 will
+// be executed every T seconds").
+func (e *Engine) armEraTimer(acts []consensus.Action) []consensus.Action {
+	if e.cfg.DisableEraSwitch || e.inner == nil {
+		return acts
+	}
+	id := e.cfg.Timers.Next()
+	e.eraTID = id
+	e.timers[id] = tEraTick
+	return append(acts, consensus.StartTimer{ID: id, Delay: e.cfg.EraPeriod})
+}
+
+// OnTimer implements consensus.Engine.
+func (e *Engine) OnTimer(now consensus.Time, id consensus.TimerID) []consensus.Action {
+	purpose, mine := e.timers[id]
+	if !mine {
+		if e.inner != nil && !e.switching {
+			return e.filterInner(e.inner.OnTimer(now, id))
+		}
+		return nil
+	}
+	delete(e.timers, id)
+	switch purpose {
+	case tEraTick:
+		return e.onEraTick(now)
+	case tResume:
+		return e.onResume(now)
+	}
+	return nil
+}
+
+// OnCommitApplied implements consensus.CommitNotifiable by forwarding
+// to the inner era instance.
+func (e *Engine) OnCommitApplied(now consensus.Time) []consensus.Action {
+	if e.switching || e.inner == nil {
+		return nil
+	}
+	return e.filterInner(e.inner.OnCommitApplied(now))
+}
+
+// OnRequest implements consensus.Engine. During a switch the system
+// refuses to process transactions; they wait in the pool.
+func (e *Engine) OnRequest(now consensus.Time, tx *types.Transaction) []consensus.Action {
+	if e.switching {
+		return nil
+	}
+	if e.inner != nil {
+		return e.filterInner(e.inner.OnRequest(now, tx))
+	}
+	// Observer: relay to the first known endorser.
+	if e.committee == nil {
+		com, err := e.buildCommittee()
+		if err != nil {
+			return nil
+		}
+		e.committee = com
+	}
+	if e.committee.Size() == 0 {
+		return nil
+	}
+	// Spread client load across the committee deterministically by the
+	// sender's own address.
+	target := e.committee.Member(int(e.self[0]) % e.committee.Size()).Address
+	env := consensus.Seal(e.cfg.Key, &pbft.Request{Tx: *tx})
+	return []consensus.Action{consensus.Send{To: target, Env: env}}
+}
+
+// OnEnvelope implements consensus.Engine.
+func (e *Engine) OnEnvelope(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	switch env.MsgKind {
+	case consensus.KindEraSwitch:
+		return e.onAnnounce(now, env)
+	case consensus.KindBlockSync:
+		return e.onBlockSync(now, env)
+	case consensus.KindRequest:
+		if e.switching || e.inner == nil {
+			return nil
+		}
+		return e.filterInner(e.inner.OnEnvelope(now, env))
+	default:
+		// Intra-era consensus traffic.
+		msgEra, ok := peekEra(env)
+		if !ok {
+			return nil
+		}
+		if msgEra > e.era || (e.switching && msgEra == e.pendingEra) {
+			// A peer finished its switch before us; hold the message
+			// until our own switch completes.
+			if len(e.buffered) < maxBuffered {
+				e.buffered = append(e.buffered, env)
+			}
+			return nil
+		}
+		if e.inner == nil || e.switching || msgEra < e.era {
+			return nil
+		}
+		return e.filterInner(e.inner.OnEnvelope(now, env))
+	}
+}
+
+// peekEra reads the leading Era field every intra-era payload starts
+// with.
+func peekEra(env *consensus.Envelope) (uint64, bool) {
+	switch env.MsgKind {
+	case consensus.KindPrePrepare, consensus.KindPrepare, consensus.KindCommit,
+		consensus.KindCheckpoint, consensus.KindViewChange, consensus.KindNewView:
+		if len(env.Body) < 8 {
+			return 0, false
+		}
+		return binary.BigEndian.Uint64(env.Body[:8]), true
+	default:
+		return 0, false
+	}
+}
+
+// filterInner passes inner-engine actions through, watching committed
+// blocks for the era-switch configuration transaction.
+func (e *Engine) filterInner(acts []consensus.Action) []consensus.Action {
+	if len(acts) == 0 {
+		return acts
+	}
+	out := make([]consensus.Action, 0, len(acts)+2)
+	for _, a := range acts {
+		out = append(out, a)
+		cb, ok := a.(consensus.CommitBlock)
+		if !ok || e.switching {
+			continue
+		}
+		for i := range cb.Block.Txs {
+			tx := &cb.Block.Txs[i]
+			if tx.Type != types.TxConfig {
+				continue
+			}
+			change, err := types.DecodeConfigChange(tx.Payload)
+			if err != nil || change.NewEra != e.era+1 {
+				continue
+			}
+			out = e.beginSwitch(change, out)
+			break
+		}
+	}
+	return out
+}
+
+// beginSwitch halts the old consensus and schedules the resume after
+// the switch period ("during the period of an era switch, the system
+// will refuse to process or commit any transactions").
+func (e *Engine) beginSwitch(change *types.ConfigChange, acts []consensus.Action) []consensus.Action {
+	e.switching = true
+	e.pendingEra = change.NewEra
+	e.pendingAdds = make([]gcrypto.Address, 0, len(change.Add))
+	for _, add := range change.Add {
+		e.pendingAdds = append(e.pendingAdds, add.Address)
+	}
+	if e.inner != nil {
+		e.inner.Halt()
+	}
+	if e.eraTID != 0 {
+		acts = append(acts, consensus.StopTimer{ID: e.eraTID})
+		delete(e.timers, e.eraTID)
+		e.eraTID = 0
+	}
+	id := e.cfg.Timers.Next()
+	e.resumeID = id
+	e.timers[id] = tResume
+	e.switchPauses += e.cfg.SwitchPeriod
+	return append(acts, consensus.StartTimer{ID: id, Delay: e.cfg.SwitchPeriod})
+}
+
+// onResume completes the era switch: the chain has applied the config
+// transaction by now, so rebuild the committee and relaunch consensus.
+func (e *Engine) onResume(now consensus.Time) []consensus.Action {
+	e.switching = false
+	e.resumeID = 0
+	newEra := e.chain.Era()
+	if newEra < e.pendingEra {
+		// The config block has not been applied locally (should not
+		// happen: we observed its commit); stay in the old era.
+		e.pendingEra = 0
+		return e.armEraTimer(nil)
+	}
+	e.era = newEra
+	e.eraSwitches++
+
+	var acts []consensus.Action
+	// Announce to the freshly added endorsers so they sync and join.
+	announce := consensus.Seal(e.cfg.Key, &EraAnnounce{NewEra: e.era, Height: e.chain.Height()})
+	for _, addr := range e.pendingAdds {
+		if addr != e.self {
+			acts = append(acts, consensus.Send{To: addr, Env: announce})
+		}
+	}
+	e.pendingAdds = nil
+
+	acts = e.buildInstance(now, acts)
+	acts = e.armEraTimer(acts)
+	if e.committee != nil {
+		acts = append(acts, consensus.EraSwitched{Era: e.era, Committee: e.committee.Addresses()})
+	}
+	// Replay consensus traffic that arrived for the new era while we
+	// were still switching.
+	if e.inner != nil && len(e.buffered) > 0 {
+		pending := e.buffered
+		e.buffered = nil
+		for _, env := range pending {
+			if msgEra, ok := peekEra(env); ok && msgEra == e.era {
+				acts = append(acts, e.filterInner(e.inner.OnEnvelope(now, env))...)
+			}
+		}
+	} else {
+		e.buffered = nil
+	}
+	acts = e.redisseminatePending(now, acts)
+	return acts
+}
+
+// redisseminatePending re-announces pooled transactions to the new
+// era's committee: requests that reached only this endorser while the
+// switch was in progress would otherwise sit invisible to the new
+// primary until a view change rotated leadership to their holder.
+func (e *Engine) redisseminatePending(now consensus.Time, acts []consensus.Action) []consensus.Action {
+	if e.inner == nil {
+		return acts
+	}
+	const resendCap = 128
+	for _, tx := range e.cfg.App.PendingList(resendCap) {
+		tx := tx
+		acts = append(acts, e.filterInner(e.inner.OnRequest(now, &tx))...)
+	}
+	return acts
+}
+
+// onEraTick runs Algorithm 1 and, when this node leads the current
+// view, proposes the configuration transaction for the next era.
+func (e *Engine) onEraTick(now consensus.Time) []consensus.Action {
+	e.eraTID = 0
+	if e.switching || e.inner == nil {
+		return e.armEraTimer(nil)
+	}
+	// Memory hygiene: drop election-table rows and witness statements
+	// far older than any lookback window still consults. Pruning is a
+	// deterministic function of committed state, so all honest nodes
+	// keep identical derived state.
+	horizon := e.chain.Table().LatestTimestamp()
+	if !horizon.IsZero() {
+		keep := 4 * e.policy.QualificationWindow
+		e.chain.Table().Prune(horizon.Add(-keep))
+		e.chain.Witnesses().Prune(horizon.Add(-keep))
+	}
+
+	var acts []consensus.Action
+	res := RunElection(e.chain, e.chain.Head().Header.Timestamp)
+	due := !res.Stalled && (!res.IsEmpty() || e.cfg.ForceEraSwitch)
+	if due && e.inner.Primary() == e.self && !e.inner.InViewChange() {
+		tx := e.configTx(now, res.Change(e.era+1))
+		if e.cfg.App.SubmitTx(tx) == nil {
+			acts = append(acts, e.filterInner(e.inner.OnRequest(now, tx))...)
+		}
+	}
+	return e.armEraTimer(acts)
+}
+
+// configTx crafts the signed configuration transaction carrying the
+// election outcome.
+func (e *Engine) configTx(now consensus.Time, change *types.ConfigChange) *types.Transaction {
+	e.nonce++
+	loc := geo.Point{}
+	if e.committee != nil {
+		if i := e.committee.IndexOf(e.self); i >= 0 {
+			if pt, err := geo.Decode(e.committee.Member(i).Geohash); err == nil {
+				loc = pt
+			}
+		}
+	}
+	tx := &types.Transaction{
+		Type:    types.TxConfig,
+		Nonce:   (e.chain.Height()+1)<<16 | e.nonce,
+		Payload: types.EncodeConfigChange(change),
+		Geo: types.GeoInfo{
+			Location:  loc,
+			Timestamp: e.cfg.Epoch.Add(now),
+		},
+	}
+	tx.Sign(e.cfg.Key)
+	return tx
+}
+
+// expectedChange computes the deterministic election outcome every
+// honest endorser expects in the next config transaction, or nil when
+// no switch is due.
+func (e *Engine) expectedChange() *types.ConfigChange {
+	res := RunElection(e.chain, e.chain.Head().Header.Timestamp)
+	if res.Stalled || (res.IsEmpty() && !e.cfg.ForceEraSwitch) {
+		return nil
+	}
+	return res.Change(e.chain.Era() + 1)
+}
+
+// --- announcements and block sync ---
+
+func (e *Engine) onAnnounce(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	var ann EraAnnounce
+	if err := consensus.Open(env, consensus.KindEraSwitch, &ann); err != nil {
+		return nil
+	}
+	// Only accept pokes from accounts we know on-chain (the announcer
+	// was an endorser when it mattered; a bogus poke costs one sync
+	// round trip at worst, and the sync response is certificate-checked).
+	if e.chain.Height() >= ann.Height {
+		return e.maybeJoin(now)
+	}
+	if e.syncInFlight && e.syncTarget >= ann.Height {
+		return nil
+	}
+	e.syncInFlight = true
+	e.syncTarget = ann.Height
+	req := consensus.Seal(e.cfg.Key, &SyncRequest{FromHeight: e.chain.Height() + 1})
+	return []consensus.Action{consensus.Send{To: env.From, Env: req}}
+}
+
+func (e *Engine) onBlockSync(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	switch syncSubtype(env.Body) {
+	case 1:
+		var req SyncRequest
+		if err := consensus.Open(env, consensus.KindBlockSync, &req); err != nil {
+			return nil
+		}
+		return e.serveSync(env.From, req.FromHeight)
+	case 2:
+		var resp SyncResponse
+		if err := consensus.Open(env, consensus.KindBlockSync, &resp); err != nil {
+			return nil
+		}
+		return e.applySync(now, env.From, &resp)
+	default:
+		return nil
+	}
+}
+
+// serveSync answers a sync request with committed blocks (certificates
+// included).
+func (e *Engine) serveSync(to gcrypto.Address, from uint64) []consensus.Action {
+	head := e.chain.Height()
+	if from == 0 {
+		from = 1
+	}
+	if from > head {
+		return nil
+	}
+	resp := &SyncResponse{}
+	for h := from; h <= head && len(resp.Blocks) < MaxSyncBlocks; h++ {
+		b, err := e.chain.BlockAt(h)
+		if err != nil {
+			break
+		}
+		resp.Blocks = append(resp.Blocks, *b)
+	}
+	if len(resp.Blocks) == 0 {
+		return nil
+	}
+	env := consensus.Seal(e.cfg.Key, resp)
+	return []consensus.Action{consensus.Send{To: to, Env: env}}
+}
+
+// applySync applies certificate-carrying blocks directly through the
+// application (AddBlock verifies certificates against the committee as
+// of each height), then joins the new era if elected.
+func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncResponse) []consensus.Action {
+	for i := range resp.Blocks {
+		b := resp.Blocks[i]
+		if b.Header.Height != e.chain.Height()+1 {
+			continue
+		}
+		if b.Cert == nil {
+			break // uncertified sync blocks are not trusted
+		}
+		if err := e.cfg.App.Commit(&b); err != nil {
+			break
+		}
+	}
+	e.syncInFlight = false
+	var acts []consensus.Action
+	if e.chain.Height() < e.syncTarget {
+		// Partial response: keep pulling.
+		e.syncInFlight = true
+		req := consensus.Seal(e.cfg.Key, &SyncRequest{FromHeight: e.chain.Height() + 1})
+		acts = append(acts, consensus.Send{To: from, Env: req})
+		return acts
+	}
+	return append(acts, e.maybeJoin(now)...)
+}
+
+// maybeJoin starts participation when the chain says this node is an
+// endorser of an era newer than the engine's.
+func (e *Engine) maybeJoin(now consensus.Time) []consensus.Action {
+	if e.switching {
+		return nil
+	}
+	chainEra := e.chain.Era()
+	if chainEra < e.era || (chainEra == e.era && e.inner != nil) {
+		return nil
+	}
+	if !e.chain.IsEndorser(e.self) {
+		// Stay an observer but track the era.
+		e.era = chainEra
+		e.inner = nil
+		return nil
+	}
+	e.era = chainEra
+	var acts []consensus.Action
+	acts = e.buildInstance(now, acts)
+	acts = e.armEraTimer(acts)
+	if e.committee != nil {
+		acts = append(acts, consensus.EraSwitched{Era: e.era, Committee: e.committee.Addresses()})
+	}
+	// Replay buffered traffic for this era.
+	if e.inner != nil && len(e.buffered) > 0 {
+		pending := e.buffered
+		e.buffered = nil
+		for _, env := range pending {
+			if msgEra, ok := peekEra(env); ok && msgEra == e.era {
+				acts = append(acts, e.filterInner(e.inner.OnEnvelope(now, env))...)
+			}
+		}
+	}
+	acts = e.redisseminatePending(now, acts)
+	return acts
+}
+
+// eraApp wraps the node's application to enforce era-switch semantics
+// on proposals: at most one configuration transaction per block, and
+// it must equal the election outcome every honest endorser computes
+// from the same committed state.
+type eraApp struct {
+	pbft.Application
+	eng *Engine
+}
+
+// BuildBlock filters stale or foreign config transactions out of the
+// proposal (they would be rejected by validators and stall the view).
+// Filtered config transactions are DROPPED from the pool: a stale one
+// left at the head of the FIFO would wedge proposals forever once it
+// became the only buildable transaction.
+func (a *eraApp) BuildBlock(now consensus.Time, era, view, seq uint64) *types.Block {
+	b := a.Application.BuildBlock(now, era, view, seq)
+	if b == nil {
+		return nil
+	}
+	var expected []byte
+	expectedComputed := false
+	keep := b.Txs[:0]
+	configKept := false
+	for i := range b.Txs {
+		tx := b.Txs[i]
+		if tx.Type == types.TxConfig {
+			drop := false
+			if configKept {
+				drop = true
+			} else {
+				if !expectedComputed {
+					expectedComputed = true
+					if ch := a.eng.expectedChange(); ch != nil {
+						expected = types.EncodeConfigChange(ch)
+					}
+				}
+				drop = expected == nil || !bytes.Equal(tx.Payload, expected)
+			}
+			if drop {
+				a.eng.cfg.App.Pool().Drop(tx.ID())
+				continue
+			}
+			configKept = true
+		}
+		keep = append(keep, tx)
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	if len(keep) != len(b.Txs) {
+		return types.NewBlock(b.Header, append([]types.Transaction(nil), keep...))
+	}
+	return b
+}
+
+// ValidateBlock additionally checks proposed config transactions
+// against the locally computed election outcome.
+func (a *eraApp) ValidateBlock(b *types.Block) error {
+	configs := 0
+	var expected []byte
+	expectedComputed := false
+	for i := range b.Txs {
+		tx := &b.Txs[i]
+		if tx.Type != types.TxConfig {
+			continue
+		}
+		configs++
+		if configs > 1 {
+			return errors.New("gpbft: multiple config transactions in one block")
+		}
+		if !expectedComputed {
+			expectedComputed = true
+			if ch := a.eng.expectedChange(); ch != nil {
+				expected = types.EncodeConfigChange(ch)
+			}
+		}
+		if expected == nil {
+			return errors.New("gpbft: unexpected config transaction (no switch due)")
+		}
+		if !bytes.Equal(tx.Payload, expected) {
+			return errors.New("gpbft: config transaction disagrees with local election")
+		}
+	}
+	return a.Application.ValidateBlock(b)
+}

@@ -1,0 +1,202 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"gpbft"
+	"gpbft/internal/core"
+	"gpbft/internal/types"
+)
+
+func fastOpts(nodes int) gpbft.Options {
+	o := gpbft.DefaultOptions(gpbft.GPBFT, nodes)
+	o.Network = gpbft.NetworkProfile{
+		LatencyBase:   time.Millisecond,
+		LatencyJitter: 500 * time.Microsecond,
+		ProcTime:      100 * time.Microsecond,
+		SendTime:      20 * time.Microsecond,
+	}
+	o.ViewChangeTimeout = 500 * time.Millisecond
+	return o
+}
+
+// TestForcedEraSwitchRotates: with ForceEraSwitch the era advances
+// every T even though membership never changes, and the system keeps
+// committing transactions across the switches.
+func TestForcedEraSwitchRotates(t *testing.T) {
+	o := fastOpts(5)
+	o.ForceEraSwitch = true
+	o.EraPeriod = time.Second
+	o.SwitchPeriod = 100 * time.Millisecond
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endorsers must keep reporting to stay authenticated.
+	for i := 0; i < 5; i++ {
+		c.ScheduleReports(i, 50*time.Millisecond, 250*time.Millisecond, 40)
+	}
+	for k := 0; k < 20; k++ {
+		c.SubmitNodeTx(time.Duration(100+k*400)*time.Millisecond, k%5, []byte{byte(k)}, 1)
+	}
+	c.RunUntilIdle(time.Minute)
+
+	chain := c.Node(0).App.Chain()
+	if chain.Era() < 3 {
+		t.Fatalf("era %d after ~8s of 1s forced switches", chain.Era())
+	}
+	if got := c.Metrics().CommittedCount(); got != 20 {
+		t.Fatalf("committed %d of 20 across era switches", got)
+	}
+	if _, err := c.VerifyAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// Committee membership unchanged by empty switches.
+	if len(chain.Endorsers()) != 5 {
+		t.Fatalf("committee size %d", len(chain.Endorsers()))
+	}
+}
+
+// TestRogueConfigTxNeverCommits: a config transaction whose payload
+// disagrees with the deterministic election outcome is filtered by
+// proposers and rejected by validators — it must never reach the chain.
+func TestRogueConfigTxNeverCommits(t *testing.T) {
+	o := fastOpts(5)
+	o.DisableEraSwitch = false
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rogue (but currently valid endorser) proposes adding a node
+	// that never qualified.
+	rogueChange := &types.ConfigChange{
+		NewEra: 1,
+		Add: []types.EndorserInfo{{
+			Address: c.Address(4),
+			PubKey:  c.Node(4).Key.Public(),
+			Geohash: "wecnyhwbp1",
+		}},
+	}
+	tx := &types.Transaction{
+		Type:    types.TxConfig,
+		Nonce:   999,
+		Payload: types.EncodeConfigChange(rogueChange),
+		Geo: types.GeoInfo{
+			Location:  c.Position(0),
+			Timestamp: o.Epoch.Add(time.Second),
+		},
+	}
+	// Signed by endorser 0 — passes the ledger's "config from
+	// endorser" rule; only the election check can stop it.
+	txKey := c.Node(0).Key
+	tx.Sign(txKey)
+	c.SubmitTx(10*time.Millisecond, 0, tx)
+	// Honest traffic continues around it.
+	for k := 0; k < 10; k++ {
+		c.SubmitNodeTx(time.Duration(20+k*100)*time.Millisecond, k%5, []byte{byte(k)}, 1)
+	}
+	c.RunUntilIdle(30 * time.Second)
+
+	chain := c.Node(0).App.Chain()
+	for _, b := range chain.Blocks() {
+		for i := range b.Txs {
+			if b.Txs[i].ID() == tx.ID() {
+				t.Fatal("rogue config transaction was committed")
+			}
+		}
+	}
+	if chain.Era() != 0 {
+		t.Fatalf("era moved to %d on a rogue config", chain.Era())
+	}
+	// The honest stream was unaffected.
+	if got := c.Metrics().CommittedCount(); got < 10 {
+		t.Fatalf("committed %d of 11 (rogue may stay pending)", got)
+	}
+}
+
+// TestCandidateSyncPagination: a candidate elected after the chain has
+// grown past MaxSyncBlocks pulls the chain in multiple sync rounds.
+func TestCandidateSyncPagination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chain sync in -short mode")
+	}
+	o := fastOpts(5)
+	o.GenesisEndorsers = 4
+	o.MaxEndorsers = 8
+	o.BatchSize = 1 // one tx per block -> tall chain
+	o.EraPeriod = 4 * time.Second
+	o.QualificationWindow = 2 * time.Second
+	o.MinReports = 3
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the chain beyond one sync page (MaxSyncBlocks = 256): the
+	// candidate's periodic reports plus a steady data stream, paced so
+	// the pool never saturates (elections need fresh committed reports).
+	for i := 0; i < 5; i++ {
+		c.ScheduleReports(i, 50*time.Millisecond, 200*time.Millisecond, 60)
+	}
+	for k := 0; k < 280; k++ {
+		c.SubmitNodeTx(time.Duration(60+k*40)*time.Millisecond, k%4, []byte{byte(k)}, 1)
+	}
+	c.RunUntilIdle(2 * time.Minute)
+
+	ce := c.CoreEngine(4)
+	if !ce.IsEndorser() {
+		t.Fatalf("candidate not admitted (era=%d, endorser chain h=%d, cand h=%d)",
+			ce.Era(), c.Node(0).App.Chain().Height(), c.Node(4).App.Chain().Height())
+	}
+	endorserH := c.Node(0).App.Chain().Height()
+	if endorserH <= uint64(core.MaxSyncBlocks) {
+		t.Fatalf("chain only %d high; pagination not exercised", endorserH)
+	}
+	if got := c.Node(4).App.Chain().Height(); got < endorserH-5 {
+		t.Fatalf("candidate chain %d far behind endorsers at %d", got, endorserH)
+	}
+	if _, err := c.VerifyAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLossyNetworkStillCommits: 5% message loss; PBFT's quorum slack
+// and view-change fallback keep the system live.
+func TestLossyNetworkStillCommits(t *testing.T) {
+	o := fastOpts(7)
+	o.Network.DropRate = 0.05
+	o.DisableEraSwitch = true
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		c.SubmitNodeTx(time.Duration(10+k*200)*time.Millisecond, k%7, []byte{byte(k)}, 1)
+	}
+	c.RunUntilIdle(2 * time.Minute)
+	if got := c.Metrics().CommittedCount(); got < 8 {
+		t.Fatalf("committed %d of 10 under 5%% loss", got)
+	}
+	if _, err := c.VerifyAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserverRelaysToCommittee: a candidate (observer) node's own
+// submissions reach the committee and commit.
+func TestObserverRelaysToCommittee(t *testing.T) {
+	o := fastOpts(8)
+	o.MaxEndorsers = 4
+	o.DisableEraSwitch = true
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 8; i++ { // observers submit their own txs
+		c.SubmitNodeTx(time.Duration(10+i)*time.Millisecond, i, []byte{byte(i)}, 1)
+	}
+	c.RunUntilIdle(30 * time.Second)
+	if got := c.Metrics().CommittedCount(); got != 4 {
+		t.Fatalf("committed %d of 4 observer txs", got)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"gpbft/internal/codec"
+	"gpbft/internal/consensus"
+	"gpbft/internal/types"
+)
+
+// EraAnnounce notifies a node (typically a freshly elected endorser)
+// that the chain switched to a new era at the given height. The
+// receiver syncs any blocks it is missing and, if it is in the new
+// committee, joins consensus. Sent by old-era endorsers after the
+// switch ("it relaunches the new consensus after the finish of the era
+// switch", Section IV-A2).
+type EraAnnounce struct {
+	NewEra uint64
+	Height uint64 // chain height of the block carrying the config tx
+}
+
+// Kind implements consensus.Payload.
+func (*EraAnnounce) Kind() consensus.MsgKind { return consensus.KindEraSwitch }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *EraAnnounce) MarshalCanonical(w *codec.Writer) {
+	w.Uint8(0) // subtype: announce
+	w.Uint64(m.NewEra)
+	w.Uint64(m.Height)
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *EraAnnounce) UnmarshalCanonical(r *codec.Reader) error {
+	if sub := r.Uint8(); r.Err() == nil && sub != 0 {
+		return consensus.ErrEnvelopeKind
+	}
+	m.NewEra = r.Uint64()
+	m.Height = r.Uint64()
+	return r.Err()
+}
+
+// SyncRequest asks a peer for committed blocks above FromHeight.
+type SyncRequest struct {
+	FromHeight uint64 // first height the requester is missing
+}
+
+// Kind implements consensus.Payload.
+func (*SyncRequest) Kind() consensus.MsgKind { return consensus.KindBlockSync }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *SyncRequest) MarshalCanonical(w *codec.Writer) {
+	w.Uint8(1) // subtype: request
+	w.Uint64(m.FromHeight)
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *SyncRequest) UnmarshalCanonical(r *codec.Reader) error {
+	if sub := r.Uint8(); r.Err() == nil && sub != 1 {
+		return consensus.ErrEnvelopeKind
+	}
+	m.FromHeight = r.Uint64()
+	return r.Err()
+}
+
+// MaxSyncBlocks caps one sync response.
+const MaxSyncBlocks = 256
+
+// SyncResponse returns consecutive committed blocks, each carrying its
+// commit certificate so the receiver can verify them against its known
+// committee before applying.
+type SyncResponse struct {
+	Blocks []types.Block
+}
+
+// Kind implements consensus.Payload.
+func (*SyncResponse) Kind() consensus.MsgKind { return consensus.KindBlockSync }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *SyncResponse) MarshalCanonical(w *codec.Writer) {
+	w.Uint8(2) // subtype: response
+	w.Count(len(m.Blocks))
+	for i := range m.Blocks {
+		m.Blocks[i].MarshalCanonical(w)
+	}
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *SyncResponse) UnmarshalCanonical(r *codec.Reader) error {
+	if sub := r.Uint8(); r.Err() == nil && sub != 2 {
+		return consensus.ErrEnvelopeKind
+	}
+	n := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Blocks = make([]types.Block, n)
+	for i := 0; i < n; i++ {
+		if err := m.Blocks[i].UnmarshalCanonical(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// syncSubtype peeks the subtype byte of a KindBlockSync body.
+func syncSubtype(body []byte) uint8 {
+	if len(body) == 0 {
+		return 0xFF
+	}
+	return body[0]
+}

@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"gpbft"
+	"gpbft/internal/geo"
+)
+
+// witnessOpts configures a 5-node cluster (4 genesis endorsers, node 4
+// a candidate) with witness supervision enabled.
+func witnessOpts() gpbft.Options {
+	o := fastOpts(5)
+	o.GenesisEndorsers = 4
+	o.MaxEndorsers = 10
+	o.EraPeriod = 2 * time.Second
+	o.SwitchPeriod = 100 * time.Millisecond
+	o.QualificationWindow = time.Second
+	o.MinReports = 3
+	o.MinWitnesses = 2
+	o.WitnessRangeMeters = 2000
+	return o
+}
+
+// driveReports keeps all five nodes reporting, and returns the
+// candidate's claimed cell.
+func driveReports(c *gpbft.Cluster) string {
+	for i := 0; i < 5; i++ {
+		c.ScheduleReports(i, 50*time.Millisecond, 300*time.Millisecond, 40)
+	}
+	return geo.MustEncode(c.Position(4), geo.CSCPrecision)
+}
+
+func TestWitnessConfirmationsAdmitCandidate(t *testing.T) {
+	c, err := gpbft.NewCluster(witnessOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := driveReports(c)
+	// Endorsers 0 and 1 periodically confirm the candidate's presence.
+	for k := 0; k < 12; k++ {
+		at := time.Duration(200+k*800) * time.Millisecond
+		c.SubmitWitness(at, 0, c.Address(4), cell, true)
+		c.SubmitWitness(at+50*time.Millisecond, 1, c.Address(4), cell, true)
+	}
+	c.RunUntilIdle(30 * time.Second)
+	if !c.CoreEngine(4).IsEndorser() {
+		t.Fatalf("confirmed candidate not admitted (era=%d)", c.CoreEngine(4).Era())
+	}
+}
+
+func TestWitnessAbsenceBlocksCandidate(t *testing.T) {
+	// Nobody vouches: with MinWitnesses = 2 the candidate must stay out
+	// even though its self-reports are perfect.
+	c, err := gpbft.NewCluster(witnessOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveReports(c)
+	c.RunUntilIdle(30 * time.Second)
+	if c.CoreEngine(4).IsEndorser() {
+		t.Fatal("unwitnessed candidate admitted")
+	}
+	chain := c.Node(0).App.Chain()
+	if chain.IsEndorser(c.Address(4)) {
+		t.Fatal("chain committee includes unwitnessed candidate")
+	}
+}
+
+func TestWitnessDisputeBlocksLiar(t *testing.T) {
+	// The candidate's reports are self-consistent, two endorsers even
+	// confirm — but one credible endorser disputes the claimed cell.
+	// A dispute is disqualifying.
+	c, err := gpbft.NewCluster(witnessOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := driveReports(c)
+	for k := 0; k < 12; k++ {
+		at := time.Duration(200+k*800) * time.Millisecond
+		c.SubmitWitness(at, 0, c.Address(4), cell, true)
+		c.SubmitWitness(at+30*time.Millisecond, 1, c.Address(4), cell, true)
+		c.SubmitWitness(at+60*time.Millisecond, 2, c.Address(4), cell, false) // dispute
+	}
+	c.RunUntilIdle(30 * time.Second)
+	if c.CoreEngine(4).IsEndorser() {
+		t.Fatal("disputed candidate admitted")
+	}
+}
+
+func TestWitnessFromNonEndorserNotCredible(t *testing.T) {
+	// Only committee members are credible witnesses: the candidate
+	// cannot vouch for itself (or have accomplices vouch).
+	c, err := gpbft.NewCluster(witnessOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := driveReports(c)
+	for k := 0; k < 12; k++ {
+		at := time.Duration(200+k*800) * time.Millisecond
+		// The candidate vouches for itself twice per tick — worthless.
+		c.SubmitWitness(at, 4, c.Address(4), cell, true)
+		c.SubmitWitness(at+40*time.Millisecond, 4, c.Address(4), cell, true)
+	}
+	c.RunUntilIdle(30 * time.Second)
+	if c.CoreEngine(4).IsEndorser() {
+		t.Fatal("self-witnessed candidate admitted")
+	}
+}
+
+func TestWitnessRangeLimitsCredibility(t *testing.T) {
+	// With a tiny witness range, even honest endorser confirmations are
+	// not credible (they are too far from the claimed cell), so the
+	// candidate stays out.
+	o := witnessOpts()
+	o.WitnessRangeMeters = 1 // nobody is within a metre
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := driveReports(c)
+	for k := 0; k < 12; k++ {
+		at := time.Duration(200+k*800) * time.Millisecond
+		c.SubmitWitness(at, 0, c.Address(4), cell, true)
+		c.SubmitWitness(at+50*time.Millisecond, 1, c.Address(4), cell, true)
+	}
+	c.RunUntilIdle(30 * time.Second)
+	if c.CoreEngine(4).IsEndorser() {
+		t.Fatal("out-of-range witnesses were counted")
+	}
+}

@@ -1,0 +1,62 @@
+package gcrypto
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSign(b *testing.B) {
+	kp := DeterministicKeyPair(1)
+	msg := []byte("pre-prepare era=1 view=0 seq=42")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = kp.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	kp := DeterministicKeyPair(1)
+	msg := []byte("pre-prepare era=1 view=0 seq=42")
+	sig := kp.Sign(msg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(kp.Public(), kp.Address(), msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerkleBuild(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("leaves-%d", n), func(b *testing.B) {
+			leaves := make([][]byte, n)
+			for i := range leaves {
+				leaves[i] = []byte(fmt.Sprintf("tx-%d-payload-material", i))
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewMerkleTree(leaves); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMerkleProveVerify(b *testing.B) {
+	leaves := make([][]byte, 128)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("tx-%d", i))
+	}
+	tr, _ := NewMerkleTree(leaves)
+	root := tr.Root()
+	for i := 0; i < b.N; i++ {
+		p, err := tr.Prove(i % 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !VerifyProof(root, leaves[i%128], p) {
+			b.Fatal("proof rejected")
+		}
+	}
+}

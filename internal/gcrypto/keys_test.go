@@ -1,0 +1,127 @@
+package gcrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestGenerateKeyPairSignVerify(t *testing.T) {
+	kp, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("pre-prepare v=0 n=1")
+	sig := kp.Sign(msg)
+	if err := Verify(kp.Public(), kp.Address(), msg, sig); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	kp := DeterministicKeyPair(1)
+	sig := kp.Sign([]byte("original"))
+	if err := Verify(kp.Public(), kp.Address(), []byte("tampered"), sig); err != ErrBadSignature {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongAddress(t *testing.T) {
+	kp := DeterministicKeyPair(1)
+	other := DeterministicKeyPair(2)
+	msg := []byte("msg")
+	sig := kp.Sign(msg)
+	if err := Verify(kp.Public(), other.Address(), msg, sig); err == nil {
+		t.Fatal("verification must fail when the key does not match the claimed address")
+	}
+}
+
+func TestVerifyRejectsBadPublicKey(t *testing.T) {
+	kp := DeterministicKeyPair(1)
+	msg := []byte("msg")
+	sig := kp.Sign(msg)
+	if err := Verify([]byte{1, 2, 3}, kp.Address(), msg, sig); err != ErrBadPublicKey {
+		t.Fatalf("want ErrBadPublicKey, got %v", err)
+	}
+}
+
+func TestDeterministicKeyPairStable(t *testing.T) {
+	a := DeterministicKeyPair(7)
+	b := DeterministicKeyPair(7)
+	c := DeterministicKeyPair(8)
+	if a.Address() != b.Address() {
+		t.Fatal("same index must derive the same identity")
+	}
+	if a.Address() == c.Address() {
+		t.Fatal("different indices must derive different identities")
+	}
+	if !bytes.Equal(a.Public(), b.Public()) {
+		t.Fatal("public keys must match for same index")
+	}
+}
+
+func TestKeyPairFromSeedSize(t *testing.T) {
+	if _, err := KeyPairFromSeed([]byte("short")); err == nil {
+		t.Fatal("short seed must be rejected")
+	}
+}
+
+func TestAddressStringParseRoundTrip(t *testing.T) {
+	a := DeterministicKeyPair(3).Address()
+	parsed, err := ParseAddress(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != a {
+		t.Fatalf("round trip mismatch: %v vs %v", parsed, a)
+	}
+}
+
+func TestParseAddressErrors(t *testing.T) {
+	for _, bad := range []string{"", "zz", "abcd", "0123456789012345678901234567890123456789ff"} {
+		if _, err := ParseAddress(bad); err != ErrBadAddressHex {
+			t.Errorf("ParseAddress(%q) err=%v, want ErrBadAddressHex", bad, err)
+		}
+	}
+}
+
+func TestAddressHelpers(t *testing.T) {
+	var zero Address
+	if !zero.IsZero() {
+		t.Error("zero address should report IsZero")
+	}
+	a := DeterministicKeyPair(1).Address()
+	if a.IsZero() {
+		t.Error("real address should not be zero")
+	}
+	if len(a.Short()) != 8 {
+		t.Errorf("Short() = %q, want 8 hex chars", a.Short())
+	}
+	if len(a.Bytes()) != AddressSize {
+		t.Errorf("Bytes() length %d", len(a.Bytes()))
+	}
+	b := DeterministicKeyPair(2).Address()
+	if a.Less(b) == b.Less(a) {
+		t.Error("Less must order distinct addresses")
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	h := HashBytes([]byte("block"))
+	if h.IsZero() {
+		t.Error("hash of data should not be zero")
+	}
+	if h != HashConcat([]byte("bl"), []byte("ock")) {
+		t.Error("HashConcat must equal HashBytes of the concatenation")
+	}
+	if len(h.String()) != 64 || len(h.Short()) != 8 {
+		t.Error("hex renderings have wrong length")
+	}
+	if !bytes.Equal(h.Bytes(), h[:]) {
+		t.Error("Bytes must copy the digest")
+	}
+	var zero Hash
+	if !zero.IsZero() {
+		t.Error("zero hash should report IsZero")
+	}
+}

@@ -1,0 +1,120 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CSC is a Crypto-Spatial Coordinate (paper Section III-B3): the
+// combination of a location (geohash) and a chain address. "A shorter
+// CSC address represents a larger area. A longer CSC address represents
+// a more specific location."
+//
+// Address is the hex-encoded chain address of the device's account (in
+// the paper, a smart-contract address); Geohash is the device location
+// at CSCPrecision.
+type CSC struct {
+	Geohash string
+	Address string
+}
+
+// Errors returned by CSC construction and parsing.
+var (
+	ErrCSCGeohash = errors.New("geo: CSC has invalid geohash")
+	ErrCSCAddress = errors.New("geo: CSC has empty address")
+	ErrCSCFormat  = errors.New("geo: malformed CSC string")
+)
+
+// NewCSC builds a CSC from a point and a chain address, encoding the
+// point at CSCPrecision.
+func NewCSC(p Point, address string) (CSC, error) {
+	if address == "" {
+		return CSC{}, ErrCSCAddress
+	}
+	h, err := Encode(p, CSCPrecision)
+	if err != nil {
+		return CSC{}, err
+	}
+	return CSC{Geohash: h, Address: address}, nil
+}
+
+// Validate checks both components.
+func (c CSC) Validate() error {
+	if !Valid(c.Geohash) {
+		return ErrCSCGeohash
+	}
+	if c.Address == "" {
+		return ErrCSCAddress
+	}
+	return nil
+}
+
+// String renders the CSC as "geohash@address".
+func (c CSC) String() string {
+	return c.Geohash + "@" + c.Address
+}
+
+// ParseCSC parses the "geohash@address" form produced by String.
+func ParseCSC(s string) (CSC, error) {
+	i := strings.IndexByte(s, '@')
+	if i <= 0 || i == len(s)-1 {
+		return CSC{}, ErrCSCFormat
+	}
+	c := CSC{Geohash: s[:i], Address: s[i+1:]}
+	if err := c.Validate(); err != nil {
+		return CSC{}, err
+	}
+	return c, nil
+}
+
+// SameCell reports whether two CSCs denote the same geohash cell,
+// regardless of owner. The Sybil guard uses this: "different nodes
+// cannot report the same geographic information at the same time"
+// (paper Section IV-A1).
+func (c CSC) SameCell(o CSC) bool {
+	return c.Geohash == o.Geohash
+}
+
+// WithinPrefix reports whether the CSC's cell lies inside the (coarser)
+// cell denoted by prefix — the hierarchical containment property of the
+// CSC standard.
+func (c CSC) WithinPrefix(prefix string) bool {
+	return strings.HasPrefix(c.Geohash, prefix)
+}
+
+// Point returns the centre of the CSC's geohash cell.
+func (c CSC) Point() (Point, error) {
+	return Decode(c.Geohash)
+}
+
+// Report is a single piece of geographic information as defined in
+// paper Section II-C: <longitude, latitude, timestamp>, extended with
+// the reporting device's address so it can be chained into the election
+// table. Reports are what transactions carry "at the end of the
+// transaction body" (Section III-B2).
+type Report struct {
+	Location  Point
+	Timestamp time.Time
+	Address   string
+}
+
+// CSC derives the Crypto-Spatial Coordinate of the report.
+func (r Report) CSC() (CSC, error) {
+	return NewCSC(r.Location, r.Address)
+}
+
+// Validate checks the report's coordinates and fields.
+func (r Report) Validate() error {
+	if err := r.Location.Validate(); err != nil {
+		return err
+	}
+	if r.Address == "" {
+		return ErrCSCAddress
+	}
+	if r.Timestamp.IsZero() {
+		return fmt.Errorf("geo: report has zero timestamp")
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package geo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewCSC(t *testing.T) {
+	c, err := NewCSC(Point{Lng: 114.1795, Lat: 22.3050}, "ab12cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Geohash) != CSCPrecision {
+		t.Fatalf("geohash length %d, want %d", len(c.Geohash), CSCPrecision)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCSCErrors(t *testing.T) {
+	if _, err := NewCSC(Point{Lng: 114, Lat: 22}, ""); err != ErrCSCAddress {
+		t.Errorf("want address error, got %v", err)
+	}
+	if _, err := NewCSC(Point{Lat: 91}, "addr"); err != ErrLatitudeRange {
+		t.Errorf("want latitude error, got %v", err)
+	}
+}
+
+func TestCSCStringParseRoundTrip(t *testing.T) {
+	c, err := NewCSC(Point{Lng: 114.1795, Lat: 22.3050}, "deadbeef01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseCSC(c.String())
+	if err != nil {
+		t.Fatalf("ParseCSC(%q): %v", c.String(), err)
+	}
+	if parsed != c {
+		t.Fatalf("round trip mismatch: %v vs %v", parsed, c)
+	}
+}
+
+func TestParseCSCErrors(t *testing.T) {
+	for _, bad := range []string{"", "nohash", "@addr", "hash@", "ALL@addr"} {
+		if _, err := ParseCSC(bad); err == nil {
+			t.Errorf("ParseCSC(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCSCSameCell(t *testing.T) {
+	p := Point{Lng: 114.1795, Lat: 22.3050}
+	a, _ := NewCSC(p, "alice")
+	b, _ := NewCSC(p, "bob")
+	far, _ := NewCSC(Point{Lng: 113.9, Lat: 22.2}, "carol")
+	if !a.SameCell(b) {
+		t.Error("same point must be same cell regardless of owner")
+	}
+	if a.SameCell(far) {
+		t.Error("distant points must not share a cell")
+	}
+}
+
+func TestCSCWithinPrefix(t *testing.T) {
+	c, _ := NewCSC(Point{Lng: 114.1795, Lat: 22.3050}, "a")
+	if !c.WithinPrefix(c.Geohash[:4]) {
+		t.Error("CSC must be within its own prefix")
+	}
+	if c.WithinPrefix("zzzz") {
+		t.Error("CSC must not match unrelated prefix")
+	}
+}
+
+func TestCSCPoint(t *testing.T) {
+	orig := Point{Lng: 114.1795, Lat: 22.3050}
+	c, _ := NewCSC(orig, "a")
+	got, err := c.Point()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.DistanceMeters(got) > 2.0 {
+		t.Fatalf("CSC centre %v is %v m from original", got, orig.DistanceMeters(got))
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	good := Report{
+		Location:  Point{Lng: 114.1795, Lat: 22.3050},
+		Timestamp: time.Date(2019, 8, 5, 18, 0, 0, 0, time.UTC),
+		Address:   "addr1",
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Address = ""
+	if bad.Validate() == nil {
+		t.Error("empty address should fail")
+	}
+	bad = good
+	bad.Timestamp = time.Time{}
+	if bad.Validate() == nil {
+		t.Error("zero timestamp should fail")
+	}
+	bad = good
+	bad.Location.Lat = 100
+	if bad.Validate() == nil {
+		t.Error("bad latitude should fail")
+	}
+}
+
+func TestReportCSC(t *testing.T) {
+	r := Report{
+		Location:  Point{Lng: 114.1795, Lat: 22.3050},
+		Timestamp: time.Now(),
+		Address:   "addr1",
+	}
+	c, err := r.CSC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Address != "addr1" {
+		t.Fatalf("CSC address %q", c.Address)
+	}
+}

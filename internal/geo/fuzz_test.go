@@ -1,0 +1,58 @@
+package geo
+
+import "testing"
+
+// FuzzDecodeGeohash: arbitrary strings must never panic the decoder,
+// and valid hashes must round-trip through their cell centre.
+func FuzzDecodeGeohash(f *testing.F) {
+	f.Add("ezs42")
+	f.Add("wecnyhwbp1")
+	f.Add("")
+	f.Add("ALL-CAPS!")
+	f.Fuzz(func(t *testing.T, s string) {
+		box, err := DecodeBox(s)
+		if err != nil {
+			if Valid(s) {
+				t.Fatalf("Valid(%q) but DecodeBox failed: %v", s, err)
+			}
+			return
+		}
+		if !Valid(s) {
+			t.Fatalf("DecodeBox(%q) ok but Valid is false", s)
+		}
+		c := box.Center()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("centre of %q invalid: %v", s, err)
+		}
+		// Re-encoding the centre at the same precision reproduces the hash.
+		h2, err := Encode(c, len(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h2 != s {
+			t.Fatalf("roundtrip %q -> %q", s, h2)
+		}
+	})
+}
+
+// FuzzEncode: any clamped coordinate pair must encode then decode into
+// a containing cell.
+func FuzzEncode(f *testing.F) {
+	f.Add(114.1795, 22.3050)
+	f.Add(0.0, 0.0)
+	f.Add(-180.0, -90.0)
+	f.Fuzz(func(t *testing.T, lng, lat float64) {
+		p := Point{Lng: clampLng(lng), Lat: clampLat(lat)}
+		h, err := Encode(p, CSCPrecision)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", p, err)
+		}
+		box, err := DecodeBox(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !box.Contains(p) {
+			t.Fatalf("box of %q does not contain %v", h, p)
+		}
+	})
+}

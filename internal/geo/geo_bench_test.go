@@ -1,0 +1,40 @@
+package geo
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	p := Point{Lng: 114.1795, Lat: 22.3050}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(p, CSCPrecision); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	h := MustEncode(Point{Lng: 114.1795, Lat: 22.3050}, CSCPrecision)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	h := MustEncode(Point{Lng: 114.1795, Lat: 22.3050}, CSCPrecision)
+	for i := 0; i < b.N; i++ {
+		if _, err := Neighbors(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	p := Point{Lng: 114.1795, Lat: 22.3050}
+	q := Point{Lng: 114.2638, Lat: 22.3363}
+	for i := 0; i < b.N; i++ {
+		_ = p.DistanceMeters(q)
+	}
+}

@@ -1,0 +1,284 @@
+package geo
+
+import (
+	"errors"
+	"strings"
+)
+
+// The standard geohash base-32 alphabet (no a, i, l, o).
+const geohashAlphabet = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+// MaxGeohashPrecision is the longest geohash this codec emits. Twelve
+// characters resolve to roughly 3.7 cm x 1.9 cm, far below the paper's
+// "about one square metre" CSC resolution.
+const MaxGeohashPrecision = 12
+
+// CSCPrecision is the geohash length used for Crypto-Spatial
+// Coordinates. Ten characters give a cell of about 1.2 m x 0.6 m,
+// matching the paper's one-square-metre claim.
+const CSCPrecision = 10
+
+var geohashDecodeTable = func() [256]int8 {
+	var t [256]int8
+	for i := range t {
+		t[i] = -1
+	}
+	for i := 0; i < len(geohashAlphabet); i++ {
+		t[geohashAlphabet[i]] = int8(i)
+	}
+	return t
+}()
+
+// Errors returned by the geohash codec.
+var (
+	ErrGeohashEmpty     = errors.New("geo: empty geohash")
+	ErrGeohashTooLong   = errors.New("geo: geohash longer than max precision")
+	ErrGeohashAlphabet  = errors.New("geo: invalid geohash character")
+	ErrGeohashPrecision = errors.New("geo: precision out of range [1, 12]")
+)
+
+// Encode returns the geohash of p at the given precision (number of
+// base-32 characters).
+func Encode(p Point, precision int) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	if precision < 1 || precision > MaxGeohashPrecision {
+		return "", ErrGeohashPrecision
+	}
+	var (
+		sb         strings.Builder
+		minLat     = -90.0
+		maxLat     = 90.0
+		minLng     = -180.0
+		maxLng     = 180.0
+		evenBit    = true
+		currentBit = 0
+		ch         = 0
+	)
+	sb.Grow(precision)
+	for sb.Len() < precision {
+		if evenBit {
+			mid := (minLng + maxLng) / 2
+			if p.Lng >= mid {
+				ch = ch<<1 | 1
+				minLng = mid
+			} else {
+				ch <<= 1
+				maxLng = mid
+			}
+		} else {
+			mid := (minLat + maxLat) / 2
+			if p.Lat >= mid {
+				ch = ch<<1 | 1
+				minLat = mid
+			} else {
+				ch <<= 1
+				maxLat = mid
+			}
+		}
+		evenBit = !evenBit
+		currentBit++
+		if currentBit == 5 {
+			sb.WriteByte(geohashAlphabet[ch])
+			currentBit = 0
+			ch = 0
+		}
+	}
+	return sb.String(), nil
+}
+
+// MustEncode is Encode for callers with known-valid input; it panics on
+// error and is intended for tests and constants.
+func MustEncode(p Point, precision int) string {
+	s, err := Encode(p, precision)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Box is the bounding rectangle a geohash denotes.
+type Box struct {
+	MinLng, MinLat float64
+	MaxLng, MaxLat float64
+}
+
+// Center returns the centre point of the box, which is the canonical
+// decoded location of a geohash.
+func (b Box) Center() Point {
+	return Point{Lng: (b.MinLng + b.MaxLng) / 2, Lat: (b.MinLat + b.MaxLat) / 2}
+}
+
+// Contains reports whether the box contains p (inclusive bounds).
+func (b Box) Contains(p Point) bool {
+	return p.Lng >= b.MinLng && p.Lng <= b.MaxLng &&
+		p.Lat >= b.MinLat && p.Lat <= b.MaxLat
+}
+
+// DecodeBox returns the bounding box of a geohash.
+func DecodeBox(hash string) (Box, error) {
+	if len(hash) == 0 {
+		return Box{}, ErrGeohashEmpty
+	}
+	if len(hash) > MaxGeohashPrecision {
+		return Box{}, ErrGeohashTooLong
+	}
+	box := Box{MinLng: -180, MaxLng: 180, MinLat: -90, MaxLat: 90}
+	evenBit := true
+	for i := 0; i < len(hash); i++ {
+		v := geohashDecodeTable[hash[i]]
+		if v < 0 {
+			return Box{}, ErrGeohashAlphabet
+		}
+		for bit := 4; bit >= 0; bit-- {
+			set := (v>>uint(bit))&1 == 1
+			if evenBit {
+				mid := (box.MinLng + box.MaxLng) / 2
+				if set {
+					box.MinLng = mid
+				} else {
+					box.MaxLng = mid
+				}
+			} else {
+				mid := (box.MinLat + box.MaxLat) / 2
+				if set {
+					box.MinLat = mid
+				} else {
+					box.MaxLat = mid
+				}
+			}
+			evenBit = !evenBit
+		}
+	}
+	return box, nil
+}
+
+// Decode returns the centre point of the geohash cell.
+func Decode(hash string) (Point, error) {
+	box, err := DecodeBox(hash)
+	if err != nil {
+		return Point{}, err
+	}
+	return box.Center(), nil
+}
+
+// Valid reports whether hash is a well-formed geohash.
+func Valid(hash string) bool {
+	if len(hash) == 0 || len(hash) > MaxGeohashPrecision {
+		return false
+	}
+	for i := 0; i < len(hash); i++ {
+		if geohashDecodeTable[hash[i]] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Direction identifies one of the four lateral neighbours of a cell.
+type Direction int
+
+// The four lateral directions.
+const (
+	North Direction = iota
+	South
+	East
+	West
+)
+
+// Neighbor returns the geohash of the adjacent cell in the given
+// direction, at the same precision. It decodes to the cell centre,
+// steps one cell width/height, and re-encodes; stepping across the
+// antimeridian wraps, stepping over a pole returns the input unchanged.
+func Neighbor(hash string, dir Direction) (string, error) {
+	box, err := DecodeBox(hash)
+	if err != nil {
+		return "", err
+	}
+	c := box.Center()
+	dLng := box.MaxLng - box.MinLng
+	dLat := box.MaxLat - box.MinLat
+	switch dir {
+	case North:
+		c.Lat += dLat
+	case South:
+		c.Lat -= dLat
+	case East:
+		c.Lng += dLng
+	case West:
+		c.Lng -= dLng
+	}
+	if c.Lat > 90 || c.Lat < -90 {
+		return hash, nil // pole: no neighbour, return self
+	}
+	if c.Lng > 180 {
+		c.Lng -= 360
+	} else if c.Lng < -180 {
+		c.Lng += 360
+	}
+	return Encode(c, len(hash))
+}
+
+// Neighbors returns the geohashes of the (up to) eight surrounding
+// cells, useful for proximity witness checks in the Sybil guard.
+func Neighbors(hash string) ([]string, error) {
+	n, err := Neighbor(hash, North)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Neighbor(hash, South)
+	if err != nil {
+		return nil, err
+	}
+	e, err := Neighbor(hash, East)
+	if err != nil {
+		return nil, err
+	}
+	w, err := Neighbor(hash, West)
+	if err != nil {
+		return nil, err
+	}
+	ne, err := Neighbor(n, East)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := Neighbor(n, West)
+	if err != nil {
+		return nil, err
+	}
+	se, err := Neighbor(s, East)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := Neighbor(s, West)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, 8)
+	seen := map[string]bool{hash: true}
+	for _, h := range []string{n, ne, e, se, s, sw, w, nw} {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// CellSizeMeters returns the approximate width and height in metres of
+// a geohash cell at the given precision, measured at the equator.
+func CellSizeMeters(precision int) (width, height float64, err error) {
+	if precision < 1 || precision > MaxGeohashPrecision {
+		return 0, 0, ErrGeohashPrecision
+	}
+	bits := 5 * precision
+	lngBits := (bits + 1) / 2
+	latBits := bits / 2
+	widthDeg := 360.0 / float64(int64(1)<<uint(lngBits))
+	heightDeg := 180.0 / float64(int64(1)<<uint(latBits))
+	origin := Point{}
+	return origin.DistanceMeters(Point{Lng: widthDeg}),
+		origin.DistanceMeters(Point{Lat: heightDeg}),
+		nil
+}

@@ -1,0 +1,242 @@
+package geo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Known geohash vectors (checked against the reference implementation).
+var geohashVectors = []struct {
+	lng, lat  float64
+	precision int
+	hash      string
+}{
+	{-5.6, 42.6, 5, "ezs42"},
+	{-0.1262, 51.5001, 9, "gcpuvpk1g"},
+	{114.1795, 22.3050, 6, "wecnyh"},
+	{0, 0, 1, "s"},
+	{-180, -90, 12, "000000000000"},
+}
+
+func TestEncodeKnownVectors(t *testing.T) {
+	for _, v := range geohashVectors {
+		got, err := Encode(Point{Lng: v.lng, Lat: v.lat}, v.precision)
+		if err != nil {
+			t.Fatalf("Encode(%v,%v): %v", v.lng, v.lat, err)
+		}
+		if got != v.hash {
+			t.Errorf("Encode(%v,%v,%d) = %q, want %q", v.lng, v.lat, v.precision, got, v.hash)
+		}
+	}
+}
+
+func TestDecodeContainsOriginal(t *testing.T) {
+	for _, v := range geohashVectors {
+		box, err := DecodeBox(v.hash)
+		if err != nil {
+			t.Fatalf("DecodeBox(%q): %v", v.hash, err)
+		}
+		if !box.Contains(Point{Lng: v.lng, Lat: v.lat}) {
+			t.Errorf("box of %q does not contain original point", v.hash)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(Point{Lat: 91}, 6); err != ErrLatitudeRange {
+		t.Errorf("want latitude error, got %v", err)
+	}
+	if _, err := Encode(Point{}, 0); err != ErrGeohashPrecision {
+		t.Errorf("want precision error, got %v", err)
+	}
+	if _, err := Encode(Point{}, 13); err != ErrGeohashPrecision {
+		t.Errorf("want precision error, got %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeBox(""); err != ErrGeohashEmpty {
+		t.Errorf("want empty error, got %v", err)
+	}
+	if _, err := DecodeBox(strings.Repeat("s", 13)); err != ErrGeohashTooLong {
+		t.Errorf("want too-long error, got %v", err)
+	}
+	if _, err := DecodeBox("abc"); err != ErrGeohashAlphabet { // 'a' is not in the alphabet
+		t.Errorf("want alphabet error, got %v", err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid("wecnv3") {
+		t.Error("wecnv3 should be valid")
+	}
+	for _, bad := range []string{"", "a", "ALL-CAPS", strings.Repeat("0", 13)} {
+		if Valid(bad) {
+			t.Errorf("%q should be invalid", bad)
+		}
+	}
+}
+
+// Property: encode -> decode lands inside the original cell, and
+// re-encoding the decoded centre reproduces the hash exactly.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(rlng, rlat float64, p uint8) bool {
+		precision := int(p%MaxGeohashPrecision) + 1
+		pt := Point{Lng: clampLng(rlng), Lat: clampLat(rlat)}
+		h, err := Encode(pt, precision)
+		if err != nil {
+			return false
+		}
+		center, err := Decode(h)
+		if err != nil {
+			return false
+		}
+		h2, err := Encode(center, precision)
+		if err != nil {
+			return false
+		}
+		box, err := DecodeBox(h)
+		if err != nil {
+			return false
+		}
+		return h == h2 && box.Contains(pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: longer prefixes refine, i.e. the box at precision k+1 is
+// contained in the box at precision k (the CSC hierarchy property).
+func TestGeohashHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		pt := Point{Lng: rng.Float64()*360 - 180, Lat: rng.Float64()*180 - 90}
+		full := MustEncode(pt, MaxGeohashPrecision)
+		prev, err := DecodeBox(full[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= MaxGeohashPrecision; k++ {
+			cur, err := DecodeBox(full[:k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.MinLng < prev.MinLng || cur.MaxLng > prev.MaxLng ||
+				cur.MinLat < prev.MinLat || cur.MaxLat > prev.MaxLat {
+				t.Fatalf("precision %d box not nested in %d box", k, k-1)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestNeighborAdjacency(t *testing.T) {
+	h := MustEncode(Point{Lng: 114.1795, Lat: 22.3050}, 7)
+	for _, dir := range []Direction{North, South, East, West} {
+		nb, err := Neighbor(h, dir)
+		if err != nil {
+			t.Fatalf("Neighbor(%v): %v", dir, err)
+		}
+		if nb == h {
+			t.Fatalf("neighbour in dir %v equals origin", dir)
+		}
+		// Centres of adjacent cells are one cell apart.
+		a, _ := Decode(h)
+		b, _ := Decode(nb)
+		w, ht, _ := CellSizeMeters(7)
+		d := a.DistanceMeters(b)
+		if d > 2*(w+ht) {
+			t.Fatalf("dir %v: neighbour %v m away, cell is %vx%v m", dir, d, w, ht)
+		}
+	}
+}
+
+func TestNeighborInverse(t *testing.T) {
+	h := MustEncode(Point{Lng: 114.1795, Lat: 22.3050}, 8)
+	n, err := Neighbor(h, North)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Neighbor(n, South)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("north then south: got %q want %q", back, h)
+	}
+}
+
+func TestNeighborPoleClamped(t *testing.T) {
+	h := MustEncode(Point{Lng: 0, Lat: 89.999999}, 4)
+	n, err := Neighbor(h, North)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != h {
+		t.Fatalf("north of the pole cell should return itself, got %q", n)
+	}
+}
+
+func TestNeighborAntimeridianWraps(t *testing.T) {
+	h := MustEncode(Point{Lng: 179.99, Lat: 0}, 3)
+	e, err := Neighbor(h, East)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := Decode(e)
+	if pt.Lng > -170 && pt.Lng < 170 {
+		t.Fatalf("east across antimeridian should wrap, centre at %v", pt)
+	}
+}
+
+func TestNeighborsCount(t *testing.T) {
+	h := MustEncode(Point{Lng: 114.1795, Lat: 22.3050}, 7)
+	ns, err := Neighbors(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 8 {
+		t.Fatalf("expected 8 distinct neighbours mid-map, got %d: %v", len(ns), ns)
+	}
+	seen := map[string]bool{}
+	for _, n := range ns {
+		if n == h {
+			t.Error("neighbours must not include origin")
+		}
+		if seen[n] {
+			t.Errorf("duplicate neighbour %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCellSizeMonotone(t *testing.T) {
+	prevW, prevH := 1e18, 1e18
+	for p := 1; p <= MaxGeohashPrecision; p++ {
+		w, h, err := CellSizeMeters(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w >= prevW || h > prevH {
+			t.Fatalf("cell size must shrink with precision: p=%d w=%v h=%v", p, w, h)
+		}
+		prevW, prevH = w, h
+	}
+	if _, _, err := CellSizeMeters(0); err != ErrGeohashPrecision {
+		t.Errorf("want precision error, got %v", err)
+	}
+}
+
+func TestCSCPrecisionIsAboutOneMeter(t *testing.T) {
+	w, h, err := CellSizeMeters(CSCPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "The resolution of CSC is about one square meter".
+	if w*h > 2.0 || w*h < 0.1 {
+		t.Fatalf("CSC cell is %.2f x %.2f m = %.2f m^2, want about one", w, h, w*h)
+	}
+}

@@ -1,0 +1,138 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPointValid(t *testing.T) {
+	p, err := NewPoint(114.17, 22.30) // Hong Kong, the paper's home turf
+	if err != nil {
+		t.Fatalf("NewPoint: %v", err)
+	}
+	if p.Lng != 114.17 || p.Lat != 22.30 {
+		t.Fatalf("point mangled: %v", p)
+	}
+}
+
+func TestNewPointInvalid(t *testing.T) {
+	cases := []struct {
+		lng, lat float64
+		want     error
+	}{
+		{0, 91, ErrLatitudeRange},
+		{0, -91, ErrLatitudeRange},
+		{181, 0, ErrLongitudeRange},
+		{-181, 0, ErrLongitudeRange},
+		{math.NaN(), 0, ErrLongitudeRange},
+		{0, math.NaN(), ErrLatitudeRange},
+	}
+	for _, c := range cases {
+		if _, err := NewPoint(c.lng, c.lat); err != c.want {
+			t.Errorf("NewPoint(%v,%v) err=%v want %v", c.lng, c.lat, err, c.want)
+		}
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	a := Point{Lng: 1.5, Lat: 2.5}
+	if !a.Equal(a) {
+		t.Error("point not equal to itself")
+	}
+	if a.Equal(Point{Lng: 1.5, Lat: 2.5000001}) {
+		t.Error("strict equality must not tolerate epsilon differences")
+	}
+}
+
+func TestDistanceMetersKnown(t *testing.T) {
+	// Hong Kong PolyU to HKUST is roughly 7.7 km.
+	polyU := Point{Lng: 114.1795, Lat: 22.3050}
+	hkust := Point{Lng: 114.2638, Lat: 22.3363}
+	d := polyU.DistanceMeters(hkust)
+	if d < 7000 || d > 10000 {
+		t.Fatalf("PolyU-HKUST distance %v m, want ~8.7 km", d)
+	}
+	if polyU.DistanceMeters(polyU) != 0 {
+		t.Fatal("distance to self must be zero")
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lng1, lat1, lng2, lat2 float64) bool {
+		a := Point{Lng: clampLng(lng1), Lat: clampLat(lat1)}
+		b := Point{Lng: clampLng(lng2), Lat: clampLat(lat2)}
+		d1, d2 := a.DistanceMeters(b), b.DistanceMeters(a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampLng(v float64) float64 { return clamp(v, -180, 180) }
+func clampLat(v float64) float64 { return clamp(v, -90, 90) }
+
+func clamp(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	// Fold arbitrary floats into [lo, hi] deterministically.
+	r := math.Mod(v, hi-lo)
+	if r < 0 {
+		r += hi - lo
+	}
+	return lo + r
+}
+
+func TestRegionContains(t *testing.T) {
+	r := NewRegion(Point{Lng: 114.0, Lat: 22.0}, Point{Lng: 114.5, Lat: 22.5})
+	if !r.Contains(Point{Lng: 114.25, Lat: 22.25}) {
+		t.Error("centre point should be inside")
+	}
+	if !r.Contains(Point{Lng: 114.0, Lat: 22.0}) {
+		t.Error("boundary should be inclusive")
+	}
+	if r.Contains(Point{Lng: 113.9, Lat: 22.25}) {
+		t.Error("west of region should be outside")
+	}
+	if r.Contains(Point{Lng: 114.25, Lat: 22.6}) {
+		t.Error("north of region should be outside")
+	}
+}
+
+func TestNewRegionNormalizesCorners(t *testing.T) {
+	a := NewRegion(Point{Lng: 114.5, Lat: 22.5}, Point{Lng: 114.0, Lat: 22.0})
+	b := NewRegion(Point{Lng: 114.0, Lat: 22.0}, Point{Lng: 114.5, Lat: 22.5})
+	if a != b {
+		t.Fatalf("corner order must not matter: %+v vs %+v", a, b)
+	}
+}
+
+func TestRegionDimensions(t *testing.T) {
+	r := NewRegion(Point{Lng: 114.0, Lat: 22.0}, Point{Lng: 114.1, Lat: 22.1})
+	w, h := r.WidthMeters(), r.HeightMeters()
+	// 0.1 degree is ~11.1 km of latitude; longitude shrinks by cos(lat).
+	if h < 10500 || h > 11700 {
+		t.Errorf("height %v m, want ~11.1 km", h)
+	}
+	if w < 9500 || w > 10800 {
+		t.Errorf("width %v m, want ~10.3 km at lat 22", w)
+	}
+}
+
+func TestRegionIsZero(t *testing.T) {
+	if !(Region{}).IsZero() {
+		t.Error("zero region should report IsZero")
+	}
+	if NewRegion(Point{Lng: 1}, Point{Lng: 2}).IsZero() {
+		t.Error("non-zero region should not report IsZero")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	got := Point{Lng: 114.17, Lat: 22.3}.String()
+	if got != "(114.170000, 22.300000)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"gpbft"
+)
+
+func TestMeasureThroughput(t *testing.T) {
+	c := tinyConfig()
+	p, err := c.MeasureThroughput(gpbft.PBFT, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.MeasureThroughput(gpbft.GPBFT, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || g <= 0 {
+		t.Fatalf("throughput must be positive: pbft=%v gpbft=%v", p, g)
+	}
+	// With committee 6 vs 10 full members, G-PBFT should not be slower.
+	if g < p*0.8 {
+		t.Fatalf("G-PBFT TPS %.0f unexpectedly below PBFT %.0f", g, p)
+	}
+}
+
+func TestThroughputTable(t *testing.T) {
+	c := tinyConfig()
+	c.Sizes = []int{8}
+	var sb strings.Builder
+	tb, err := c.Throughput(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	if !strings.Contains(sb.String(), "TPS") {
+		t.Fatal("table missing title")
+	}
+}

@@ -1,0 +1,384 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// Errors returned by chain operations.
+var (
+	ErrBadGenesis     = errors.New("ledger: invalid genesis")
+	ErrHeightGap      = errors.New("ledger: block height is not head+1")
+	ErrPrevHash       = errors.New("ledger: block prev hash does not match head")
+	ErrForkDetected   = errors.New("ledger: conflicting block at committed height")
+	ErrDuplicateBlock = errors.New("ledger: block already committed")
+	ErrTxInvalid      = errors.New("ledger: block contains invalid transaction")
+	ErrConfigSender   = errors.New("ledger: config transaction from non-endorser")
+	ErrUnknownHeight  = errors.New("ledger: no block at height")
+	ErrEraRegressed   = errors.New("ledger: block era lower than head era")
+)
+
+// ForkEvidence records an attempted fork: a second, different block
+// presented for an already-committed height. The paper expels endorsers
+// that cause forks; this is the proof object.
+type ForkEvidence struct {
+	Height    uint64
+	Committed gcrypto.Hash
+	Conflict  gcrypto.Hash
+	Proposer  gcrypto.Address
+}
+
+// Chain is the node-local blockchain: genesis, committed blocks, the
+// election table derived from transaction geo info, and the reward
+// ledger. All methods are safe for concurrent use.
+type Chain struct {
+	mu      sync.RWMutex
+	genesis *Genesis
+	blocks  []*types.Block
+	byHash  map[gcrypto.Hash]*types.Block
+	// endorsers is the current committee, derived from genesis plus
+	// committed config transactions.
+	endorsers map[gcrypto.Address]types.EndorserInfo
+	// era is the current G-PBFT era, advanced by committed config
+	// transactions.
+	era uint64
+	// accounts records the public key of every address that has sent a
+	// committed transaction, so election can mint EndorserInfo for
+	// candidates.
+	accounts map[gcrypto.Address][]byte
+	forks    []ForkEvidence
+
+	table     *ElectionTable
+	rewards   *RewardLedger
+	witnesses *WitnessIndex
+	txIndex   map[gcrypto.Hash]TxLocation
+}
+
+// NewChain initialises a chain from genesis.
+func NewChain(g *Genesis) (*Chain, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadGenesis, err)
+	}
+	c := &Chain{
+		genesis:   g,
+		byHash:    make(map[gcrypto.Hash]*types.Block),
+		endorsers: make(map[gcrypto.Address]types.EndorserInfo, len(g.Endorsers)),
+		accounts:  make(map[gcrypto.Address][]byte),
+		table:     NewElectionTable(),
+		rewards:   NewRewardLedger(),
+		witnesses: NewWitnessIndex(),
+		txIndex:   make(map[gcrypto.Hash]TxLocation),
+	}
+	for _, e := range g.Endorsers {
+		c.accounts[e.Address] = e.PubKey
+	}
+	gb := g.Block()
+	c.blocks = append(c.blocks, gb)
+	c.byHash[gb.Hash()] = gb
+	for _, e := range g.Endorsers {
+		c.endorsers[e.Address] = e
+	}
+	return c, nil
+}
+
+// Genesis returns the founding configuration.
+func (c *Chain) Genesis() *Genesis { return c.genesis }
+
+// Policy returns the admittance policy from genesis.
+func (c *Chain) Policy() AdmittancePolicy { return c.genesis.Policy }
+
+// Table returns the election table.
+func (c *Chain) Table() *ElectionTable { return c.table }
+
+// Rewards returns the reward ledger.
+func (c *Chain) Rewards() *RewardLedger { return c.rewards }
+
+// Witnesses returns the committed witness-statement index.
+func (c *Chain) Witnesses() *WitnessIndex { return c.witnesses }
+
+// Height returns the height of the head block.
+func (c *Chain) Height() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[len(c.blocks)-1].Header.Height
+}
+
+// Head returns the newest committed block.
+func (c *Chain) Head() *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[len(c.blocks)-1]
+}
+
+// BlockAt returns the committed block at a height.
+func (c *Chain) BlockAt(h uint64) (*types.Block, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if h >= uint64(len(c.blocks)) {
+		return nil, ErrUnknownHeight
+	}
+	return c.blocks[h], nil
+}
+
+// ByHash returns a committed block by its hash.
+func (c *Chain) ByHash(h gcrypto.Hash) (*types.Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.byHash[h]
+	return b, ok
+}
+
+// Era returns the current G-PBFT era (the highest NewEra of any
+// committed config transaction; 0 at genesis).
+func (c *Chain) Era() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.era
+}
+
+// AccountKey returns the recorded public key of an address, or nil.
+func (c *Chain) AccountKey(addr gcrypto.Address) []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.accounts[addr]
+}
+
+// Endorsers returns the current committee (genesis plus committed
+// config deltas), sorted by address for deterministic ordering.
+func (c *Chain) Endorsers() []types.EndorserInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]types.EndorserInfo, 0, len(c.endorsers))
+	for _, e := range c.endorsers {
+		out = append(out, e)
+	}
+	sortEndorsers(out)
+	return out
+}
+
+// IsEndorser reports whether addr is in the current committee.
+func (c *Chain) IsEndorser(addr gcrypto.Address) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.endorsers[addr]
+	return ok
+}
+
+// EndorserKeys returns the committee's address → public key map, for
+// certificate verification.
+func (c *Chain) EndorserKeys() map[gcrypto.Address]gcrypto.PublicKey {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[gcrypto.Address]gcrypto.PublicKey, len(c.endorsers))
+	for a, e := range c.endorsers {
+		out[a] = e.PubKey
+	}
+	return out
+}
+
+// Forks returns recorded fork evidence.
+func (c *Chain) Forks() []ForkEvidence {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]ForkEvidence, len(c.forks))
+	copy(out, c.forks)
+	return out
+}
+
+// ValidateBlock checks b against the current head without committing:
+// height continuity, parent linkage, tx root, transaction signatures,
+// region membership of every geo report, and config-from-endorser.
+func (c *Chain) ValidateBlock(b *types.Block) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.validateLocked(b)
+}
+
+func (c *Chain) validateLocked(b *types.Block) error {
+	head := c.blocks[len(c.blocks)-1]
+	if existing, ok := c.byHash[b.Hash()]; ok && existing != nil {
+		return ErrDuplicateBlock
+	}
+	if b.Header.Height != head.Header.Height+1 {
+		if b.Header.Height <= head.Header.Height {
+			committed := c.blocks[b.Header.Height]
+			if committed.Hash() != b.Hash() {
+				return ErrForkDetected
+			}
+			return ErrDuplicateBlock
+		}
+		return fmt.Errorf("%w: got %d, head %d", ErrHeightGap, b.Header.Height, head.Header.Height)
+	}
+	if b.Header.PrevHash != head.Hash() {
+		return ErrPrevHash
+	}
+	if b.Header.Era < head.Header.Era {
+		return ErrEraRegressed
+	}
+	if err := b.VerifyTxRoot(); err != nil {
+		return err
+	}
+	// Blocks arriving with a certificate (block sync, late joins) must
+	// carry a quorum of the current committee's votes. In-flight
+	// consensus proposals have no certificate yet and are protected by
+	// the consensus protocol itself.
+	if b.Cert != nil {
+		keys := make(map[gcrypto.Address]gcrypto.PublicKey, len(c.endorsers))
+		for a, e := range c.endorsers {
+			keys[a] = e.PubKey
+		}
+		n := len(c.endorsers)
+		f := (n - 1) / 3
+		quorum := (n+f)/2 + 1 // ⌈(n+f+1)/2⌉, see consensus.QuorumFor
+		if err := b.Cert.Verify(b.Hash(), keys, quorum); err != nil {
+			return err
+		}
+	}
+	policy := &c.genesis.Policy
+	for i := range b.Txs {
+		tx := &b.Txs[i]
+		if err := tx.Verify(); err != nil {
+			return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
+		}
+		if !policy.InRegion(tx.Geo.Location) {
+			return fmt.Errorf("%w: tx %d outside deployment region", ErrTxInvalid, i)
+		}
+		if tx.Type == types.TxConfig {
+			if _, ok := c.endorsers[tx.Sender]; !ok {
+				return ErrConfigSender
+			}
+			if _, err := types.DecodeConfigChange(tx.Payload); err != nil {
+				return fmt.Errorf("%w: tx %d: bad config payload: %v", ErrTxInvalid, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// AddBlock validates and commits b: appends it, feeds every
+// transaction's geo info into the election table, applies config
+// deltas to the committee, and distributes rewards. A conflicting
+// block at a committed height is recorded as fork evidence and
+// rejected with ErrForkDetected.
+func (c *Chain) AddBlock(b *types.Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.validateLocked(b); err != nil {
+		if errors.Is(err, ErrForkDetected) {
+			c.forks = append(c.forks, ForkEvidence{
+				Height:    b.Header.Height,
+				Committed: c.blocks[b.Header.Height].Hash(),
+				Conflict:  b.Hash(),
+				Proposer:  b.Header.Proposer,
+			})
+		}
+		return err
+	}
+	c.blocks = append(c.blocks, b)
+	c.byHash[b.Hash()] = b
+
+	committee := make([]gcrypto.Address, 0, len(c.endorsers))
+	for a := range c.endorsers {
+		committee = append(committee, a)
+	}
+	for i := range b.Txs {
+		tx := &b.Txs[i]
+		c.txIndex[tx.ID()] = TxLocation{Height: b.Header.Height, TxIndex: i}
+		// Every transaction carries geographic information; chain it
+		// into the election table (Section III-B3: "Data uploaded from
+		// IoT devices to blockchains will add an entry to the election
+		// table").
+		_, _ = c.table.Record(tx.Report())
+		c.accounts[tx.Sender] = tx.SenderPub
+		if tx.Type == types.TxWitness {
+			if st, err := types.DecodeWitnessStatement(tx.Payload); err == nil {
+				c.witnesses.Record(WitnessRecord{
+					Witness:   tx.Sender,
+					Subject:   st.Subject,
+					Geohash:   st.Geohash,
+					Seen:      st.Seen,
+					Timestamp: tx.Geo.Timestamp,
+				})
+			}
+		}
+		if tx.Type == types.TxConfig {
+			change, err := types.DecodeConfigChange(tx.Payload)
+			if err != nil {
+				continue // validated above; defensive
+			}
+			c.applyConfigLocked(change)
+		}
+	}
+	// Endorsers with recorded fork evidence forfeit endorsement shares:
+	// "If an endorser node missed a block or caused a fork, it will
+	// not be endorsed by other endorsers and get its rewards."
+	var excluded map[gcrypto.Address]bool
+	if len(c.forks) > 0 {
+		excluded = make(map[gcrypto.Address]bool, len(c.forks))
+		for _, f := range c.forks {
+			excluded[f.Proposer] = true
+		}
+	}
+	c.rewards.ApplyBlock(b, committee, excluded)
+	if !b.Header.Proposer.IsZero() {
+		// "Once an endorser successfully generated a block, its
+		// geographic timer will reset by the system."
+		c.table.ResetTimer(b.Header.Proposer.String(), b.Header.Timestamp)
+	}
+	return nil
+}
+
+func (c *Chain) applyConfigLocked(change *types.ConfigChange) {
+	if change.NewEra > c.era {
+		c.era = change.NewEra
+	}
+	for _, a := range change.Remove {
+		delete(c.endorsers, a)
+	}
+	for _, e := range change.Add {
+		if c.genesis.Policy.Blacklisted(e.Address) {
+			continue
+		}
+		if len(c.endorsers) >= c.genesis.Policy.MaxEndorsers {
+			break
+		}
+		c.endorsers[e.Address] = e
+	}
+}
+
+// TxLocation identifies where a transaction was committed.
+type TxLocation struct {
+	Height  uint64
+	TxIndex int
+}
+
+// FindTx locates a committed transaction by ID; clients use it to
+// confirm commitment (the paper's latency endpoint: "the transaction
+// is written to the ledger").
+func (c *Chain) FindTx(id gcrypto.Hash) (TxLocation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, ok := c.txIndex[id]
+	return loc, ok
+}
+
+// Blocks returns a snapshot of all committed blocks, genesis first.
+func (c *Chain) Blocks() []*types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*types.Block, len(c.blocks))
+	copy(out, c.blocks)
+	return out
+}
+
+func sortEndorsers(es []types.EndorserInfo) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Address.Less(es[j-1].Address); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package ledger
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"gpbft/internal/geo"
+)
+
+// Entry is one row of the election table (paper Table II): the device's
+// CSC at a point in time and the geographic timer — how long the device
+// has held the same CSC up to that row.
+type Entry struct {
+	CSC       geo.CSC
+	Timestamp time.Time
+	Timer     time.Duration
+}
+
+// Errors returned by the election table.
+var (
+	ErrStaleReport = errors.New("ledger: report older than latest entry")
+	ErrBadReport   = errors.New("ledger: invalid geographic report")
+)
+
+// deviceHistory holds one device's rows plus the anchor of the current
+// residence streak (first report at the current CSC cell).
+type deviceHistory struct {
+	entries []Entry
+	anchor  time.Time // start of the current same-CSC streak
+	lastCSC string    // geohash of the current streak
+}
+
+// ElectionTable is the on-chain mapping of CSC and timestamp described
+// in Section III-B3: "Endorsers store and maintain mapping of CSC and
+// its timestamp in an election table. ... geographic timer in the
+// election table will record how long an IoT device does not change
+// its position."
+//
+// It also implements G(v,t), the "chain-based function [that] returns
+// the geographic information reported by a node during the past period
+// t" used by Algorithm 1.
+type ElectionTable struct {
+	mu      sync.RWMutex
+	devices map[string]*deviceHistory // key: device address string
+	// cells maps a geohash cell to the addresses that most recently
+	// reported from it, for the Sybil same-cell check.
+	cells map[string]map[string]time.Time
+	// latest is the newest timestamp recorded anywhere — "table time".
+	// Elections anchor their lookback here so that commit-queue lag
+	// (reports waiting for consensus) cannot starve authentication.
+	latest time.Time
+}
+
+// NewElectionTable returns an empty table.
+func NewElectionTable() *ElectionTable {
+	return &ElectionTable{
+		devices: make(map[string]*deviceHistory),
+		cells:   make(map[string]map[string]time.Time),
+	}
+}
+
+// Record appends a report to the table and returns the row created.
+// Reports must arrive in non-decreasing timestamp order per device;
+// the geographic timer resets to zero whenever the CSC cell changes,
+// exactly as in Table II.
+func (t *ElectionTable) Record(rep geo.Report) (Entry, error) {
+	if err := rep.Validate(); err != nil {
+		return Entry{}, ErrBadReport
+	}
+	csc, err := rep.CSC()
+	if err != nil {
+		return Entry{}, ErrBadReport
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	h := t.devices[rep.Address]
+	if h == nil {
+		h = &deviceHistory{}
+		t.devices[rep.Address] = h
+	}
+	if n := len(h.entries); n > 0 && rep.Timestamp.Before(h.entries[n-1].Timestamp) {
+		return Entry{}, ErrStaleReport
+	}
+	if h.lastCSC != csc.Geohash {
+		// Moved: the streak restarts at this report.
+		h.anchor = rep.Timestamp
+		h.lastCSC = csc.Geohash
+	} else if len(h.entries) == 0 {
+		h.anchor = rep.Timestamp
+	}
+	e := Entry{
+		CSC:       csc,
+		Timestamp: rep.Timestamp,
+		Timer:     rep.Timestamp.Sub(h.anchor),
+	}
+	h.entries = append(h.entries, e)
+
+	cell := t.cells[csc.Geohash]
+	if cell == nil {
+		cell = make(map[string]time.Time)
+		t.cells[csc.Geohash] = cell
+	}
+	cell[rep.Address] = rep.Timestamp
+	if rep.Timestamp.After(t.latest) {
+		t.latest = rep.Timestamp
+	}
+	return e, nil
+}
+
+// LatestTimestamp returns table time: the newest timestamp recorded
+// across all devices (zero for an empty table).
+func (t *ElectionTable) LatestTimestamp() time.Time {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.latest
+}
+
+// Timer returns the current geographic timer of a device: how long it
+// has continuously reported the same CSC, as of its latest report.
+// Unknown devices have a zero timer.
+func (t *ElectionTable) Timer(addr string) time.Duration {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := t.devices[addr]
+	if h == nil || len(h.entries) == 0 {
+		return 0
+	}
+	return h.entries[len(h.entries)-1].Timer
+}
+
+// ResetTimer implements the incentive rule "Once an endorser
+// successfully generated a block, its geographic timer will reset by
+// the system" (Section III-B5): the streak anchor moves to `at`, so the
+// timer restarts without erasing history.
+func (t *ElectionTable) ResetTimer(addr string, at time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.devices[addr]
+	if h == nil {
+		return
+	}
+	h.anchor = at
+	if n := len(h.entries); n > 0 && !h.entries[n-1].Timestamp.Before(at) {
+		h.entries[n-1].Timer = h.entries[n-1].Timestamp.Sub(at)
+	}
+}
+
+// History returns a copy of all rows for a device, oldest first.
+func (t *ElectionTable) History(addr string) []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := t.devices[addr]
+	if h == nil {
+		return nil
+	}
+	out := make([]Entry, len(h.entries))
+	copy(out, h.entries)
+	return out
+}
+
+// ReportsSince is G(v,t): the rows a device filed at or after `since`.
+func (t *ElectionTable) ReportsSince(addr string, since time.Time) []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := t.devices[addr]
+	if h == nil {
+		return nil
+	}
+	// Entries are timestamp-ordered; binary search for the cut.
+	i := sort.Search(len(h.entries), func(i int) bool {
+		return !h.entries[i].Timestamp.Before(since)
+	})
+	if i == len(h.entries) {
+		return nil
+	}
+	out := make([]Entry, len(h.entries)-i)
+	copy(out, h.entries[i:])
+	return out
+}
+
+// LatestEntry returns the newest row for a device, if any.
+func (t *ElectionTable) LatestEntry(addr string) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := t.devices[addr]
+	if h == nil || len(h.entries) == 0 {
+		return Entry{}, false
+	}
+	return h.entries[len(h.entries)-1], true
+}
+
+// CellOccupants returns the addresses that reported from a geohash
+// cell at or after `since`. The Sybil defence of Section IV-A1 rests on
+// this: "different nodes cannot report the same geographic information
+// at the same time."
+func (t *ElectionTable) CellOccupants(geohash string, since time.Time) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cell := t.cells[geohash]
+	if cell == nil {
+		return nil
+	}
+	var out []string
+	for addr, ts := range cell {
+		if !ts.Before(since) {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Devices returns all device addresses present in the table, sorted.
+func (t *ElectionTable) Devices() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.devices))
+	for a := range t.devices {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prune discards rows older than `before` (and empty devices),
+// bounding table growth; streak anchors are preserved so timers keep
+// their full residence credit.
+func (t *ElectionTable) Prune(before time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for addr, h := range t.devices {
+		i := sort.Search(len(h.entries), func(i int) bool {
+			return !h.entries[i].Timestamp.Before(before)
+		})
+		if i == 0 {
+			continue
+		}
+		h.entries = append([]Entry(nil), h.entries[i:]...)
+		if len(h.entries) == 0 && h.anchor.Before(before) {
+			// Device has been silent past the horizon entirely.
+			delete(t.devices, addr)
+		}
+	}
+	for hash, cell := range t.cells {
+		for addr, ts := range cell {
+			if ts.Before(before) {
+				delete(cell, addr)
+			}
+		}
+		if len(cell) == 0 {
+			delete(t.cells, hash)
+		}
+	}
+}
+
+// Len returns the number of devices tracked.
+func (t *ElectionTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.devices)
+}

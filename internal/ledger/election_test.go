@@ -1,0 +1,264 @@
+package ledger
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gpbft/internal/geo"
+)
+
+var (
+	fixedSpot  = geo.Point{Lng: 114.1795, Lat: 22.3050}
+	otherSpot  = geo.Point{Lng: 114.2638, Lat: 22.3363}
+	tableEpoch = time.Date(2019, 8, 5, 18, 0, 0, 0, time.UTC)
+)
+
+func report(addr string, p geo.Point, at time.Time) geo.Report {
+	return geo.Report{Location: p, Timestamp: at, Address: addr}
+}
+
+// TestElectionTablePaperTableII replays the exact rows of Table II and
+// checks the geographic timer column.
+func TestElectionTablePaperTableII(t *testing.T) {
+	table := NewElectionTable()
+	times := []time.Time{
+		time.Date(2019, 8, 5, 18, 0, 0, 0, time.UTC),
+		time.Date(2019, 8, 5, 18, 56, 4, 0, time.UTC),
+		time.Date(2019, 8, 6, 0, 0, 0, 0, time.UTC),
+		time.Date(2019, 8, 6, 6, 0, 0, 0, time.UTC),
+		time.Date(2019, 8, 6, 12, 0, 0, 0, time.UTC),
+	}
+	// The paper's Table II prints 06:56:04 / 12:56:04 / 18:56:04 for
+	// rows 3-5, which is arithmetically inconsistent with its own
+	// timestamps (row 3 is exactly 6h after row 1 but the printed timer
+	// gains 6h over row 2 whose gap was 5h03m56s). We implement the
+	// stated semantics — "how long an IoT device does not change its
+	// position" — i.e. timer = timestamp - first report at current CSC.
+	wantTimers := []time.Duration{
+		0,
+		56*time.Minute + 4*time.Second,
+		6 * time.Hour,
+		12 * time.Hour,
+		18 * time.Hour,
+	}
+	for i, ts := range times {
+		e, err := table.Record(report("device1", fixedSpot, ts))
+		if err != nil {
+			t.Fatalf("row %d: %v", i+1, err)
+		}
+		if e.Timer != wantTimers[i] {
+			t.Errorf("row %d: timer %v, want %v", i+1, e.Timer, wantTimers[i])
+		}
+	}
+	hist := table.History("device1")
+	if len(hist) != 5 {
+		t.Fatalf("history has %d rows, want 5", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].CSC.Geohash != hist[0].CSC.Geohash {
+			t.Error("CSC must be constant for a fixed device")
+		}
+	}
+}
+
+func TestElectionTableTimerResetsOnMove(t *testing.T) {
+	table := NewElectionTable()
+	if _, err := table.Record(report("d", fixedSpot, tableEpoch)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Record(report("d", fixedSpot, tableEpoch.Add(time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if got := table.Timer("d"); got != time.Hour {
+		t.Fatalf("timer %v, want 1h", got)
+	}
+	e, err := table.Record(report("d", otherSpot, tableEpoch.Add(2*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Timer != 0 {
+		t.Fatalf("timer after move %v, want 0", e.Timer)
+	}
+	// Staying at the new spot accumulates again.
+	e, _ = table.Record(report("d", otherSpot, tableEpoch.Add(3*time.Hour)))
+	if e.Timer != time.Hour {
+		t.Fatalf("timer %v, want 1h", e.Timer)
+	}
+}
+
+func TestElectionTableRejects(t *testing.T) {
+	table := NewElectionTable()
+	if _, err := table.Record(geo.Report{}); err != ErrBadReport {
+		t.Errorf("invalid report: %v", err)
+	}
+	if _, err := table.Record(report("d", fixedSpot, tableEpoch.Add(time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Record(report("d", fixedSpot, tableEpoch)); err != ErrStaleReport {
+		t.Errorf("stale report: %v", err)
+	}
+}
+
+func TestElectionTableUnknownDevice(t *testing.T) {
+	table := NewElectionTable()
+	if table.Timer("ghost") != 0 {
+		t.Error("unknown device must have zero timer")
+	}
+	if table.History("ghost") != nil {
+		t.Error("unknown device must have nil history")
+	}
+	if _, ok := table.LatestEntry("ghost"); ok {
+		t.Error("unknown device must have no latest entry")
+	}
+	if table.ReportsSince("ghost", tableEpoch) != nil {
+		t.Error("unknown device must have no reports")
+	}
+}
+
+func TestReportsSinceIsGvt(t *testing.T) {
+	table := NewElectionTable()
+	for i := 0; i < 10; i++ {
+		if _, err := table.Record(report("d", fixedSpot, tableEpoch.Add(time.Duration(i)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := table.ReportsSince("d", tableEpoch.Add(5*time.Minute))
+	if len(got) != 5 {
+		t.Fatalf("G(v,t) returned %d rows, want 5", len(got))
+	}
+	if got[0].Timestamp != tableEpoch.Add(5*time.Minute) {
+		t.Error("cut must be inclusive")
+	}
+	if len(table.ReportsSince("d", tableEpoch.Add(time.Hour))) != 0 {
+		t.Error("future cut must return nothing")
+	}
+	if len(table.ReportsSince("d", tableEpoch.Add(-time.Hour))) != 10 {
+		t.Error("past cut must return everything")
+	}
+}
+
+func TestResetTimer(t *testing.T) {
+	table := NewElectionTable()
+	table.Record(report("d", fixedSpot, tableEpoch))
+	table.Record(report("d", fixedSpot, tableEpoch.Add(10*time.Hour)))
+	if table.Timer("d") != 10*time.Hour {
+		t.Fatal("precondition failed")
+	}
+	table.ResetTimer("d", tableEpoch.Add(10*time.Hour))
+	if got := table.Timer("d"); got != 0 {
+		t.Fatalf("timer after reset %v, want 0", got)
+	}
+	// Continuing at the same spot accrues from the reset point.
+	e, _ := table.Record(report("d", fixedSpot, tableEpoch.Add(13*time.Hour)))
+	if e.Timer != 3*time.Hour {
+		t.Fatalf("timer %v, want 3h", e.Timer)
+	}
+	// Resetting an unknown device is a no-op.
+	table.ResetTimer("ghost", tableEpoch)
+}
+
+func TestCellOccupantsSybilSignal(t *testing.T) {
+	table := NewElectionTable()
+	table.Record(report("honest", fixedSpot, tableEpoch))
+	table.Record(report("sybil-1", fixedSpot, tableEpoch.Add(time.Second)))
+	table.Record(report("elsewhere", otherSpot, tableEpoch.Add(time.Second)))
+
+	csc, _ := geo.NewCSC(fixedSpot, "honest")
+	occ := table.CellOccupants(csc.Geohash, tableEpoch)
+	if len(occ) != 2 {
+		t.Fatalf("occupants %v, want honest+sybil-1", occ)
+	}
+	if occ[0] != "honest" || occ[1] != "sybil-1" {
+		t.Fatalf("occupants %v", occ)
+	}
+	// A cut after both reports sees nobody.
+	if got := table.CellOccupants(csc.Geohash, tableEpoch.Add(time.Minute)); len(got) != 0 {
+		t.Fatalf("late cut occupants %v", got)
+	}
+	if got := table.CellOccupants("zzzzzzzzzz", tableEpoch); got != nil {
+		t.Fatalf("empty cell occupants %v", got)
+	}
+}
+
+func TestDevicesAndLen(t *testing.T) {
+	table := NewElectionTable()
+	table.Record(report("b", fixedSpot, tableEpoch))
+	table.Record(report("a", otherSpot, tableEpoch))
+	if table.Len() != 2 {
+		t.Fatalf("Len=%d", table.Len())
+	}
+	ds := table.Devices()
+	if len(ds) != 2 || ds[0] != "a" || ds[1] != "b" {
+		t.Fatalf("Devices=%v, want sorted [a b]", ds)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	table := NewElectionTable()
+	for i := 0; i < 6; i++ {
+		table.Record(report("d", fixedSpot, tableEpoch.Add(time.Duration(i)*time.Hour)))
+	}
+	table.Record(report("old", otherSpot, tableEpoch))
+	table.Prune(tableEpoch.Add(3 * time.Hour))
+	if got := len(table.History("d")); got != 3 {
+		t.Fatalf("pruned history has %d rows, want 3", got)
+	}
+	if len(table.History("old")) != 0 {
+		t.Fatal("silent old device should have no rows")
+	}
+	// Timer credit survives pruning: the anchor is preserved.
+	if got := table.Timer("d"); got != 5*time.Hour {
+		t.Fatalf("timer after prune %v, want 5h", got)
+	}
+	// Cell index pruned too.
+	csc, _ := geo.NewCSC(otherSpot, "old")
+	if got := table.CellOccupants(csc.Geohash, tableEpoch.Add(-time.Hour)); len(got) != 0 {
+		t.Fatalf("stale cell occupants %v", got)
+	}
+}
+
+func TestLatestEntry(t *testing.T) {
+	table := NewElectionTable()
+	table.Record(report("d", fixedSpot, tableEpoch))
+	table.Record(report("d", fixedSpot, tableEpoch.Add(time.Hour)))
+	e, ok := table.LatestEntry("d")
+	if !ok || e.Timestamp != tableEpoch.Add(time.Hour) {
+		t.Fatalf("latest entry %v ok=%v", e, ok)
+	}
+}
+
+// Property: the geographic timer is monotone non-decreasing while the
+// device stays in one cell, and equals last-first timestamps.
+func TestTimerMonotoneProperty(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		if len(gaps) == 0 {
+			return true
+		}
+		if len(gaps) > 50 {
+			gaps = gaps[:50]
+		}
+		table := NewElectionTable()
+		now := tableEpoch
+		var first time.Time
+		var prev time.Duration
+		for i, g := range gaps {
+			now = now.Add(time.Duration(g) * time.Second)
+			if i == 0 {
+				first = now
+			}
+			e, err := table.Record(report("d", fixedSpot, now))
+			if err != nil {
+				return false
+			}
+			if e.Timer < prev {
+				return false
+			}
+			prev = e.Timer
+		}
+		return prev == now.Sub(first)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

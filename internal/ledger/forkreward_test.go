@@ -1,0 +1,55 @@
+package ledger
+
+import (
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// TestForkProposerForfeitsRewards: after fork evidence is recorded
+// against an endorser, subsequent blocks stop paying it endorsement
+// shares.
+func TestForkProposerForfeitsRewards(t *testing.T) {
+	c, err := NewChain(testGenesis(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forker := gcrypto.DeterministicKeyPair(3).Address()
+
+	// Block 1 pays everyone: 70 to proposer(0), 10 each to 1,2,3.
+	b1 := nextBlock(c, []types.Transaction{signedTx(0, 1, 100)}, 0)
+	if err := c.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rewards().Balance(forker); got != 10 {
+		t.Fatalf("pre-fork balance %d, want 10", got)
+	}
+
+	// The forker presents a conflicting block at height 1.
+	conflict := nextBlock(c, nil, 3)
+	conflict.Header.Height = 1
+	conflict.Header.PrevHash = b1.Header.PrevHash
+	conflict.Header.Timestamp = b1.Header.Timestamp.Add(time.Second)
+	if err := c.AddBlock(conflict); err == nil {
+		t.Fatal("conflicting block must be rejected")
+	}
+	if len(c.Forks()) != 1 {
+		t.Fatal("fork evidence missing")
+	}
+
+	// Block 2: the forker is excluded; 30 splits between the two
+	// remaining endorsers (15 each).
+	b2 := nextBlock(c, []types.Transaction{signedTx(0, 2, 100)}, 0)
+	if err := c.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rewards().Balance(forker); got != 10 {
+		t.Fatalf("forker balance %d after fork, want frozen at 10", got)
+	}
+	honest := gcrypto.DeterministicKeyPair(1).Address()
+	if got := c.Rewards().Balance(honest); got != 10+15 {
+		t.Fatalf("honest endorser balance %d, want 25", got)
+	}
+}

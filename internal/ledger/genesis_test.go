@@ -1,0 +1,162 @@
+package ledger
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/types"
+)
+
+// testGenesis builds a valid genesis with n deterministic endorsers.
+func testGenesis(t testing.TB, n int) *Genesis {
+	t.Helper()
+	g := &Genesis{
+		ChainID:   "gpbft-test",
+		Timestamp: time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC),
+		Policy:    DefaultPolicy(),
+	}
+	for i := 0; i < n; i++ {
+		kp := gcrypto.DeterministicKeyPair(i)
+		g.Endorsers = append(g.Endorsers, types.EndorserInfo{
+			Address: kp.Address(),
+			PubKey:  kp.Public(),
+			Geohash: geo.MustEncode(geo.Point{Lng: 114.1 + float64(i)*0.001, Lat: 22.3}, geo.CSCPrecision),
+		})
+	}
+	return g
+}
+
+func TestGenesisValidate(t *testing.T) {
+	if err := testGenesis(t, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenesisValidateErrors(t *testing.T) {
+	g := testGenesis(t, 4)
+	g.ChainID = ""
+	if g.Validate() == nil {
+		t.Error("empty chain ID must fail")
+	}
+
+	g = testGenesis(t, 3)
+	if g.Validate() == nil {
+		t.Error("fewer endorsers than minimum must fail")
+	}
+
+	g = testGenesis(t, 41)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "maximum") {
+		t.Errorf("more endorsers than maximum must fail, got %v", err)
+	}
+
+	g = testGenesis(t, 4)
+	g.Endorsers = append(g.Endorsers[:0:0], g.Endorsers...)
+	g.Endorsers[1] = g.Endorsers[0]
+	if g.Validate() == nil {
+		t.Error("duplicate endorser must fail")
+	}
+
+	g = testGenesis(t, 4)
+	g.Endorsers[0].Address = gcrypto.Address{}
+	if g.Validate() == nil {
+		t.Error("zero address must fail")
+	}
+
+	g = testGenesis(t, 4)
+	g.Policy.Blacklist = []gcrypto.Address{g.Endorsers[0].Address}
+	if g.Validate() == nil {
+		t.Error("blacklisted genesis endorser must fail")
+	}
+}
+
+func TestPolicyValidateErrors(t *testing.T) {
+	cases := []func(*AdmittancePolicy){
+		func(p *AdmittancePolicy) { p.MinEndorsers = 3 },
+		func(p *AdmittancePolicy) { p.MaxEndorsers = p.MinEndorsers - 1 },
+		func(p *AdmittancePolicy) { p.QualificationWindow = 0 },
+		func(p *AdmittancePolicy) { p.MinReports = 0 },
+		func(p *AdmittancePolicy) { p.EraPeriod = 0 },
+		func(p *AdmittancePolicy) { p.SwitchPeriod = -1 },
+	}
+	for i, mutate := range cases {
+		p := DefaultPolicy()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d: mutated policy must fail validation", i)
+		}
+	}
+	p := DefaultPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+}
+
+func TestPolicyLists(t *testing.T) {
+	a := gcrypto.DeterministicKeyPair(1).Address()
+	b := gcrypto.DeterministicKeyPair(2).Address()
+	p := DefaultPolicy()
+	p.Blacklist = []gcrypto.Address{a}
+	p.Whitelist = []gcrypto.Address{b}
+	if !p.Blacklisted(a) || p.Blacklisted(b) {
+		t.Error("blacklist lookup wrong")
+	}
+	if !p.Whitelisted(b) || p.Whitelisted(a) {
+		t.Error("whitelist lookup wrong")
+	}
+}
+
+func TestPolicyInRegion(t *testing.T) {
+	p := DefaultPolicy()
+	if !p.InRegion(geo.Point{Lng: 170, Lat: 80}) {
+		t.Error("zero region must accept everything")
+	}
+	p.Region = geo.NewRegion(geo.Point{Lng: 114, Lat: 22}, geo.Point{Lng: 115, Lat: 23})
+	if !p.InRegion(geo.Point{Lng: 114.5, Lat: 22.5}) {
+		t.Error("inside point rejected")
+	}
+	if p.InRegion(geo.Point{Lng: 100, Lat: 22.5}) {
+		t.Error("outside point accepted")
+	}
+}
+
+func TestGenesisHashCommitsToPolicy(t *testing.T) {
+	a := testGenesis(t, 4)
+	b := testGenesis(t, 4)
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical genesis must hash equal")
+	}
+	b.Policy.MaxEndorsers = 80
+	if a.Hash() == b.Hash() {
+		t.Fatal("policy change must change genesis hash")
+	}
+}
+
+func TestGenesisBlock(t *testing.T) {
+	g := testGenesis(t, 4)
+	gb := g.Block()
+	if gb.Header.Height != 0 {
+		t.Error("genesis block must have height 0")
+	}
+	if gb.Header.TxRoot != g.Hash() {
+		t.Error("genesis block must commit to the genesis hash")
+	}
+	if len(gb.Txs) != 0 {
+		t.Error("genesis block carries no transactions")
+	}
+}
+
+func TestGenesisEndorserAddresses(t *testing.T) {
+	g := testGenesis(t, 5)
+	addrs := g.EndorserAddresses()
+	if len(addrs) != 5 {
+		t.Fatalf("got %d addresses", len(addrs))
+	}
+	for i, e := range g.Endorsers {
+		if addrs[i] != e.Address {
+			t.Fatal("address order must match endorser order")
+		}
+	}
+}

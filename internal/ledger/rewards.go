@@ -1,0 +1,106 @@
+package ledger
+
+import (
+	"sort"
+	"sync"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// Reward split of the incentive mechanism (Section III-B5): "An
+// endorser generates a new block can get 70% of the transaction fee.
+// Endorsers endorse others block can share 30% of the transaction fee."
+const (
+	ProducerSharePercent = 70
+	EndorserSharePercent = 30
+)
+
+// RewardLedger tracks fee balances accrued by endorsers.
+type RewardLedger struct {
+	mu       sync.RWMutex
+	balances map[gcrypto.Address]uint64
+	produced map[gcrypto.Address]uint64 // blocks produced per endorser
+}
+
+// NewRewardLedger returns an empty reward ledger.
+func NewRewardLedger() *RewardLedger {
+	return &RewardLedger{
+		balances: make(map[gcrypto.Address]uint64),
+		produced: make(map[gcrypto.Address]uint64),
+	}
+}
+
+// ApplyBlock distributes the block's total fees: 70% to the proposer,
+// 30% shared equally among the other endorsing committee members.
+// Indivisible remainders go to the proposer. Faulty endorsers — those
+// in `excluded` — "will not be endorsed by other endorsers and get
+// [their] rewards", so they receive nothing.
+func (r *RewardLedger) ApplyBlock(b *types.Block, committee []gcrypto.Address, excluded map[gcrypto.Address]bool) {
+	fees := b.TotalFees()
+	proposer := b.Header.Proposer
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.produced[proposer]++
+	if fees == 0 {
+		return
+	}
+	producerCut := fees * ProducerSharePercent / 100
+	endorserPot := fees - producerCut
+
+	var endorsers []gcrypto.Address
+	for _, a := range committee {
+		if a != proposer && !excluded[a] {
+			endorsers = append(endorsers, a)
+		}
+	}
+	if len(endorsers) == 0 {
+		r.balances[proposer] += fees
+		return
+	}
+	per := endorserPot / uint64(len(endorsers))
+	remainder := endorserPot - per*uint64(len(endorsers))
+	r.balances[proposer] += producerCut + remainder
+	for _, a := range endorsers {
+		r.balances[a] += per
+	}
+}
+
+// Balance returns the accrued fee balance of addr.
+func (r *RewardLedger) Balance(addr gcrypto.Address) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.balances[addr]
+}
+
+// BlocksProduced returns how many blocks addr has proposed.
+func (r *RewardLedger) BlocksProduced(addr gcrypto.Address) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.produced[addr]
+}
+
+// TotalDistributed sums all balances.
+func (r *RewardLedger) TotalDistributed() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var sum uint64
+	for _, v := range r.balances {
+		sum += v
+	}
+	return sum
+}
+
+// Accounts returns all addresses with a balance, sorted for
+// deterministic iteration.
+func (r *RewardLedger) Accounts() []gcrypto.Address {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]gcrypto.Address, 0, len(r.balances))
+	for a := range r.balances {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,123 @@
+package ledger
+
+import (
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+func rewardBlock(proposer gcrypto.Address, fees ...uint64) *types.Block {
+	txs := make([]types.Transaction, len(fees))
+	for i, f := range fees {
+		txs[i] = signedTx(i+10, uint64(i), f)
+	}
+	return types.NewBlock(types.BlockHeader{
+		Height: 1, Proposer: proposer, Timestamp: time.Unix(1, 0),
+	}, txs)
+}
+
+func addrs(n int) []gcrypto.Address {
+	out := make([]gcrypto.Address, n)
+	for i := range out {
+		out[i] = gcrypto.DeterministicKeyPair(i).Address()
+	}
+	return out
+}
+
+func TestRewardSplit70_30(t *testing.T) {
+	committee := addrs(4)
+	r := NewRewardLedger()
+	b := rewardBlock(committee[0], 100)
+	r.ApplyBlock(b, committee, nil)
+
+	// 70 to proposer; 30/3 = 10 each to the other three.
+	if got := r.Balance(committee[0]); got != 70 {
+		t.Errorf("proposer balance %d, want 70", got)
+	}
+	for i := 1; i < 4; i++ {
+		if got := r.Balance(committee[i]); got != 10 {
+			t.Errorf("endorser %d balance %d, want 10", i, got)
+		}
+	}
+	if r.TotalDistributed() != 100 {
+		t.Errorf("total %d, want 100 (no fees lost)", r.TotalDistributed())
+	}
+}
+
+func TestRewardRemainderToProposer(t *testing.T) {
+	committee := addrs(4)
+	r := NewRewardLedger()
+	// fees=101: producer cut 70, endorser pot 31, per-endorser 10, rem 1.
+	r.ApplyBlock(rewardBlock(committee[0], 101), committee, nil)
+	if got := r.Balance(committee[0]); got != 71 {
+		t.Errorf("proposer balance %d, want 71", got)
+	}
+	if r.TotalDistributed() != 101 {
+		t.Errorf("total %d, want 101", r.TotalDistributed())
+	}
+}
+
+func TestRewardZeroFees(t *testing.T) {
+	committee := addrs(4)
+	r := NewRewardLedger()
+	r.ApplyBlock(rewardBlock(committee[0]), committee, nil)
+	if r.TotalDistributed() != 0 {
+		t.Error("no fees must distribute nothing")
+	}
+	if r.BlocksProduced(committee[0]) != 1 {
+		t.Error("production count must still increment")
+	}
+}
+
+func TestRewardExcludedEndorser(t *testing.T) {
+	committee := addrs(4)
+	r := NewRewardLedger()
+	excluded := map[gcrypto.Address]bool{committee[3]: true}
+	r.ApplyBlock(rewardBlock(committee[0], 100), committee, excluded)
+	if got := r.Balance(committee[3]); got != 0 {
+		t.Errorf("excluded endorser earned %d, want 0", got)
+	}
+	// 30/2 = 15 each for the two remaining endorsers.
+	if got := r.Balance(committee[1]); got != 15 {
+		t.Errorf("endorser balance %d, want 15", got)
+	}
+}
+
+func TestRewardSoloProposer(t *testing.T) {
+	committee := addrs(1)
+	r := NewRewardLedger()
+	r.ApplyBlock(rewardBlock(committee[0], 100), committee, nil)
+	if got := r.Balance(committee[0]); got != 100 {
+		t.Errorf("solo proposer balance %d, want all 100", got)
+	}
+}
+
+func TestRewardAccounts(t *testing.T) {
+	committee := addrs(4)
+	r := NewRewardLedger()
+	r.ApplyBlock(rewardBlock(committee[0], 100), committee, nil)
+	accounts := r.Accounts()
+	if len(accounts) != 4 {
+		t.Fatalf("accounts %d, want 4", len(accounts))
+	}
+	for i := 1; i < len(accounts); i++ {
+		if !accounts[i-1].Less(accounts[i]) {
+			t.Fatal("accounts must be sorted")
+		}
+	}
+}
+
+func TestRewardAccumulates(t *testing.T) {
+	committee := addrs(4)
+	r := NewRewardLedger()
+	r.ApplyBlock(rewardBlock(committee[0], 100), committee, nil)
+	r.ApplyBlock(rewardBlock(committee[0], 100), committee, nil)
+	if got := r.Balance(committee[0]); got != 140 {
+		t.Errorf("proposer balance %d, want 140", got)
+	}
+	if r.BlocksProduced(committee[0]) != 2 {
+		t.Error("production count must accumulate")
+	}
+}

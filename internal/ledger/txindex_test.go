@@ -1,0 +1,38 @@
+package ledger
+
+import (
+	"testing"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+func TestFindTx(t *testing.T) {
+	c, err := NewChain(testGenesis(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx1 := signedTx(0, 1, 5)
+	tx2 := signedTx(1, 2, 5)
+	if err := c.AddBlock(nextBlock(c, []types.Transaction{tx1, tx2}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	loc, ok := c.FindTx(tx2.ID())
+	if !ok {
+		t.Fatal("committed tx not found")
+	}
+	if loc.Height != 1 || loc.TxIndex != 1 {
+		t.Fatalf("location: %+v", loc)
+	}
+	if _, ok := c.FindTx(gcrypto.HashBytes([]byte("ghost"))); ok {
+		t.Fatal("unknown tx found")
+	}
+	// The located tx is retrievable through BlockAt.
+	b, err := c.BlockAt(loc.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Txs[loc.TxIndex].ID() != tx2.ID() {
+		t.Fatal("index points at wrong transaction")
+	}
+}

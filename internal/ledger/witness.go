@@ -1,0 +1,84 @@
+package ledger
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gpbft/internal/gcrypto"
+)
+
+// WitnessRecord is one committed peer attestation.
+type WitnessRecord struct {
+	Witness   gcrypto.Address
+	Subject   gcrypto.Address
+	Geohash   string
+	Seen      bool
+	Timestamp time.Time
+}
+
+// WitnessIndex stores committed witness statements per subject. It is
+// chain-derived state (like the election table), so every honest node
+// holds the same index.
+type WitnessIndex struct {
+	mu         sync.RWMutex
+	bySubject  map[gcrypto.Address][]WitnessRecord
+	totalCount int
+}
+
+// NewWitnessIndex returns an empty index.
+func NewWitnessIndex() *WitnessIndex {
+	return &WitnessIndex{bySubject: make(map[gcrypto.Address][]WitnessRecord)}
+}
+
+// Record appends a statement.
+func (w *WitnessIndex) Record(rec WitnessRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.bySubject[rec.Subject] = append(w.bySubject[rec.Subject], rec)
+	w.totalCount++
+}
+
+// StatementsFor returns the statements about subject at or after
+// `since`, oldest first.
+func (w *WitnessIndex) StatementsFor(subject gcrypto.Address, since time.Time) []WitnessRecord {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	recs := w.bySubject[subject]
+	i := sort.Search(len(recs), func(i int) bool {
+		return !recs[i].Timestamp.Before(since)
+	})
+	if i == len(recs) {
+		return nil
+	}
+	out := make([]WitnessRecord, len(recs)-i)
+	copy(out, recs[i:])
+	return out
+}
+
+// Len returns the total number of statements recorded.
+func (w *WitnessIndex) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.totalCount
+}
+
+// Prune discards statements older than `before`.
+func (w *WitnessIndex) Prune(before time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for subject, recs := range w.bySubject {
+		i := sort.Search(len(recs), func(i int) bool {
+			return !recs[i].Timestamp.Before(before)
+		})
+		if i == 0 {
+			continue
+		}
+		w.totalCount -= i
+		if i == len(recs) {
+			delete(w.bySubject, subject)
+			continue
+		}
+		w.bySubject[subject] = append([]WitnessRecord(nil), recs[i:]...)
+	}
+}

@@ -1,0 +1,87 @@
+package ledger
+
+import (
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+func wrec(witness, subject int, seen bool, at time.Time) WitnessRecord {
+	return WitnessRecord{
+		Witness:   gcrypto.DeterministicKeyPair(witness).Address(),
+		Subject:   gcrypto.DeterministicKeyPair(subject).Address(),
+		Geohash:   "wecnyhwbp1",
+		Seen:      seen,
+		Timestamp: at,
+	}
+}
+
+func TestWitnessIndexRecordQuery(t *testing.T) {
+	idx := NewWitnessIndex()
+	subject := gcrypto.DeterministicKeyPair(9).Address()
+	for i := 0; i < 5; i++ {
+		idx.Record(wrec(i, 9, i%2 == 0, tableEpoch.Add(time.Duration(i)*time.Minute)))
+	}
+	if idx.Len() != 5 {
+		t.Fatalf("Len=%d", idx.Len())
+	}
+	got := idx.StatementsFor(subject, tableEpoch.Add(2*time.Minute))
+	if len(got) != 3 {
+		t.Fatalf("window returned %d, want 3", len(got))
+	}
+	if got[0].Timestamp != tableEpoch.Add(2*time.Minute) {
+		t.Fatal("cut must be inclusive")
+	}
+	if idx.StatementsFor(gcrypto.DeterministicKeyPair(55).Address(), tableEpoch) != nil {
+		t.Fatal("unknown subject must return nil")
+	}
+}
+
+func TestWitnessIndexPrune(t *testing.T) {
+	idx := NewWitnessIndex()
+	for i := 0; i < 6; i++ {
+		idx.Record(wrec(0, 9, true, tableEpoch.Add(time.Duration(i)*time.Hour)))
+	}
+	idx.Record(wrec(0, 10, true, tableEpoch))
+	idx.Prune(tableEpoch.Add(3 * time.Hour))
+	subject := gcrypto.DeterministicKeyPair(9).Address()
+	if got := len(idx.StatementsFor(subject, tableEpoch)); got != 3 {
+		t.Fatalf("after prune: %d, want 3", got)
+	}
+	old := gcrypto.DeterministicKeyPair(10).Address()
+	if idx.StatementsFor(old, tableEpoch) != nil {
+		t.Fatal("fully pruned subject must be gone")
+	}
+	if idx.Len() != 3 {
+		t.Fatalf("Len=%d after prune", idx.Len())
+	}
+}
+
+func TestChainRecordsWitnessTxs(t *testing.T) {
+	c, err := NewChain(testGenesis(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject := gcrypto.DeterministicKeyPair(9).Address()
+	tx := types.Transaction{
+		Type: types.TxWitness,
+		Payload: types.EncodeWitnessStatement(&types.WitnessStatement{
+			Subject: subject, Geohash: "wecnyhwbp1", Seen: true,
+		}),
+		Nonce: 1,
+		Geo:   types.GeoInfo{Location: fixedSpot, Timestamp: tableEpoch},
+	}
+	tx.Sign(gcrypto.DeterministicKeyPair(0))
+	if err := c.AddBlock(nextBlock(c, []types.Transaction{tx}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Witnesses().StatementsFor(subject, tableEpoch.Add(-time.Hour))
+	if len(recs) != 1 {
+		t.Fatalf("witness index has %d records", len(recs))
+	}
+	if recs[0].Witness != gcrypto.DeterministicKeyPair(0).Address() || !recs[0].Seen {
+		t.Fatalf("record mangled: %+v", recs[0])
+	}
+}

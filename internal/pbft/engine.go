@@ -1,0 +1,733 @@
+package pbft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// Defaults for engine tuning knobs.
+const (
+	// DefaultCheckpointInterval is K: a checkpoint every K executions;
+	// the high watermark is lowWater + 2K.
+	DefaultCheckpointInterval = 16
+	// DefaultViewChangeTimeout is the progress timeout before a backup
+	// starts a view change.
+	DefaultViewChangeTimeout = 2 * time.Second
+)
+
+// Application extends the consensus Application with the mempool
+// surface the engine needs.
+type Application interface {
+	consensus.Application
+	// SubmitTx adds a transaction to the pending pool; duplicates are
+	// ignored. It returns an error only for invalid transactions.
+	SubmitTx(tx *types.Transaction) error
+	// PendingTxs reports how many transactions await inclusion.
+	PendingTxs() int
+	// PendingList returns up to max pending transactions (FIFO order);
+	// the era layer re-disseminates them after an era switch.
+	PendingList(max int) []types.Transaction
+}
+
+// Config configures one PBFT engine instance (one era in G-PBFT).
+type Config struct {
+	Era       uint64
+	Committee *consensus.Committee
+	Key       *gcrypto.KeyPair
+	App       Application
+	Timers    *consensus.TimerAllocator
+	// StartHeight is the first block height this instance decides
+	// (current chain height + 1).
+	StartHeight uint64
+	// CheckpointInterval is K; zero selects the default.
+	CheckpointInterval uint64
+	// ViewChangeTimeout is the progress timeout; zero selects default.
+	ViewChangeTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if c.ViewChangeTimeout == 0 {
+		c.ViewChangeTimeout = DefaultViewChangeTimeout
+	}
+	if c.Timers == nil {
+		c.Timers = consensus.NewTimerAllocator()
+	}
+}
+
+// instance tracks one sequence number's progress through the phases.
+type instance struct {
+	view       uint64
+	digest     gcrypto.Hash
+	block      *types.Block
+	prePrepare *consensus.Envelope
+	prepares   map[gcrypto.Address]*consensus.Envelope
+	commits    map[gcrypto.Address]*consensus.Envelope
+	certVotes  []types.Vote
+	certSeen   map[gcrypto.Address]bool
+	prepared   bool
+	committed  bool
+	executed   bool
+}
+
+func newInstance(view uint64) *instance {
+	return &instance{
+		view:     view,
+		prepares: make(map[gcrypto.Address]*consensus.Envelope),
+		commits:  make(map[gcrypto.Address]*consensus.Envelope),
+		certSeen: make(map[gcrypto.Address]bool),
+	}
+}
+
+// timer purposes
+type timerPurpose uint8
+
+const (
+	timerProgress timerPurpose = iota + 1
+	timerViewChange
+)
+
+// Engine is one replica's PBFT state machine. It is not safe for
+// concurrent use; the runner serializes events.
+type Engine struct {
+	cfg  Config
+	self gcrypto.Address
+	com  *consensus.Committee
+
+	view         uint64
+	lowWater     uint64 // last stable checkpoint seq
+	execNext     uint64 // next seq to execute
+	insts        map[uint64]*instance
+	ownDigests   map[uint64]gcrypto.Hash // executed seq -> digest
+	checkpoints  map[uint64]map[gcrypto.Address]gcrypto.Hash
+	viewChanges  map[uint64]map[gcrypto.Address]*vcRecord
+	inViewChange bool
+	vcTarget     uint64 // view we are trying to reach while inViewChange
+	halted       bool
+
+	timers       map[consensus.TimerID]timerPurpose
+	progressTID  consensus.TimerID
+	vcTID        consensus.TimerID
+	vcRetryDelay time.Duration
+
+	// stats
+	executedBlocks uint64
+	viewChangesFin uint64
+}
+
+type vcRecord struct {
+	msg *ViewChange
+	env *consensus.Envelope
+}
+
+// Errors surfaced by the engine.
+var (
+	ErrHalted    = errors.New("pbft: engine halted")
+	ErrNotMember = errors.New("pbft: sender is not a committee member")
+)
+
+// New constructs a replica engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Committee == nil || cfg.Key == nil || cfg.App == nil {
+		return nil, errors.New("pbft: config needs Committee, Key and App")
+	}
+	cfg.fill()
+	if !cfg.Committee.IsMember(cfg.Key.Address()) {
+		return nil, fmt.Errorf("pbft: self %s not in committee", cfg.Key.Address().Short())
+	}
+	e := &Engine{
+		cfg:          cfg,
+		self:         cfg.Key.Address(),
+		com:          cfg.Committee,
+		lowWater:     cfg.StartHeight - 1,
+		execNext:     cfg.StartHeight,
+		insts:        make(map[uint64]*instance),
+		ownDigests:   make(map[uint64]gcrypto.Hash),
+		checkpoints:  make(map[uint64]map[gcrypto.Address]gcrypto.Hash),
+		viewChanges:  make(map[uint64]map[gcrypto.Address]*vcRecord),
+		timers:       make(map[consensus.TimerID]timerPurpose),
+		vcRetryDelay: cfg.ViewChangeTimeout,
+	}
+	return e, nil
+}
+
+// --- accessors ---
+
+// View returns the current view number.
+func (e *Engine) View() uint64 { return e.view }
+
+// Era returns the configured era.
+func (e *Engine) Era() uint64 { return e.cfg.Era }
+
+// Committee returns the instance's committee.
+func (e *Engine) Committee() *consensus.Committee { return e.com }
+
+// Primary returns the current primary's address.
+func (e *Engine) Primary() gcrypto.Address { return e.com.Primary(e.view) }
+
+// IsPrimary reports whether this replica leads the current view.
+func (e *Engine) IsPrimary() bool { return e.Primary() == e.self }
+
+// InViewChange reports whether a view change is in progress.
+func (e *Engine) InViewChange() bool { return e.inViewChange }
+
+// NextSeq returns the next sequence number awaiting execution.
+func (e *Engine) NextSeq() uint64 { return e.execNext }
+
+// LowWater returns the last stable checkpoint sequence.
+func (e *Engine) LowWater() uint64 { return e.lowWater }
+
+// ExecutedBlocks returns how many blocks this replica has executed.
+func (e *Engine) ExecutedBlocks() uint64 { return e.executedBlocks }
+
+// CompletedViewChanges returns how many view changes this replica has
+// completed.
+func (e *Engine) CompletedViewChanges() uint64 { return e.viewChangesFin }
+
+// Halted reports whether the engine has been stopped.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Halt stops the engine; all further events are ignored. G-PBFT calls
+// this at the start of an era switch ("G-PBFT asks each endorser to
+// halt the old consensus before era switch", Section IV-A2).
+func (e *Engine) Halt() { e.halted = true }
+
+// highWater returns the top of the sequence window.
+func (e *Engine) highWater() uint64 {
+	return e.lowWater + 2*e.cfg.CheckpointInterval
+}
+
+// --- lifecycle ---
+
+// Init arms the initial proposal attempt.
+func (e *Engine) Init(now consensus.Time) []consensus.Action {
+	if e.halted {
+		return nil
+	}
+	var acts []consensus.Action
+	acts = e.maybePropose(now, acts)
+	acts = e.ensureProgressTimer(acts)
+	return acts
+}
+
+// AdvanceTo informs the engine that the runtime applied synced blocks
+// up to and including height seq; local instances at or below it are
+// dropped.
+func (e *Engine) AdvanceTo(now consensus.Time, seq uint64) []consensus.Action {
+	if e.halted || seq < e.execNext {
+		return nil
+	}
+	for s := e.execNext; s <= seq; s++ {
+		delete(e.insts, s)
+	}
+	e.execNext = seq + 1
+	if seq > e.lowWater {
+		e.lowWater = seq
+	}
+	var acts []consensus.Action
+	acts = e.maybePropose(now, acts)
+	acts = e.ensureProgressTimer(acts)
+	return acts
+}
+
+// OnCommitApplied implements consensus.CommitNotifiable: once the
+// runtime has applied committed blocks to the chain, the primary can
+// propose on top of the new head (BuildBlock declines while the head
+// still lags the engine's sequence).
+func (e *Engine) OnCommitApplied(now consensus.Time) []consensus.Action {
+	if e.halted {
+		return nil
+	}
+	var acts []consensus.Action
+	acts = e.maybePropose(now, acts)
+	acts = e.ensureProgressTimer(acts)
+	return acts
+}
+
+// OnRequest handles a transaction submitted locally (the runtime has
+// already added it to the mempool). The endorser relays the request to
+// the whole committee: every replica must know about outstanding work
+// so that f+1 of them can corroborate a view change when the primary
+// stalls — the request-multicast fallback of PBFT, and the paper's
+// "a client will send the transaction to multiple endorsers".
+func (e *Engine) OnRequest(now consensus.Time, tx *types.Transaction) []consensus.Action {
+	if e.halted {
+		return nil
+	}
+	var acts []consensus.Action
+	if !e.inViewChange {
+		env := consensus.Seal(e.cfg.Key, &Request{Tx: *tx})
+		acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: env})
+	}
+	if e.IsPrimary() {
+		acts = e.maybePropose(now, acts)
+	}
+	acts = e.ensureProgressTimer(acts)
+	return acts
+}
+
+// OnTimer dispatches a timer firing.
+func (e *Engine) OnTimer(now consensus.Time, id consensus.TimerID) []consensus.Action {
+	if e.halted {
+		return nil
+	}
+	purpose, ok := e.timers[id]
+	if !ok {
+		return nil // stale timer
+	}
+	delete(e.timers, id)
+	switch purpose {
+	case timerProgress:
+		if id != e.progressTID {
+			return nil
+		}
+		e.progressTID = 0
+		// No progress on outstanding work: suspect the primary.
+		if e.hasOutstandingWork() {
+			return e.startViewChange(now, e.view+1)
+		}
+		return nil
+	case timerViewChange:
+		if id != e.vcTID {
+			return nil
+		}
+		e.vcTID = 0
+		if e.inViewChange {
+			// The view change itself stalled; escalate to the next view
+			// with doubled patience (exponential backoff, as in PBFT),
+			// capped so a long outage cannot push the retry horizon out
+			// indefinitely.
+			if e.vcRetryDelay < time.Minute {
+				e.vcRetryDelay *= 2
+			}
+			return e.startViewChange(now, e.vcTarget+1)
+		}
+		return nil
+	}
+	return nil
+}
+
+// OnEnvelope dispatches a received protocol message.
+func (e *Engine) OnEnvelope(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	if e.halted {
+		return nil
+	}
+	switch env.MsgKind {
+	case consensus.KindRequest:
+		return e.onRequestEnv(now, env)
+	case consensus.KindPrePrepare:
+		return e.onPrePrepare(now, env)
+	case consensus.KindPrepare:
+		return e.onPrepare(now, env)
+	case consensus.KindCommit:
+		return e.onCommit(now, env)
+	case consensus.KindCheckpoint:
+		return e.onCheckpoint(now, env)
+	case consensus.KindViewChange:
+		return e.onViewChange(now, env)
+	case consensus.KindNewView:
+		return e.onNewView(now, env)
+	default:
+		return nil
+	}
+}
+
+// --- normal case ---
+
+func (e *Engine) onRequestEnv(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	var req Request
+	if err := consensus.Open(env, consensus.KindRequest, &req); err != nil {
+		return nil
+	}
+	if err := req.Tx.Verify(); err != nil {
+		return nil
+	}
+	if err := e.cfg.App.SubmitTx(&req.Tx); err != nil {
+		return nil
+	}
+	var acts []consensus.Action
+	if !e.com.IsMember(env.From) && !e.inViewChange {
+		// Direct client submission: relay to the committee (a relay
+		// from a fellow member is terminal — no re-broadcast loops).
+		relay := consensus.Seal(e.cfg.Key, &req)
+		acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: relay})
+	}
+	if e.IsPrimary() {
+		acts = e.maybePropose(now, acts)
+	}
+	acts = e.ensureProgressTimer(acts)
+	return acts
+}
+
+// maybePropose issues a pre-prepare when this replica is the primary,
+// no proposal is in flight for the next height, and the mempool has
+// work.
+func (e *Engine) maybePropose(now consensus.Time, acts []consensus.Action) []consensus.Action {
+	if e.inViewChange || !e.IsPrimary() {
+		return acts
+	}
+	seq := e.execNext
+	if seq > e.highWater() {
+		return acts
+	}
+	if inst := e.insts[seq]; inst != nil && inst.view == e.view && inst.prePrepare != nil {
+		return acts // already proposed in this view
+	}
+	block := e.cfg.App.BuildBlock(now, e.cfg.Era, e.view, seq)
+	if block == nil {
+		return acts
+	}
+	pp := &PrePrepare{
+		Era:    e.cfg.Era,
+		View:   e.view,
+		Seq:    seq,
+		Digest: block.Hash(),
+		Block:  *block,
+	}
+	env := consensus.Seal(e.cfg.Key, pp)
+	acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: env})
+	acts = e.acceptPrePrepare(now, pp, env, acts)
+	return acts
+}
+
+func (e *Engine) onPrePrepare(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	var pp PrePrepare
+	if err := consensus.Open(env, consensus.KindPrePrepare, &pp); err != nil {
+		return nil
+	}
+	if pp.Era != e.cfg.Era || e.inViewChange || pp.View != e.view {
+		return nil
+	}
+	if env.From != e.com.Primary(pp.View) {
+		return nil // only the view's primary may pre-prepare
+	}
+	if pp.Seq != e.execNext || pp.Seq > e.highWater() {
+		return nil // single in-flight proposal: must be the next height
+	}
+	if pp.Digest != pp.Block.Hash() {
+		return nil
+	}
+	// The block header records the view it was ORIGINALLY proposed in:
+	// a pre-prepare re-issued after a view change keeps the old header
+	// (the prepared value must not change), so require header.View <=
+	// message view and that the header's proposer was that view's
+	// primary.
+	hdr := &pp.Block.Header
+	if hdr.Era != pp.Era || hdr.View > pp.View || hdr.Seq != pp.Seq ||
+		hdr.Proposer != e.com.Primary(hdr.View) {
+		return nil
+	}
+	if inst := e.insts[pp.Seq]; inst != nil && inst.view == pp.View &&
+		inst.prePrepare != nil && inst.digest != pp.Digest {
+		// Equivocating primary: two different proposals for one
+		// (view, seq). Refuse; the progress timer will depose it.
+		return nil
+	}
+	if err := e.cfg.App.ValidateBlock(&pp.Block); err != nil {
+		return nil
+	}
+	var acts []consensus.Action
+	acts = e.acceptPrePrepare(now, &pp, env, acts)
+	// A backup that accepts multicasts prepare to all others.
+	prep := &Prepare{Era: pp.Era, View: pp.View, Seq: pp.Seq, Digest: pp.Digest}
+	prepEnv := consensus.Seal(e.cfg.Key, prep)
+	acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: prepEnv})
+	inst := e.insts[pp.Seq]
+	inst.prepares[e.self] = prepEnv
+	acts = e.maybePrepared(now, pp.Seq, acts)
+	acts = e.ensureProgressTimer(acts)
+	return acts
+}
+
+// acceptPrePrepare installs the proposal into the instance log.
+func (e *Engine) acceptPrePrepare(now consensus.Time, pp *PrePrepare, env *consensus.Envelope, acts []consensus.Action) []consensus.Action {
+	inst := e.insts[pp.Seq]
+	if inst == nil || inst.view != pp.View {
+		inst = newInstance(pp.View)
+		e.insts[pp.Seq] = inst
+	}
+	inst.digest = pp.Digest
+	block := pp.Block
+	inst.block = &block
+	inst.prePrepare = env
+	// Commits that raced ahead of the pre-prepare can now contribute
+	// their certificate votes.
+	for from, cenv := range inst.commits {
+		var c Commit
+		if consensus.Open(cenv, consensus.KindCommit, &c) == nil {
+			e.recordCommitVote(inst, from, &c)
+		}
+	}
+	return e.maybePrepared(now, pp.Seq, acts)
+}
+
+func (e *Engine) onPrepare(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	var p Prepare
+	if err := consensus.Open(env, consensus.KindPrepare, &p); err != nil {
+		return nil
+	}
+	if p.Era != e.cfg.Era || !e.com.IsMember(env.From) {
+		return nil
+	}
+	if p.View != e.view || e.inViewChange {
+		return nil
+	}
+	if p.Seq <= e.lowWater || p.Seq > e.highWater() {
+		return nil
+	}
+	inst := e.insts[p.Seq]
+	if inst == nil || inst.view != p.View {
+		inst = newInstance(p.View)
+		e.insts[p.Seq] = inst
+	}
+	if inst.prePrepare != nil && inst.digest != p.Digest {
+		return nil // prepare for a different proposal
+	}
+	if _, dup := inst.prepares[env.From]; dup {
+		return nil
+	}
+	inst.prepares[env.From] = env
+	return e.maybePrepared(now, p.Seq, nil)
+}
+
+// maybePrepared fires when the instance holds the pre-prepare plus 2f
+// prepares from distinct replicas (the primary's pre-prepare standing
+// in for its prepare).
+func (e *Engine) maybePrepared(now consensus.Time, seq uint64, acts []consensus.Action) []consensus.Action {
+	inst := e.insts[seq]
+	if inst == nil || inst.prepared || inst.prePrepare == nil {
+		return acts
+	}
+	matching := 0
+	for _, penv := range inst.prepares {
+		var p Prepare
+		if consensus.Open(penv, consensus.KindPrepare, &p) == nil && p.Digest == inst.digest {
+			matching++
+		}
+	}
+	// pre-prepare (primary) + (quorum-1) prepares = quorum distinct
+	// replicas.
+	if matching < e.com.Quorum()-1 {
+		return acts
+	}
+	inst.prepared = true
+	certSig := e.cfg.Key.Sign(types.VoteDigest(inst.digest, e.cfg.Era, inst.view))
+	c := &Commit{Era: e.cfg.Era, View: inst.view, Seq: seq, Digest: inst.digest, CertSig: certSig}
+	cenv := consensus.Seal(e.cfg.Key, c)
+	acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: cenv})
+	e.recordCommitVote(inst, e.self, c)
+	inst.commits[e.self] = cenv
+	return e.maybeCommitted(now, seq, acts)
+}
+
+func (e *Engine) onCommit(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	var c Commit
+	if err := consensus.Open(env, consensus.KindCommit, &c); err != nil {
+		return nil
+	}
+	if c.Era != e.cfg.Era || !e.com.IsMember(env.From) {
+		return nil
+	}
+	if c.View != e.view || e.inViewChange {
+		return nil
+	}
+	if c.Seq <= e.lowWater || c.Seq > e.highWater() {
+		return nil
+	}
+	inst := e.insts[c.Seq]
+	if inst == nil || inst.view != c.View {
+		inst = newInstance(c.View)
+		e.insts[c.Seq] = inst
+	}
+	if inst.prePrepare != nil && inst.digest != c.Digest {
+		return nil
+	}
+	if _, dup := inst.commits[env.From]; dup {
+		return nil
+	}
+	inst.commits[env.From] = env
+	e.recordCommitVote(inst, env.From, &c)
+	return e.maybeCommitted(now, c.Seq, nil)
+}
+
+// recordCommitVote validates and stores the certificate signature
+// riding on a commit message. Votes are only recorded once the
+// instance's digest is known and matches, so the vote set always
+// certifies the accepted value.
+func (e *Engine) recordCommitVote(inst *instance, from gcrypto.Address, c *Commit) {
+	if inst.prePrepare == nil || c.Digest != inst.digest || inst.certSeen[from] {
+		return
+	}
+	pub := e.com.PubKey(from)
+	if pub == nil {
+		return
+	}
+	if gcrypto.Verify(pub, from, types.VoteDigest(c.Digest, c.Era, c.View), c.CertSig) != nil {
+		return
+	}
+	inst.certSeen[from] = true
+	inst.certVotes = append(inst.certVotes, types.Vote{Endorser: from, Signature: c.CertSig})
+}
+
+// maybeCommitted fires when 2f+1 distinct, certificate-valid commits
+// (including our own) match the accepted digest; execution is strictly
+// in sequence order. Counting only valid CertSigs guarantees the
+// assembled certificate always verifies at quorum strength.
+func (e *Engine) maybeCommitted(now consensus.Time, seq uint64, acts []consensus.Action) []consensus.Action {
+	inst := e.insts[seq]
+	if inst == nil || inst.committed || !inst.prepared || inst.block == nil {
+		return acts
+	}
+	if len(inst.certVotes) < e.com.Quorum() {
+		return acts
+	}
+	inst.committed = true
+	return e.executeReady(now, acts)
+}
+
+// executeReady executes committed instances in order from execNext.
+func (e *Engine) executeReady(now consensus.Time, acts []consensus.Action) []consensus.Action {
+	for {
+		inst := e.insts[e.execNext]
+		if inst == nil || !inst.committed || inst.executed {
+			break
+		}
+		inst.executed = true
+		seq := e.execNext
+		e.execNext++
+		e.executedBlocks++
+		block := inst.block
+		// Attach the commit certificate assembled from CertSigs.
+		votes := inst.certVotes
+		if len(votes) > e.com.Quorum() {
+			votes = votes[:e.com.Quorum()]
+		}
+		block.Cert = &types.Certificate{
+			BlockHash: inst.digest,
+			Era:       e.cfg.Era,
+			View:      inst.view,
+			Votes:     append([]types.Vote(nil), votes...),
+		}
+		e.ownDigests[seq] = inst.digest
+		acts = append(acts, consensus.CommitBlock{Block: block})
+
+		// Progress was made: re-arm the grace period.
+		acts = e.resetProgressTimer(acts)
+
+		if seq%e.cfg.CheckpointInterval == 0 {
+			ck := &Checkpoint{Era: e.cfg.Era, Seq: seq, Digest: inst.digest}
+			ckEnv := consensus.Seal(e.cfg.Key, ck)
+			acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: ckEnv})
+			e.noteCheckpoint(seq, e.self, inst.digest)
+		}
+	}
+	acts = e.maybePropose(now, acts)
+	acts = e.ensureProgressTimer(acts)
+	return acts
+}
+
+// --- checkpoints ---
+
+func (e *Engine) onCheckpoint(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	var ck Checkpoint
+	if err := consensus.Open(env, consensus.KindCheckpoint, &ck); err != nil {
+		return nil
+	}
+	if ck.Era != e.cfg.Era || !e.com.IsMember(env.From) {
+		return nil
+	}
+	if ck.Seq <= e.lowWater {
+		return nil
+	}
+	e.noteCheckpoint(ck.Seq, env.From, ck.Digest)
+	return nil
+}
+
+func (e *Engine) noteCheckpoint(seq uint64, from gcrypto.Address, digest gcrypto.Hash) {
+	m := e.checkpoints[seq]
+	if m == nil {
+		m = make(map[gcrypto.Address]gcrypto.Hash)
+		e.checkpoints[seq] = m
+	}
+	m[from] = digest
+	// Count signatures matching our own executed digest (if known);
+	// otherwise the majority digest.
+	own, haveOwn := e.ownDigests[seq]
+	counts := make(map[gcrypto.Hash]int)
+	for _, d := range m {
+		counts[d]++
+	}
+	for d, c := range counts {
+		if c >= e.com.Quorum() && (!haveOwn || d == own) {
+			e.stabilizeCheckpoint(seq)
+			return
+		}
+	}
+}
+
+// stabilizeCheckpoint garbage-collects the log below seq.
+func (e *Engine) stabilizeCheckpoint(seq uint64) {
+	if seq <= e.lowWater {
+		return
+	}
+	e.lowWater = seq
+	for s := range e.insts {
+		if s <= seq {
+			delete(e.insts, s)
+		}
+	}
+	for s := range e.checkpoints {
+		if s <= seq {
+			delete(e.checkpoints, s)
+		}
+	}
+	for s := range e.ownDigests {
+		if s < seq {
+			delete(e.ownDigests, s)
+		}
+	}
+}
+
+// --- progress timer ---
+
+func (e *Engine) hasOutstandingWork() bool {
+	if e.cfg.App.PendingTxs() > 0 {
+		return true
+	}
+	for s, inst := range e.insts {
+		if s >= e.execNext && inst.prePrepare != nil && !inst.executed {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureProgressTimer arms the progress timer if there is outstanding
+// work and none is armed.
+func (e *Engine) ensureProgressTimer(acts []consensus.Action) []consensus.Action {
+	if e.inViewChange || e.progressTID != 0 || !e.hasOutstandingWork() {
+		return acts
+	}
+	id := e.cfg.Timers.Next()
+	e.progressTID = id
+	e.timers[id] = timerProgress
+	return append(acts, consensus.StartTimer{ID: id, Delay: e.cfg.ViewChangeTimeout})
+}
+
+// resetProgressTimer stops any armed progress timer and re-arms if
+// needed.
+func (e *Engine) resetProgressTimer(acts []consensus.Action) []consensus.Action {
+	if e.progressTID != 0 {
+		acts = append(acts, consensus.StopTimer{ID: e.progressTID})
+		delete(e.timers, e.progressTID)
+		e.progressTID = 0
+	}
+	return e.ensureProgressTimer(acts)
+}

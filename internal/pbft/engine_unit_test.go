@@ -1,0 +1,498 @@
+package pbft_test
+
+import (
+	"testing"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/ledger"
+	"gpbft/internal/pbft"
+	"gpbft/internal/runtime"
+	"gpbft/internal/types"
+)
+
+// unitRig drives ONE engine directly with hand-crafted peer envelopes.
+type unitRig struct {
+	t       *testing.T
+	genesis *ledger.Genesis
+	com     *consensus.Committee
+	keys    []*gcrypto.KeyPair // committee keys, index-aligned with com order
+	self    int                // which committee member the engine embodies
+	eng     *pbft.Engine
+	app     *runtime.App
+}
+
+// newUnitRig builds a 4-member committee and an engine for the member
+// at sorted position selfPos.
+func newUnitRig(t *testing.T, selfPos int) *unitRig {
+	t.Helper()
+	g := &ledger.Genesis{ChainID: "unit", Timestamp: epoch, Policy: ledger.DefaultPolicy()}
+	raw := make(map[gcrypto.Address]*gcrypto.KeyPair)
+	for i := 0; i < 4; i++ {
+		kp := gcrypto.DeterministicKeyPair(i)
+		raw[kp.Address()] = kp
+		g.Endorsers = append(g.Endorsers, types.EndorserInfo{
+			Address: kp.Address(), PubKey: kp.Public(),
+			Geohash: geo.MustEncode(geo.Point{Lng: 114.18, Lat: 22.3}, geo.CSCPrecision),
+		})
+	}
+	com, err := consensus.NewCommittee(g.Endorsers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]*gcrypto.KeyPair, 4)
+	for i := 0; i < 4; i++ {
+		keys[i] = raw[com.Member(i).Address]
+	}
+	chain, err := ledger.NewChain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := runtime.NewApp(chain, runtime.NewMempool(0), keys[selfPos].Address(), epoch, 8)
+	eng, err := pbft.New(pbft.Config{
+		Committee: com, Key: keys[selfPos], App: app,
+		Timers: consensus.NewTimerAllocator(), StartHeight: 1,
+		ViewChangeTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &unitRig{t: t, genesis: g, com: com, keys: keys, self: selfPos, eng: eng, app: app}
+}
+
+// primaryPos returns the committee position of view 0's primary.
+func (r *unitRig) primaryPos() int {
+	return r.com.IndexOf(r.com.Primary(0))
+}
+
+// proposal builds a valid height-1 block proposed by view-0's primary.
+func (r *unitRig) proposal(txs ...types.Transaction) (*types.Block, *consensus.Envelope) {
+	chain, _ := ledger.NewChain(r.genesis)
+	b := types.NewBlock(types.BlockHeader{
+		Height: 1, Era: 0, View: 0, Seq: 1,
+		PrevHash:  chain.Head().Hash(),
+		Proposer:  r.com.Primary(0),
+		Timestamp: epoch.Add(time.Second),
+	}, txs)
+	pp := &pbft.PrePrepare{Era: 0, View: 0, Seq: 1, Digest: b.Hash(), Block: *b}
+	return b, consensus.Seal(r.keys[r.primaryPos()], pp)
+}
+
+// prepareFrom seals a prepare for digest from committee position i.
+func (r *unitRig) prepareFrom(i int, digest gcrypto.Hash) *consensus.Envelope {
+	return consensus.Seal(r.keys[i], &pbft.Prepare{Era: 0, View: 0, Seq: 1, Digest: digest})
+}
+
+// commitFrom seals a commit (with valid CertSig) from position i.
+func (r *unitRig) commitFrom(i int, digest gcrypto.Hash) *consensus.Envelope {
+	return consensus.Seal(r.keys[i], &pbft.Commit{
+		Era: 0, View: 0, Seq: 1, Digest: digest,
+		CertSig: r.keys[i].Sign(types.VoteDigest(digest, 0, 0)),
+	})
+}
+
+// hasKind reports whether the actions contain a broadcast of `kind`.
+func hasKind(acts []consensus.Action, kind consensus.MsgKind) bool {
+	for _, a := range acts {
+		switch v := a.(type) {
+		case consensus.Broadcast:
+			if v.Env.MsgKind == kind {
+				return true
+			}
+		case consensus.Send:
+			if v.Env.MsgKind == kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commits extracts CommitBlock actions.
+func commitsOf(acts []consensus.Action) []*types.Block {
+	var out []*types.Block
+	for _, a := range acts {
+		if cb, ok := a.(consensus.CommitBlock); ok {
+			out = append(out, cb.Block)
+		}
+	}
+	return out
+}
+
+// backupPos returns a committee position that is not the primary and
+// not `exclude`.
+func (r *unitRig) backupPos(exclude int) int {
+	for i := 0; i < 4; i++ {
+		if i != r.primaryPos() && i != exclude {
+			return i
+		}
+	}
+	panic("unreachable")
+}
+
+func TestBackupThreePhaseFlow(t *testing.T) {
+	// Engine embodies a backup; feed it pre-prepare, prepares, commits
+	// from the three other members and watch it execute.
+	prim := newUnitRig(t, 0).primaryPos()
+	selfPos := (prim + 1) % 4
+	r := newUnitRig(t, selfPos)
+	r.eng.Init(0)
+
+	tx := clientTx(0, 1)
+	block, ppEnv := r.proposal(*tx)
+	digest := block.Hash()
+
+	acts := r.eng.OnEnvelope(0, ppEnv)
+	if !hasKind(acts, consensus.KindPrepare) {
+		t.Fatal("backup must multicast prepare after accepting pre-prepare")
+	}
+	// Two more prepares (from the two other backups) complete 2f=2
+	// prepares plus the pre-prepare.
+	var all []consensus.Action
+	for i := 0; i < 4; i++ {
+		if i == selfPos || i == prim {
+			continue
+		}
+		all = append(all, r.eng.OnEnvelope(0, r.prepareFrom(i, digest))...)
+	}
+	if !hasKind(all, consensus.KindCommit) {
+		t.Fatal("backup must multicast commit once prepared")
+	}
+	// Commits: own (implicit) + two others = 3 = quorum.
+	var done []consensus.Action
+	for i := 0; i < 4; i++ {
+		if i == selfPos {
+			continue
+		}
+		done = append(done, r.eng.OnEnvelope(0, r.commitFrom(i, digest))...)
+		if len(commitsOf(done)) > 0 {
+			break
+		}
+	}
+	blocks := commitsOf(done)
+	if len(blocks) != 1 || blocks[0].Hash() != digest {
+		t.Fatal("backup did not execute the committed block")
+	}
+	if blocks[0].Cert == nil {
+		t.Fatal("executed block missing certificate")
+	}
+	if err := blocks[0].Cert.Verify(digest, r.com.Keys(), r.com.Quorum()); err != nil {
+		t.Fatalf("certificate invalid: %v", err)
+	}
+	if r.eng.NextSeq() != 2 {
+		t.Fatalf("NextSeq=%d", r.eng.NextSeq())
+	}
+}
+
+func TestPrePrepareRejections(t *testing.T) {
+	prim := newUnitRig(t, 0).primaryPos()
+	selfPos := (prim + 1) % 4
+	r := newUnitRig(t, selfPos)
+	r.eng.Init(0)
+
+	tx := clientTx(0, 1)
+	block, _ := r.proposal(*tx)
+
+	// Pre-prepare from a non-primary member is ignored.
+	bad := consensus.Seal(r.keys[r.backupPos(selfPos)], &pbft.PrePrepare{
+		Era: 0, View: 0, Seq: 1, Digest: block.Hash(), Block: *block,
+	})
+	if acts := r.eng.OnEnvelope(0, bad); hasKind(acts, consensus.KindPrepare) {
+		t.Fatal("pre-prepare from non-primary must be ignored")
+	}
+
+	// Digest mismatch is ignored.
+	badDigest := consensus.Seal(r.keys[prim], &pbft.PrePrepare{
+		Era: 0, View: 0, Seq: 1, Digest: gcrypto.HashBytes([]byte("wrong")), Block: *block,
+	})
+	if acts := r.eng.OnEnvelope(0, badDigest); hasKind(acts, consensus.KindPrepare) {
+		t.Fatal("digest mismatch must be ignored")
+	}
+
+	// Wrong era is ignored.
+	wrongEra := consensus.Seal(r.keys[prim], &pbft.PrePrepare{
+		Era: 9, View: 0, Seq: 1, Digest: block.Hash(), Block: *block,
+	})
+	if acts := r.eng.OnEnvelope(0, wrongEra); hasKind(acts, consensus.KindPrepare) {
+		t.Fatal("wrong era must be ignored")
+	}
+
+	// Seq far beyond the watermark window is ignored.
+	far := *block
+	far.Header.Seq = 1000
+	farEnv := consensus.Seal(r.keys[prim], &pbft.PrePrepare{
+		Era: 0, View: 0, Seq: 1000, Digest: far.Hash(), Block: far,
+	})
+	if acts := r.eng.OnEnvelope(0, farEnv); hasKind(acts, consensus.KindPrepare) {
+		t.Fatal("out-of-window seq must be ignored")
+	}
+}
+
+func TestEquivocationSecondProposalIgnored(t *testing.T) {
+	prim := newUnitRig(t, 0).primaryPos()
+	selfPos := (prim + 1) % 4
+	r := newUnitRig(t, selfPos)
+	r.eng.Init(0)
+
+	b1, pp1 := r.proposal(*clientTx(0, 1))
+	b2, pp2 := r.proposal(*clientTx(1, 2))
+	if b1.Hash() == b2.Hash() {
+		t.Fatal("test blocks must differ")
+	}
+	if acts := r.eng.OnEnvelope(0, pp1); !hasKind(acts, consensus.KindPrepare) {
+		t.Fatal("first proposal should be accepted")
+	}
+	// The equivocating second proposal for the same (view, seq) must
+	// not produce a second prepare.
+	if acts := r.eng.OnEnvelope(0, pp2); hasKind(acts, consensus.KindPrepare) {
+		t.Fatal("equivocating proposal must be refused")
+	}
+}
+
+func TestCommitWithInvalidCertSigDoesNotCount(t *testing.T) {
+	prim := newUnitRig(t, 0).primaryPos()
+	selfPos := (prim + 1) % 4
+	r := newUnitRig(t, selfPos)
+	r.eng.Init(0)
+
+	block, ppEnv := r.proposal(*clientTx(0, 1))
+	digest := block.Hash()
+	r.eng.OnEnvelope(0, ppEnv)
+	for i := 0; i < 4; i++ {
+		if i != selfPos && i != prim {
+			r.eng.OnEnvelope(0, r.prepareFrom(i, digest))
+		}
+	}
+	// One Byzantine member (f=1) sends a commit with a garbage
+	// certificate signature, and one honest member sends a valid one:
+	// together with our own vote that is 3 commit MESSAGES but only 2
+	// valid votes — the engine must NOT execute yet.
+	byz := r.backupPos(selfPos)
+	bad := consensus.Seal(r.keys[byz], &pbft.Commit{
+		Era: 0, View: 0, Seq: 1, Digest: digest, CertSig: []byte("garbage"),
+	})
+	var acts []consensus.Action
+	acts = append(acts, r.eng.OnEnvelope(0, bad)...)
+	honest1 := -1
+	for i := 0; i < 4; i++ {
+		if i != selfPos && i != byz {
+			honest1 = i
+			break
+		}
+	}
+	acts = append(acts, r.eng.OnEnvelope(0, r.commitFrom(honest1, digest))...)
+	if len(commitsOf(acts)) != 0 {
+		t.Fatal("garbage cert signature counted toward commit quorum")
+	}
+	// A second honest valid commit completes the quorum of VALID votes.
+	var done []consensus.Action
+	for i := 0; i < 4; i++ {
+		if i != selfPos && i != byz && i != honest1 {
+			done = append(done, r.eng.OnEnvelope(0, r.commitFrom(i, digest))...)
+		}
+	}
+	blocks := commitsOf(done)
+	if len(blocks) != 1 {
+		t.Fatal("valid commits must execute the block")
+	}
+	// And the assembled certificate verifies despite the Byzantine vote.
+	if err := blocks[0].Cert.Verify(digest, r.com.Keys(), r.com.Quorum()); err != nil {
+		t.Fatalf("certificate invalid: %v", err)
+	}
+}
+
+func TestDuplicateMessagesIdempotent(t *testing.T) {
+	// The engine embodies the PRIMARY: its own pre-prepare stands in
+	// for its prepare, so it needs 2f = 2 prepares from DISTINCT
+	// backups. One backup repeating its prepare five times must not
+	// suffice.
+	prim := newUnitRig(t, 0).primaryPos()
+	r := newUnitRig(t, prim)
+	r.eng.Init(0)
+
+	tx := clientTx(0, 1)
+	if err := r.app.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	acts := r.eng.OnRequest(0, tx)
+	if !hasKind(acts, consensus.KindPrePrepare) {
+		t.Fatal("primary must propose")
+	}
+	// Recover the digest of its own proposal.
+	var digest gcrypto.Hash
+	for _, a := range acts {
+		if bc, ok := a.(consensus.Broadcast); ok && bc.Env.MsgKind == consensus.KindPrePrepare {
+			var pp pbft.PrePrepare
+			if err := consensus.Open(bc.Env, consensus.KindPrePrepare, &pp); err != nil {
+				t.Fatal(err)
+			}
+			digest = pp.Digest
+		}
+	}
+	other := r.backupPos(prim)
+	var dupActs []consensus.Action
+	for k := 0; k < 5; k++ {
+		dupActs = append(dupActs, r.eng.OnEnvelope(0, r.prepareFrom(other, digest))...)
+	}
+	if hasKind(dupActs, consensus.KindCommit) {
+		t.Fatal("duplicate prepares from one backup must not reach prepared state")
+	}
+	// A second distinct backup completes it.
+	other2 := -1
+	for i := 0; i < 4; i++ {
+		if i != prim && i != other {
+			other2 = i
+			break
+		}
+	}
+	if acts := r.eng.OnEnvelope(0, r.prepareFrom(other2, digest)); !hasKind(acts, consensus.KindCommit) {
+		t.Fatal("two distinct prepares must reach prepared state")
+	}
+}
+
+func TestProgressTimerStartsViewChange(t *testing.T) {
+	prim := newUnitRig(t, 0).primaryPos()
+	selfPos := (prim + 1) % 4
+	r := newUnitRig(t, selfPos)
+	r.eng.Init(0)
+
+	// A request arrives (outstanding work), arming the progress timer.
+	// The runtime adds it to the pool before informing the engine.
+	tx := clientTx(0, 1)
+	if err := r.app.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	acts := r.eng.OnRequest(0, tx)
+	var timerID consensus.TimerID
+	for _, a := range acts {
+		if st, ok := a.(consensus.StartTimer); ok {
+			timerID = st.ID
+		}
+	}
+	if timerID == 0 {
+		t.Fatal("progress timer not armed on outstanding work")
+	}
+	// The timer fires with no progress: the backup must broadcast a
+	// view change for view 1.
+	vcActs := r.eng.OnTimer(time.Second, timerID)
+	if !hasKind(vcActs, consensus.KindViewChange) {
+		t.Fatal("progress timeout must start a view change")
+	}
+	if !r.eng.InViewChange() {
+		t.Fatal("engine must be in view change")
+	}
+}
+
+func TestNewViewFromQuorumOfViewChanges(t *testing.T) {
+	// The engine embodies view 1's primary; feed it 2f+1 view changes
+	// and it must broadcast a NewView and enter view 1.
+	probe := newUnitRig(t, 0)
+	v1prim := probe.com.IndexOf(probe.com.Primary(1))
+	r := newUnitRig(t, v1prim)
+	r.eng.Init(0)
+
+	var acts []consensus.Action
+	for i := 0; i < 4; i++ {
+		if i == v1prim {
+			continue
+		}
+		vc := consensus.Seal(r.keys[i], &pbft.ViewChange{Era: 0, NewView: 1, LastStable: 0})
+		acts = append(acts, r.eng.OnEnvelope(0, vc)...)
+	}
+	if !hasKind(acts, consensus.KindNewView) {
+		t.Fatal("new primary must broadcast NewView at 2f+1 view changes")
+	}
+	if r.eng.View() != 1 {
+		t.Fatalf("view=%d, want 1", r.eng.View())
+	}
+	if r.eng.InViewChange() {
+		t.Fatal("view change must be complete")
+	}
+	if r.eng.CompletedViewChanges() != 1 {
+		t.Fatal("completed view change not counted")
+	}
+}
+
+func TestBackupAdoptsNewView(t *testing.T) {
+	probe := newUnitRig(t, 0)
+	v1prim := probe.com.IndexOf(probe.com.Primary(1))
+	backup := (v1prim + 1) % 4
+	r := newUnitRig(t, backup)
+	r.eng.Init(0)
+
+	// Assemble a NewView with 2f+1 view-change envelopes.
+	var vcEnvs [][]byte
+	for i := 0; i < 4; i++ {
+		if i == backup {
+			continue
+		}
+		vc := consensus.Seal(r.keys[i], &pbft.ViewChange{Era: 0, NewView: 1, LastStable: 0})
+		vcEnvs = append(vcEnvs, consensus.EncodeEnvelope(vc))
+	}
+	nv := consensus.Seal(r.keys[v1prim], &pbft.NewView{Era: 0, View: 1, ViewChangeEnvs: vcEnvs})
+	r.eng.OnEnvelope(0, nv)
+	if r.eng.View() != 1 {
+		t.Fatalf("backup view=%d, want 1", r.eng.View())
+	}
+
+	// A NewView from the WRONG sender must be ignored.
+	r2 := newUnitRig(t, backup)
+	r2.eng.Init(0)
+	wrong := consensus.Seal(r2.keys[backup], &pbft.NewView{Era: 0, View: 1, ViewChangeEnvs: vcEnvs})
+	r2.eng.OnEnvelope(0, wrong)
+	if r2.eng.View() != 0 {
+		t.Fatal("NewView from non-primary must be ignored")
+	}
+
+	// A NewView without quorum must be ignored.
+	r3 := newUnitRig(t, backup)
+	r3.eng.Init(0)
+	short := consensus.Seal(r3.keys[v1prim], &pbft.NewView{Era: 0, View: 1, ViewChangeEnvs: vcEnvs[:1]})
+	r3.eng.OnEnvelope(0, short)
+	if r3.eng.View() != 0 {
+		t.Fatal("NewView without quorum must be ignored")
+	}
+}
+
+func TestJoinRuleFPlusOne(t *testing.T) {
+	// f+1 = 2 view changes for a higher view drag a quiet backup in.
+	prim := newUnitRig(t, 0).primaryPos()
+	selfPos := (prim + 1) % 4
+	r := newUnitRig(t, selfPos)
+	r.eng.Init(0)
+
+	i1 := r.backupPos(selfPos)
+	var acts []consensus.Action
+	vc1 := consensus.Seal(r.keys[i1], &pbft.ViewChange{Era: 0, NewView: 2, LastStable: 0})
+	acts = append(acts, r.eng.OnEnvelope(0, vc1)...)
+	if r.eng.InViewChange() {
+		t.Fatal("one view change must not trigger the join rule")
+	}
+	vc2 := consensus.Seal(r.keys[prim], &pbft.ViewChange{Era: 0, NewView: 2, LastStable: 0})
+	acts = append(acts, r.eng.OnEnvelope(0, vc2)...)
+	if !r.eng.InViewChange() {
+		t.Fatal("f+1 view changes must trigger the join rule")
+	}
+	if !hasKind(acts, consensus.KindViewChange) {
+		t.Fatal("joining must broadcast our own view change")
+	}
+}
+
+func TestAdvanceToSkipsSyncedHeights(t *testing.T) {
+	r := newUnitRig(t, 0)
+	r.eng.Init(0)
+	r.eng.AdvanceTo(0, 5)
+	if r.eng.NextSeq() != 6 {
+		t.Fatalf("NextSeq=%d after AdvanceTo(5)", r.eng.NextSeq())
+	}
+	if r.eng.LowWater() != 5 {
+		t.Fatalf("LowWater=%d", r.eng.LowWater())
+	}
+	// Advancing backwards is a no-op.
+	r.eng.AdvanceTo(0, 2)
+	if r.eng.NextSeq() != 6 {
+		t.Fatal("AdvanceTo must never regress")
+	}
+}

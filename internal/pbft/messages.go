@@ -1,0 +1,295 @@
+// Package pbft implements Practical Byzantine Fault Tolerance (Castro
+// & Liskov, OSDI '99) as an event-driven engine: the three normal-case
+// phases (pre-prepare, prepare, commit), checkpointing with watermarks,
+// and view change with new-view certificates. It is both the paper's
+// comparison baseline and the intra-era consensus core of G-PBFT
+// ("each era is an intact PBFT algorithm", Section III-E).
+//
+// Simplifications relative to the original, chosen to match the
+// chain-of-blocks setting: the sequence number equals the block height,
+// and at most one proposal is in flight at a time (the next block can
+// only extend the committed head). Requests are transactions; replies
+// are implicit — a client observes its transaction in a committed
+// block, which is exactly how the paper measures consensus latency
+// ("from the time when a transaction is sent to an endorser to the
+// time when the transaction is written to the ledger").
+package pbft
+
+import (
+	"gpbft/internal/codec"
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// Request carries a client transaction to an endorser (and between
+// endorsers, when a backup forwards it to the primary). The client's
+// own signature lives inside the transaction; the envelope seal
+// authenticates the forwarder.
+type Request struct {
+	Tx types.Transaction
+}
+
+// Kind implements consensus.Payload.
+func (*Request) Kind() consensus.MsgKind { return consensus.KindRequest }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *Request) MarshalCanonical(w *codec.Writer) {
+	m.Tx.MarshalCanonical(w)
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *Request) UnmarshalCanonical(r *codec.Reader) error {
+	return m.Tx.UnmarshalCanonical(r)
+}
+
+// PrePrepare is the primary's proposal for (era, view, seq): the full
+// block piggybacked with its digest.
+type PrePrepare struct {
+	Era    uint64
+	View   uint64
+	Seq    uint64
+	Digest gcrypto.Hash
+	Block  types.Block
+}
+
+// Kind implements consensus.Payload.
+func (*PrePrepare) Kind() consensus.MsgKind { return consensus.KindPrePrepare }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *PrePrepare) MarshalCanonical(w *codec.Writer) {
+	w.Uint64(m.Era)
+	w.Uint64(m.View)
+	w.Uint64(m.Seq)
+	w.Raw(m.Digest[:])
+	m.Block.MarshalCanonical(w)
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *PrePrepare) UnmarshalCanonical(r *codec.Reader) error {
+	m.Era = r.Uint64()
+	m.View = r.Uint64()
+	m.Seq = r.Uint64()
+	r.RawInto(m.Digest[:])
+	return m.Block.UnmarshalCanonical(r)
+}
+
+// Prepare is a backup's agreement to the proposal digest.
+type Prepare struct {
+	Era    uint64
+	View   uint64
+	Seq    uint64
+	Digest gcrypto.Hash
+}
+
+// Kind implements consensus.Payload.
+func (*Prepare) Kind() consensus.MsgKind { return consensus.KindPrepare }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *Prepare) MarshalCanonical(w *codec.Writer) {
+	w.Uint64(m.Era)
+	w.Uint64(m.View)
+	w.Uint64(m.Seq)
+	w.Raw(m.Digest[:])
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *Prepare) UnmarshalCanonical(r *codec.Reader) error {
+	m.Era = r.Uint64()
+	m.View = r.Uint64()
+	m.Seq = r.Uint64()
+	r.RawInto(m.Digest[:])
+	return r.Err()
+}
+
+// Commit is a replica's commit vote. CertSig additionally signs the
+// types.VoteDigest of the block so commits double as certificate votes
+// that third parties (clients, late joiners) can verify on the block.
+type Commit struct {
+	Era     uint64
+	View    uint64
+	Seq     uint64
+	Digest  gcrypto.Hash
+	CertSig []byte
+}
+
+// Kind implements consensus.Payload.
+func (*Commit) Kind() consensus.MsgKind { return consensus.KindCommit }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *Commit) MarshalCanonical(w *codec.Writer) {
+	w.Uint64(m.Era)
+	w.Uint64(m.View)
+	w.Uint64(m.Seq)
+	w.Raw(m.Digest[:])
+	w.WriteBytes(m.CertSig)
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *Commit) UnmarshalCanonical(r *codec.Reader) error {
+	m.Era = r.Uint64()
+	m.View = r.Uint64()
+	m.Seq = r.Uint64()
+	r.RawInto(m.Digest[:])
+	m.CertSig = r.ReadBytes()
+	return r.Err()
+}
+
+// Checkpoint attests that the replica executed through Seq with the
+// given block digest; 2f+1 matching checkpoints form a stable
+// checkpoint and let replicas garbage-collect their logs.
+type Checkpoint struct {
+	Era    uint64
+	Seq    uint64
+	Digest gcrypto.Hash
+}
+
+// Kind implements consensus.Payload.
+func (*Checkpoint) Kind() consensus.MsgKind { return consensus.KindCheckpoint }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *Checkpoint) MarshalCanonical(w *codec.Writer) {
+	w.Uint64(m.Era)
+	w.Uint64(m.Seq)
+	w.Raw(m.Digest[:])
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *Checkpoint) UnmarshalCanonical(r *codec.Reader) error {
+	m.Era = r.Uint64()
+	m.Seq = r.Uint64()
+	r.RawInto(m.Digest[:])
+	return r.Err()
+}
+
+// PreparedProof shows that a proposal reached prepared state: the
+// pre-prepare envelope plus 2f prepare envelopes from distinct
+// replicas. It rides inside a ViewChange so the new primary can
+// re-propose the value.
+type PreparedProof struct {
+	Seq           uint64
+	View          uint64
+	Digest        gcrypto.Hash
+	PrePrepareEnv []byte   // encoded consensus.Envelope
+	PrepareEnvs   [][]byte // encoded consensus.Envelopes
+}
+
+// MarshalCanonical implements codec.Marshaler.
+func (p *PreparedProof) MarshalCanonical(w *codec.Writer) {
+	w.Uint64(p.Seq)
+	w.Uint64(p.View)
+	w.Raw(p.Digest[:])
+	w.WriteBytes(p.PrePrepareEnv)
+	w.Count(len(p.PrepareEnvs))
+	for _, e := range p.PrepareEnvs {
+		w.WriteBytes(e)
+	}
+}
+
+// UnmarshalCanonical decodes the proof.
+func (p *PreparedProof) UnmarshalCanonical(r *codec.Reader) error {
+	p.Seq = r.Uint64()
+	p.View = r.Uint64()
+	r.RawInto(p.Digest[:])
+	p.PrePrepareEnv = r.ReadBytes()
+	n := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	p.PrepareEnvs = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		p.PrepareEnvs[i] = r.ReadBytes()
+	}
+	return r.Err()
+}
+
+// ViewChange announces that a replica wants to move to NewView,
+// carrying its last stable checkpoint and any prepared-but-unexecuted
+// proposal above it.
+type ViewChange struct {
+	Era        uint64
+	NewView    uint64
+	LastStable uint64
+	Prepared   []PreparedProof
+}
+
+// Kind implements consensus.Payload.
+func (*ViewChange) Kind() consensus.MsgKind { return consensus.KindViewChange }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *ViewChange) MarshalCanonical(w *codec.Writer) {
+	w.Uint64(m.Era)
+	w.Uint64(m.NewView)
+	w.Uint64(m.LastStable)
+	w.Count(len(m.Prepared))
+	for i := range m.Prepared {
+		m.Prepared[i].MarshalCanonical(w)
+	}
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *ViewChange) UnmarshalCanonical(r *codec.Reader) error {
+	m.Era = r.Uint64()
+	m.NewView = r.Uint64()
+	m.LastStable = r.Uint64()
+	n := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Prepared = make([]PreparedProof, n)
+	for i := 0; i < n; i++ {
+		if err := m.Prepared[i].UnmarshalCanonical(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// NewView is the new primary's proof that 2f+1 replicas agreed to the
+// view change, plus the pre-prepares it re-issues for prepared values.
+type NewView struct {
+	Era            uint64
+	View           uint64
+	ViewChangeEnvs [][]byte // 2f+1 encoded ViewChange envelopes
+	PrePrepares    [][]byte // encoded PrePrepare envelopes to adopt
+}
+
+// Kind implements consensus.Payload.
+func (*NewView) Kind() consensus.MsgKind { return consensus.KindNewView }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *NewView) MarshalCanonical(w *codec.Writer) {
+	w.Uint64(m.Era)
+	w.Uint64(m.View)
+	w.Count(len(m.ViewChangeEnvs))
+	for _, e := range m.ViewChangeEnvs {
+		w.WriteBytes(e)
+	}
+	w.Count(len(m.PrePrepares))
+	for _, e := range m.PrePrepares {
+		w.WriteBytes(e)
+	}
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *NewView) UnmarshalCanonical(r *codec.Reader) error {
+	m.Era = r.Uint64()
+	m.View = r.Uint64()
+	n := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.ViewChangeEnvs = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		m.ViewChangeEnvs[i] = r.ReadBytes()
+	}
+	k := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.PrePrepares = make([][]byte, k)
+	for i := 0; i < k; i++ {
+		m.PrePrepares[i] = r.ReadBytes()
+	}
+	return r.Err()
+}

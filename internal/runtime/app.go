@@ -1,0 +1,99 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/ledger"
+	"gpbft/internal/types"
+)
+
+// DefaultBatchSize is the maximum transactions packed per block.
+const DefaultBatchSize = 64
+
+// App implements the Application surface engines drive blocks through,
+// backed by a chain and a mempool.
+type App struct {
+	chain *ledger.Chain
+	pool  *Mempool
+	self  gcrypto.Address
+	// epoch anchors consensus.Time (relative) to wall-clock block
+	// timestamps.
+	epoch time.Time
+	batch int
+}
+
+// NewApp wires an application for one node.
+func NewApp(chain *ledger.Chain, pool *Mempool, self gcrypto.Address, epoch time.Time, batchSize int) *App {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &App{chain: chain, pool: pool, self: self, epoch: epoch, batch: batchSize}
+}
+
+// Chain returns the underlying chain.
+func (a *App) Chain() *ledger.Chain { return a.chain }
+
+// Pool returns the mempool.
+func (a *App) Pool() *Mempool { return a.pool }
+
+// WallTime converts engine time to wall-clock time.
+func (a *App) WallTime(now consensus.Time) time.Time { return a.epoch.Add(now) }
+
+// BuildBlock implements consensus.Application: it assembles the next
+// block from pending transactions, or returns nil when there is
+// nothing to propose.
+func (a *App) BuildBlock(now consensus.Time, era, view, seq uint64) *types.Block {
+	head := a.chain.Head()
+	if seq != head.Header.Height+1 {
+		return nil // engine and chain disagree; sync first
+	}
+	txs := a.pool.Peek(a.batch)
+	if len(txs) == 0 {
+		return nil
+	}
+	return types.NewBlock(types.BlockHeader{
+		Height:    seq,
+		Era:       era,
+		View:      view,
+		Seq:       seq,
+		PrevHash:  head.Hash(),
+		Proposer:  a.self,
+		Timestamp: a.WallTime(now),
+	}, txs)
+}
+
+// ValidateBlock implements consensus.Application.
+func (a *App) ValidateBlock(b *types.Block) error {
+	return a.chain.ValidateBlock(b)
+}
+
+// SubmitTx implements pbft.Application: verify, dedup, enqueue.
+func (a *App) SubmitTx(tx *types.Transaction) error {
+	if err := tx.Verify(); err != nil {
+		return err
+	}
+	err := a.pool.Add(tx)
+	if err == ErrTxDuplicate {
+		return nil // idempotent submission
+	}
+	return err
+}
+
+// PendingTxs implements pbft.Application.
+func (a *App) PendingTxs() int { return a.pool.Len() }
+
+// PendingList implements pbft.Application.
+func (a *App) PendingList(max int) []types.Transaction { return a.pool.Peek(max) }
+
+// Commit applies a decided block to the chain and clears its
+// transactions from the pool.
+func (a *App) Commit(b *types.Block) error {
+	if err := a.chain.AddBlock(b); err != nil {
+		return fmt.Errorf("runtime: commit height %d: %w", b.Header.Height, err)
+	}
+	a.pool.MarkCommitted(b.Txs)
+	return nil
+}

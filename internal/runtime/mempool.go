@@ -1,0 +1,148 @@
+// Package runtime wires an engine to a chain: the mempool, the
+// Application implementation engines build and validate blocks
+// through, and the Node wrapper that executes engine actions against a
+// pluggable executor (the discrete-event simulator or the real-time
+// transport runner).
+package runtime
+
+import (
+	"errors"
+	"sync"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// DefaultMempoolCap bounds the pending pool.
+const DefaultMempoolCap = 100000
+
+// Errors returned by the mempool.
+var (
+	ErrPoolFull    = errors.New("runtime: mempool full")
+	ErrTxDuplicate = errors.New("runtime: transaction already pending or committed")
+)
+
+// Mempool is a FIFO transaction pool with duplicate suppression, safe
+// for concurrent use.
+type Mempool struct {
+	mu        sync.Mutex
+	queue     []*types.Transaction
+	pending   map[gcrypto.Hash]bool
+	committed map[gcrypto.Hash]bool
+	oldGen    map[gcrypto.Hash]bool // previous committed generation
+	cap       int
+	genLimit  int
+}
+
+// NewMempool creates a pool with the given capacity (0 = default).
+func NewMempool(capacity int) *Mempool {
+	if capacity <= 0 {
+		capacity = DefaultMempoolCap
+	}
+	return &Mempool{
+		pending:   make(map[gcrypto.Hash]bool),
+		committed: make(map[gcrypto.Hash]bool),
+		oldGen:    make(map[gcrypto.Hash]bool),
+		cap:       capacity,
+		genLimit:  4 * capacity,
+	}
+}
+
+// Add inserts a transaction unless it is already pending or was
+// committed recently.
+func (m *Mempool) Add(tx *types.Transaction) error {
+	id := tx.ID()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending[id] || m.committed[id] || m.oldGen[id] {
+		return ErrTxDuplicate
+	}
+	if len(m.queue) >= m.cap {
+		return ErrPoolFull
+	}
+	m.pending[id] = true
+	m.queue = append(m.queue, tx)
+	return nil
+}
+
+// Peek returns up to n transactions in FIFO order without removing
+// them.
+func (m *Mempool) Peek(n int) []types.Transaction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > len(m.queue) {
+		n = len(m.queue)
+	}
+	out := make([]types.Transaction, n)
+	for i := 0; i < n; i++ {
+		out[i] = *m.queue[i]
+	}
+	return out
+}
+
+// MarkCommitted removes the given transactions from the pool and
+// remembers their IDs so re-submissions are suppressed.
+func (m *Mempool) MarkCommitted(txs []types.Transaction) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make(map[gcrypto.Hash]bool, len(txs))
+	for i := range txs {
+		id := txs[i].ID()
+		ids[id] = true
+		delete(m.pending, id)
+		m.committed[id] = true
+	}
+	if len(ids) > 0 {
+		filtered := m.queue[:0]
+		for _, tx := range m.queue {
+			if !ids[tx.ID()] {
+				filtered = append(filtered, tx)
+			}
+		}
+		m.queue = filtered
+	}
+	// Rotate committed generations to bound memory.
+	if len(m.committed) > m.genLimit {
+		m.oldGen = m.committed
+		m.committed = make(map[gcrypto.Hash]bool)
+	}
+}
+
+// Drop removes a pending transaction without remembering it as
+// committed (stale era-switch proposals are discarded this way).
+func (m *Mempool) Drop(id gcrypto.Hash) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.pending[id] {
+		return
+	}
+	delete(m.pending, id)
+	filtered := m.queue[:0]
+	for _, tx := range m.queue {
+		if tx.ID() != id {
+			filtered = append(filtered, tx)
+		}
+	}
+	m.queue = filtered
+}
+
+// Len returns the number of pending transactions.
+func (m *Mempool) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Contains reports whether a transaction is pending.
+func (m *Mempool) Contains(id gcrypto.Hash) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pending[id]
+}
+
+// WasCommitted reports whether the pool remembers the tx as committed.
+func (m *Mempool) WasCommitted(id gcrypto.Hash) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.committed[id] || m.oldGen[id]
+}

@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"errors"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/ledger"
+	"gpbft/internal/types"
+)
+
+// Executor is the environment a node executes engine actions against.
+// The discrete-event simulator and the real-time transport runner each
+// provide one.
+type Executor interface {
+	// Send transmits an envelope to a peer.
+	Send(to gcrypto.Address, env *consensus.Envelope)
+	// SetTimer schedules OnTimer(id) after delay.
+	SetTimer(id consensus.TimerID, delay consensus.Time)
+	// CancelTimer cancels a pending timer (best effort).
+	CancelTimer(id consensus.TimerID)
+}
+
+// Node binds an engine, its application, and an executor. Node methods
+// must be invoked from a single event loop (the simulator or the
+// transport runner's loop); they are not concurrency-safe themselves.
+type Node struct {
+	ID     gcrypto.Address
+	Key    *gcrypto.KeyPair
+	App    *App
+	Engine consensus.Engine
+	Exec   Executor
+
+	// OnCommit, if set, observes every committed block (metrics).
+	OnCommit func(now consensus.Time, b *types.Block)
+	// OnEraSwitch, if set, observes completed era switches.
+	OnEraSwitch func(now consensus.Time, era uint64, committee []gcrypto.Address)
+	// CommitErr records the first commit failure (a bug or a fork).
+	CommitErr error
+}
+
+// Start runs the engine's Init.
+func (n *Node) Start(now consensus.Time) {
+	n.apply(now, n.Engine.Init(now))
+}
+
+// HandleMessage makes Node satisfy the simulator's Handler interface.
+func (n *Node) HandleMessage(now consensus.Time, env *consensus.Envelope) {
+	n.Deliver(now, env)
+}
+
+// HandleTimer makes Node satisfy the simulator's Handler interface.
+func (n *Node) HandleTimer(now consensus.Time, id consensus.TimerID) {
+	n.Fire(now, id)
+}
+
+// Deliver feeds a received envelope to the engine.
+func (n *Node) Deliver(now consensus.Time, env *consensus.Envelope) {
+	n.apply(now, n.Engine.OnEnvelope(now, env))
+}
+
+// Fire feeds a timer expiry to the engine.
+func (n *Node) Fire(now consensus.Time, id consensus.TimerID) {
+	n.apply(now, n.Engine.OnTimer(now, id))
+}
+
+// Submit injects a locally received transaction: into the mempool and
+// to the engine for proposal/forwarding.
+func (n *Node) Submit(now consensus.Time, tx *types.Transaction) error {
+	if err := n.App.SubmitTx(tx); err != nil {
+		return err
+	}
+	n.apply(now, n.Engine.OnRequest(now, tx))
+	return nil
+}
+
+// apply executes the actions an engine step produced. After CommitBlock
+// actions have been applied to the chain, engines implementing
+// consensus.CommitNotifiable get a follow-up step so they can propose
+// on top of the new head.
+func (n *Node) apply(now consensus.Time, acts []consensus.Action) {
+	committed := n.applyList(now, acts)
+	for depth := 0; committed && depth < 4; depth++ {
+		cn, ok := n.Engine.(consensus.CommitNotifiable)
+		if !ok {
+			break
+		}
+		committed = n.applyList(now, cn.OnCommitApplied(now))
+	}
+}
+
+func (n *Node) applyList(now consensus.Time, acts []consensus.Action) (committed bool) {
+	for _, a := range acts {
+		switch act := a.(type) {
+		case consensus.Send:
+			n.Exec.Send(act.To, act.Env)
+		case consensus.Broadcast:
+			for _, to := range act.To {
+				n.Exec.Send(to, act.Env)
+			}
+		case consensus.CommitBlock:
+			if err := n.App.Commit(act.Block); err != nil {
+				// A block can arrive both via consensus and via block
+				// sync; the second application is a benign duplicate.
+				if !errors.Is(err, ledger.ErrDuplicateBlock) && n.CommitErr == nil {
+					n.CommitErr = err
+				}
+				continue
+			}
+			committed = true
+			if n.OnCommit != nil {
+				n.OnCommit(now, act.Block)
+			}
+		case consensus.StartTimer:
+			n.Exec.SetTimer(act.ID, act.Delay)
+		case consensus.StopTimer:
+			n.Exec.CancelTimer(act.ID)
+		case consensus.EraSwitched:
+			if n.OnEraSwitch != nil {
+				n.OnEraSwitch(now, act.Era, act.Committee)
+			}
+		}
+	}
+	return committed
+}

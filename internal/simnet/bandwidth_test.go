@@ -1,0 +1,52 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBandwidthAddsTransmissionDelay(t *testing.T) {
+	e := env(0)
+	size := e.WireSize() + DefaultWireOverhead
+	// 1 KB/s link: a ~300-byte message takes ~0.3 s of serialization.
+	n := New(Config{Latency: UniformLatency{BytesPerSec: 1024}})
+	nodeIDs := ids(2)
+	rec := &recorder{}
+	n.AddNode(nodeIDs[0], nil)
+	n.AddNode(nodeIDs[1], rec)
+	n.Schedule(0, func(consensus0 time.Duration) { n.Send(nodeIDs[0], nodeIDs[1], e) })
+	n.RunUntilIdle(time.Minute)
+	if len(rec.msgs) != 1 {
+		t.Fatal("not delivered")
+	}
+	want := time.Duration(float64(size) / 1024 * float64(time.Second))
+	got := rec.msgs[0]
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("delivery at %v, want ~%v for %d bytes at 1KB/s", got, want, size)
+	}
+}
+
+func TestZeroLatencyModel(t *testing.T) {
+	n := New(Config{}) // nil latency model
+	nodeIDs := ids(2)
+	rec := &recorder{}
+	n.AddNode(nodeIDs[0], nil)
+	n.AddNode(nodeIDs[1], rec)
+	n.Schedule(0, func(time.Duration) { n.Send(nodeIDs[0], nodeIDs[1], env(0)) })
+	n.RunUntilIdle(time.Second)
+	if len(rec.msgs) != 1 || rec.msgs[0] != 0 {
+		t.Fatalf("zero-cost config must deliver instantly, got %v", rec.msgs)
+	}
+}
+
+func TestSendToUnknownNodeIsDroppedButMetered(t *testing.T) {
+	n := New(Config{})
+	nodeIDs := ids(2)
+	n.AddNode(nodeIDs[0], nil)
+	// nodeIDs[1] never registered.
+	n.Schedule(0, func(time.Duration) { n.Send(nodeIDs[0], nodeIDs[1], env(0)) })
+	n.RunUntilIdle(time.Second)
+	if n.Traffic().Messages() != 1 {
+		t.Fatal("transmission to unknown receiver still hits the wire")
+	}
+}

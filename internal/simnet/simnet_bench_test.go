@@ -1,0 +1,31 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"gpbft/internal/consensus"
+)
+
+// BenchmarkEventThroughput measures raw simulator event processing: a
+// ring of nodes forwarding a token.
+func BenchmarkEventThroughput(b *testing.B) {
+	const ring = 8
+	n := New(Config{ProcTime: time.Microsecond, SendTime: time.Microsecond})
+	nodeIDs := ids(ring)
+	token := env(0)
+	for i := 0; i < ring; i++ {
+		me, next := nodeIDs[i], nodeIDs[(i+1)%ring]
+		rec := &recorder{}
+		rec.onMsg = func(now consensus.Time, e *consensus.Envelope) {
+			n.Send(me, next, e)
+		}
+		n.AddNode(me, rec)
+	}
+	n.Schedule(0, func(consensus.Time) { n.Send(nodeIDs[0], nodeIDs[1], token) })
+	b.ResetTimer()
+	// Each Run step drains as many events as fit one simulated second.
+	for i := 0; i < b.N; i++ {
+		n.Run(n.Now() + time.Second)
+	}
+}

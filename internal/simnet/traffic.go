@@ -1,0 +1,84 @@
+package simnet
+
+import (
+	"sort"
+
+	"gpbft/internal/consensus"
+)
+
+// KindStat aggregates traffic for one message kind.
+type KindStat struct {
+	Kind  consensus.MsgKind
+	Count int64
+	Bytes int64
+}
+
+// Traffic meters every transmission attempt (the paper's communication
+// cost is wire traffic, so bytes are counted even when the simulator
+// later drops the message).
+type Traffic struct {
+	totalMsgs  int64
+	totalBytes int64
+	perKind    map[consensus.MsgKind]*KindStat
+	sentBy     map[NodeID]int64 // bytes
+	recvBy     map[NodeID]int64 // bytes (addressed-to, pre-drop)
+}
+
+// NewTraffic returns an empty meter.
+func NewTraffic() *Traffic {
+	return &Traffic{
+		perKind: make(map[consensus.MsgKind]*KindStat),
+		sentBy:  make(map[NodeID]int64),
+		recvBy:  make(map[NodeID]int64),
+	}
+}
+
+// Record notes one transmission.
+func (t *Traffic) Record(from, to NodeID, kind consensus.MsgKind, size int) {
+	t.totalMsgs++
+	t.totalBytes += int64(size)
+	ks := t.perKind[kind]
+	if ks == nil {
+		ks = &KindStat{Kind: kind}
+		t.perKind[kind] = ks
+	}
+	ks.Count++
+	ks.Bytes += int64(size)
+	t.sentBy[from] += int64(size)
+	t.recvBy[to] += int64(size)
+}
+
+// Messages returns the total transmission count.
+func (t *Traffic) Messages() int64 { return t.totalMsgs }
+
+// Bytes returns the total bytes transmitted.
+func (t *Traffic) Bytes() int64 { return t.totalBytes }
+
+// KB returns total kilobytes (the unit of the paper's Figures 5-6).
+func (t *Traffic) KB() float64 { return float64(t.totalBytes) / 1024 }
+
+// ByKind returns per-kind stats sorted by kind.
+func (t *Traffic) ByKind() []KindStat {
+	out := make([]KindStat, 0, len(t.perKind))
+	for _, ks := range t.perKind {
+		out = append(out, *ks)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// SentBy returns bytes sent by a node.
+func (t *Traffic) SentBy(id NodeID) int64 { return t.sentBy[id] }
+
+// ReceivedBy returns bytes addressed to a node.
+func (t *Traffic) ReceivedBy(id NodeID) int64 { return t.recvBy[id] }
+
+// Reset zeroes the meter (used between measurement phases so warm-up
+// traffic is excluded).
+func (t *Traffic) Reset() {
+	t.totalMsgs = 0
+	t.totalBytes = 0
+	t.perKind = make(map[consensus.MsgKind]*KindStat)
+	t.sentBy = make(map[NodeID]int64)
+	t.recvBy = make(map[NodeID]int64)
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev: %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.StdDev != 0 {
+		t.Fatalf("singleton: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Fatalf("median %v", got)
+	}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if Quantile(xs, -1) != 10 || Quantile(xs, 2) != 40 {
+		t.Fatal("clamping wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, v := range xs {
+			// Restrict to a range where the mean cannot overflow.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e300 {
+				clean = append(clean, math.Mod(v, 1e9))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median &&
+			s.Median <= s.Q3 && s.Q3 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndSeconds(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{1, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	secs := Seconds([]time.Duration{time.Second, 500 * time.Millisecond})
+	if secs[0] != 1 || secs[1] != 0.5 {
+		t.Fatal("seconds conversion wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "n", "latency")
+	tb.AddRow(4, 1.23456)
+	tb.AddRow(202, 251.47)
+	tb.AddRow("x", 3*time.Second)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "251.47") {
+		t.Fatal("float formatting missing")
+	}
+	if !strings.Contains(out, "3.000s") {
+		t.Fatal("duration formatting missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 rows
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`quote"inside`, "with,comma")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"quote""inside"`) {
+		t.Fatalf("quote escaping: %q", csv)
+	}
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Fatalf("comma quoting: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("header row: %q", csv)
+	}
+}

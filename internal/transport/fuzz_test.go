@@ -1,0 +1,34 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/pbft"
+)
+
+// FuzzReadFrame: a hostile byte stream must never panic the framer nor
+// make it allocate unboundedly.
+func FuzzReadFrame(f *testing.F) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	var good bytes.Buffer
+	if err := WriteFrame(&good, consensus.Seal(kp, &pbft.Prepare{Era: 1, Seq: 2})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A decoded envelope must re-frame successfully.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, env); err != nil {
+			t.Fatalf("re-framing decoded envelope failed: %v", err)
+		}
+	})
+}

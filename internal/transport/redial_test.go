@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/pbft"
+)
+
+// TestRedialAfterPeerRestart: messages sent while the peer is down are
+// eventually dropped, but once the peer comes back (same port) new
+// messages get through on a fresh connection.
+func TestRedialAfterPeerRestart(t *testing.T) {
+	kpA := gcrypto.DeterministicKeyPair(1)
+	kpB := gcrypto.DeterministicKeyPair(2)
+
+	// Reserve a port for B, then shut it down so A dials into a void.
+	b1, err := New(Config{Listen: "127.0.0.1:0", Self: kpB.Address()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.ListenAddr()
+	b1.Close()
+
+	a, err := New(Config{
+		Listen:      "127.0.0.1:0",
+		Self:        kpA.Address(),
+		Peers:       []Peer{{Addr: kpB.Address(), HostPort: addr}},
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	env := consensus.Seal(kpA, &pbft.Prepare{Era: 1, Seq: 1})
+	// Fire one message into the void; the writer retries with backoff.
+	if err := a.Send(kpB.Address(), env); err != nil {
+		t.Fatal(err)
+	}
+	// Bring B back on the SAME port.
+	time.Sleep(150 * time.Millisecond)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("port %s not immediately reusable: %v", addr, err)
+	}
+	ln.Close()
+	b2, err := New(Config{Listen: addr, Self: kpB.Address()})
+	if err != nil {
+		t.Skipf("rebind %s: %v", addr, err)
+	}
+	defer b2.Close()
+
+	// The queued (or a fresh) message must arrive once B is back.
+	deadline := time.After(10 * time.Second)
+	got := false
+	for !got {
+		if err := a.Send(kpB.Address(), env); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-b2.Incoming():
+			got = true
+		case <-time.After(300 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("message never arrived after peer restart")
+		}
+	}
+}
+
+// TestSendQueueOverflowDrops: a tiny queue with a dead peer counts
+// drops instead of blocking.
+func TestSendQueueOverflowDrops(t *testing.T) {
+	kpA := gcrypto.DeterministicKeyPair(1)
+	kpB := gcrypto.DeterministicKeyPair(2)
+	// Peer address points nowhere routable-fast; use a closed local port.
+	dead, err := New(Config{Listen: "127.0.0.1:0", Self: kpB.Address()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.ListenAddr()
+	dead.Close()
+
+	a, err := New(Config{
+		Listen:      "127.0.0.1:0",
+		Self:        kpA.Address(),
+		Peers:       []Peer{{Addr: kpB.Address(), HostPort: addr}},
+		DialTimeout: 100 * time.Millisecond,
+		SendQueue:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	env := consensus.Seal(kpA, &pbft.Prepare{Era: 1})
+	for i := 0; i < 50; i++ {
+		if err := a.Send(kpB.Address(), env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With a 2-slot queue and a dead peer, most of the 50 must have
+	// been dropped (non-blocking behaviour).
+	deadlineDrops := time.After(5 * time.Second)
+	for a.Dropped() < 40 {
+		select {
+		case <-deadlineDrops:
+			t.Fatalf("dropped=%d, expected most of the burst", a.Dropped())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package transport runs the same consensus engines that the
+// simulator drives over real TCP: length-prefixed envelope framing, an
+// address book mapping chain addresses to host:port endpoints, lazy
+// dialing with reconnection, and a single-goroutine real-time runner
+// that serializes engine events exactly like the simulator does.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+)
+
+// MaxFrame bounds one wire frame (a block-sync response with full
+// blocks is the largest message).
+const MaxFrame = 32 << 20
+
+// Errors returned by the transport.
+var (
+	ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
+	ErrUnknownPeer   = errors.New("transport: unknown peer address")
+	ErrClosed        = errors.New("transport: closed")
+)
+
+// WriteFrame writes one length-prefixed envelope to w.
+func WriteFrame(w io.Writer, env *consensus.Envelope) error {
+	payload := consensus.EncodeEnvelope(env)
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed envelope from r.
+func ReadFrame(r io.Reader) (*consensus.Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return consensus.DecodeEnvelope(buf)
+}
+
+// Peer is one address-book entry.
+type Peer struct {
+	Addr     gcrypto.Address
+	HostPort string
+}
+
+// Config configures a TCP transport endpoint.
+type Config struct {
+	// Listen is the host:port to accept on (":0" for an OS-chosen
+	// port).
+	Listen string
+	// Peers is the address book (self may be included; it is ignored).
+	Peers []Peer
+	// Self filters the address book.
+	Self gcrypto.Address
+	// DialTimeout bounds connection attempts (default 2 s).
+	DialTimeout time.Duration
+	// SendQueue is the per-peer outbound buffer (default 4096).
+	SendQueue int
+}
+
+// TCP is a transport endpoint: it accepts inbound framed envelopes and
+// maintains one outbound connection per peer, dialed lazily and
+// re-dialed on failure.
+type TCP struct {
+	cfg      Config
+	ln       net.Listener
+	book     map[gcrypto.Address]string
+	incoming chan *consensus.Envelope
+
+	mu    sync.Mutex
+	outs  map[gcrypto.Address]chan *consensus.Envelope
+	conns []net.Conn
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	dropped int64 // outbound messages dropped on full queues
+}
+
+// New starts listening and returns the endpoint.
+func New(cfg Config) (*TCP, error) {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.SendQueue == 0 {
+		cfg.SendQueue = 4096
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	t := &TCP{
+		cfg:      cfg,
+		ln:       ln,
+		book:     make(map[gcrypto.Address]string, len(cfg.Peers)),
+		incoming: make(chan *consensus.Envelope, 8192),
+		outs:     make(map[gcrypto.Address]chan *consensus.Envelope),
+		done:     make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p.Addr != cfg.Self {
+			t.book[p.Addr] = p.HostPort
+		}
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// ListenAddr returns the bound listen address (useful with ":0").
+func (t *TCP) ListenAddr() string { return t.ln.Addr().String() }
+
+// Incoming returns the stream of received envelopes.
+func (t *TCP) Incoming() <-chan *consensus.Envelope { return t.incoming }
+
+// Dropped returns how many outbound messages were discarded because a
+// peer queue was full or its connection kept failing.
+func (t *TCP) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		select {
+		case <-t.done:
+			t.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		t.conns = append(t.conns, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	for {
+		env, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case t.incoming <- env:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Send queues env for delivery to a known peer; unknown peers are an
+// error, full queues drop (consensus protocols tolerate loss).
+func (t *TCP) Send(to gcrypto.Address, env *consensus.Envelope) error {
+	hostport, ok := t.book[to]
+	if !ok {
+		return ErrUnknownPeer
+	}
+	t.mu.Lock()
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		return ErrClosed
+	default:
+	}
+	q, ok := t.outs[to]
+	if !ok {
+		q = make(chan *consensus.Envelope, t.cfg.SendQueue)
+		t.outs[to] = q
+		t.wg.Add(1)
+		go t.writeLoop(hostport, q)
+	}
+	t.mu.Unlock()
+	select {
+	case q <- env:
+		return nil
+	default:
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+}
+
+// AddPeer extends the address book at runtime (new endorsers joining).
+func (t *TCP) AddPeer(p Peer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p.Addr != t.cfg.Self {
+		t.book[p.Addr] = p.HostPort
+	}
+}
+
+func (t *TCP) writeLoop(hostport string, q chan *consensus.Envelope) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-t.done:
+			return
+		case env := <-q:
+			for conn == nil {
+				c, err := net.DialTimeout("tcp", hostport, t.cfg.DialTimeout)
+				if err == nil {
+					conn = c
+					backoff = 50 * time.Millisecond
+					break
+				}
+				select {
+				case <-t.done:
+					return
+				case <-time.After(backoff):
+				}
+				if backoff < 2*time.Second {
+					backoff *= 2
+				}
+			}
+			if err := WriteFrame(conn, env); err != nil {
+				conn.Close()
+				conn = nil
+				// One redial attempt for this message, then drop it.
+				c, derr := net.DialTimeout("tcp", hostport, t.cfg.DialTimeout)
+				if derr != nil {
+					t.mu.Lock()
+					t.dropped++
+					t.mu.Unlock()
+					continue
+				}
+				conn = c
+				if err := WriteFrame(conn, env); err != nil {
+					conn.Close()
+					conn = nil
+					t.mu.Lock()
+					t.dropped++
+					t.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// Close shuts the endpoint down.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		return
+	default:
+		close(t.done)
+	}
+	conns := t.conns
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+}

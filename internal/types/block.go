@@ -1,0 +1,253 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gpbft/internal/codec"
+	"gpbft/internal/gcrypto"
+)
+
+// BlockHeader commits to a block's position, era, proposer, and
+// transaction set.
+type BlockHeader struct {
+	Height    uint64 // chain height; genesis is 0
+	Era       uint64 // G-PBFT era this block was produced in
+	View      uint64 // PBFT view inside the era
+	Seq       uint64 // PBFT sequence number inside the era
+	PrevHash  gcrypto.Hash
+	TxRoot    gcrypto.Hash // Merkle root over EncodeTx of each tx
+	Proposer  gcrypto.Address
+	Timestamp time.Time
+}
+
+// MarshalCanonical appends the canonical header encoding.
+func (h *BlockHeader) MarshalCanonical(w *codec.Writer) {
+	w.String("gpbft/block/v1")
+	w.Uint64(h.Height)
+	w.Uint64(h.Era)
+	w.Uint64(h.View)
+	w.Uint64(h.Seq)
+	w.Raw(h.PrevHash[:])
+	w.Raw(h.TxRoot[:])
+	w.Raw(h.Proposer[:])
+	w.Time(h.Timestamp)
+}
+
+// UnmarshalCanonical decodes a header.
+func (h *BlockHeader) UnmarshalCanonical(r *codec.Reader) error {
+	if tag := r.ReadString(); r.Err() == nil && tag != "gpbft/block/v1" {
+		return fmt.Errorf("types: bad block tag %q", tag)
+	}
+	h.Height = r.Uint64()
+	h.Era = r.Uint64()
+	h.View = r.Uint64()
+	h.Seq = r.Uint64()
+	r.RawInto(h.PrevHash[:])
+	r.RawInto(h.TxRoot[:])
+	r.RawInto(h.Proposer[:])
+	h.Timestamp = r.Time()
+	return r.Err()
+}
+
+// Hash returns the block identifier: the digest of the header.
+func (h *BlockHeader) Hash() gcrypto.Hash {
+	return gcrypto.HashBytes(codec.Encode(h))
+}
+
+// Vote is one endorser's commit signature over a block hash.
+type Vote struct {
+	Endorser  gcrypto.Address
+	Signature []byte
+}
+
+// Certificate proves a block committed: 2f+1 endorser votes over the
+// block hash within a given era and view.
+type Certificate struct {
+	BlockHash gcrypto.Hash
+	Era       uint64
+	View      uint64
+	Votes     []Vote
+}
+
+// VoteDigest is the message endorsers sign to certify blockHash at
+// (era, view).
+func VoteDigest(blockHash gcrypto.Hash, era, view uint64) []byte {
+	w := codec.NewWriter(64)
+	w.String("gpbft/vote/v1")
+	w.Raw(blockHash[:])
+	w.Uint64(era)
+	w.Uint64(view)
+	return w.Bytes()
+}
+
+// Errors returned by block and certificate validation.
+var (
+	ErrBlockTxRoot   = errors.New("types: block tx root does not match transactions")
+	ErrCertQuorum    = errors.New("types: certificate lacks a quorum of votes")
+	ErrCertBlockHash = errors.New("types: certificate is for a different block")
+	ErrCertDupVote   = errors.New("types: certificate has duplicate voter")
+)
+
+// Block is a batch of transactions with its header and, once committed,
+// the commit certificate.
+type Block struct {
+	Header BlockHeader
+	Txs    []Transaction
+	// Cert is attached after commit; nil while in flight.
+	Cert *Certificate
+}
+
+// ComputeTxRoot returns the Merkle root over the encoded transactions.
+func ComputeTxRoot(txs []Transaction) gcrypto.Hash {
+	if len(txs) == 0 {
+		return gcrypto.Hash{}
+	}
+	leaves := make([][]byte, len(txs))
+	for i := range txs {
+		leaves[i] = EncodeTx(&txs[i])
+	}
+	return gcrypto.MerkleRoot(leaves)
+}
+
+// NewBlock assembles a block over txs and fills the TxRoot.
+func NewBlock(header BlockHeader, txs []Transaction) *Block {
+	header.TxRoot = ComputeTxRoot(txs)
+	return &Block{Header: header, Txs: txs}
+}
+
+// Hash returns the block identifier.
+func (b *Block) Hash() gcrypto.Hash { return b.Header.Hash() }
+
+// VerifyTxRoot recomputes the Merkle root and compares.
+func (b *Block) VerifyTxRoot() error {
+	if ComputeTxRoot(b.Txs) != b.Header.TxRoot {
+		return ErrBlockTxRoot
+	}
+	return nil
+}
+
+// TotalFees sums the transaction fees, the pot the incentive mechanism
+// splits 70/30 (Section III-B5).
+func (b *Block) TotalFees() uint64 {
+	var sum uint64
+	for i := range b.Txs {
+		sum += b.Txs[i].Fee
+	}
+	return sum
+}
+
+// MarshalCanonical appends the full block encoding.
+func (b *Block) MarshalCanonical(w *codec.Writer) {
+	b.Header.MarshalCanonical(w)
+	w.Count(len(b.Txs))
+	for i := range b.Txs {
+		b.Txs[i].MarshalCanonical(w)
+	}
+	if b.Cert != nil {
+		w.Bool(true)
+		b.Cert.MarshalCanonical(w)
+	} else {
+		w.Bool(false)
+	}
+}
+
+// UnmarshalCanonical decodes a block.
+func (b *Block) UnmarshalCanonical(r *codec.Reader) error {
+	if err := b.Header.UnmarshalCanonical(r); err != nil {
+		return err
+	}
+	n := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	b.Txs = make([]Transaction, n)
+	for i := 0; i < n; i++ {
+		if err := b.Txs[i].UnmarshalCanonical(r); err != nil {
+			return err
+		}
+	}
+	if r.Bool() {
+		b.Cert = new(Certificate)
+		if err := b.Cert.UnmarshalCanonical(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// EncodeBlock returns the wire bytes of b.
+func EncodeBlock(b *Block) []byte { return codec.Encode(b) }
+
+// DecodeBlock parses wire bytes into a block.
+func DecodeBlock(data []byte) (*Block, error) {
+	r := codec.NewReader(data)
+	var b Block
+	if err := b.UnmarshalCanonical(r); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// MarshalCanonical appends the certificate encoding.
+func (c *Certificate) MarshalCanonical(w *codec.Writer) {
+	w.Raw(c.BlockHash[:])
+	w.Uint64(c.Era)
+	w.Uint64(c.View)
+	w.Count(len(c.Votes))
+	for i := range c.Votes {
+		w.Raw(c.Votes[i].Endorser[:])
+		w.WriteBytes(c.Votes[i].Signature)
+	}
+}
+
+// UnmarshalCanonical decodes a certificate.
+func (c *Certificate) UnmarshalCanonical(r *codec.Reader) error {
+	r.RawInto(c.BlockHash[:])
+	c.Era = r.Uint64()
+	c.View = r.Uint64()
+	n := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	c.Votes = make([]Vote, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(c.Votes[i].Endorser[:])
+		c.Votes[i].Signature = r.ReadBytes()
+	}
+	return r.Err()
+}
+
+// Verify checks the certificate against a block hash and the committee
+// key set: each vote must come from a distinct committee member with a
+// valid signature, and there must be at least quorum votes.
+func (c *Certificate) Verify(blockHash gcrypto.Hash, keys map[gcrypto.Address]gcrypto.PublicKey, quorum int) error {
+	if c.BlockHash != blockHash {
+		return ErrCertBlockHash
+	}
+	digest := VoteDigest(c.BlockHash, c.Era, c.View)
+	seen := make(map[gcrypto.Address]bool, len(c.Votes))
+	valid := 0
+	for i := range c.Votes {
+		v := &c.Votes[i]
+		if seen[v.Endorser] {
+			return ErrCertDupVote
+		}
+		seen[v.Endorser] = true
+		pub, ok := keys[v.Endorser]
+		if !ok {
+			continue // not a committee member this era
+		}
+		if gcrypto.Verify(pub, v.Endorser, digest, v.Signature) == nil {
+			valid++
+		}
+	}
+	if valid < quorum {
+		return fmt.Errorf("%w: %d/%d", ErrCertQuorum, valid, quorum)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+)
+
+func testBlock(t *testing.T, n int) *Block {
+	t.Helper()
+	kp := gcrypto.DeterministicKeyPair(1)
+	txs := make([]Transaction, n)
+	for i := range txs {
+		txs[i] = Transaction{
+			Type:    TxNormal,
+			Nonce:   uint64(i),
+			Payload: []byte{byte(i)},
+			Fee:     uint64(i + 1),
+			Geo: GeoInfo{
+				Location:  geo.Point{Lng: 114, Lat: 22},
+				Timestamp: time.Unix(1565025600, 0),
+			},
+		}
+		txs[i].Sign(kp)
+	}
+	return NewBlock(BlockHeader{
+		Height:    3,
+		Era:       1,
+		View:      0,
+		Seq:       3,
+		PrevHash:  gcrypto.HashBytes([]byte("prev")),
+		Proposer:  kp.Address(),
+		Timestamp: time.Unix(1565025601, 0),
+	}, txs)
+}
+
+func TestNewBlockFillsTxRoot(t *testing.T) {
+	b := testBlock(t, 3)
+	if b.Header.TxRoot.IsZero() {
+		t.Fatal("tx root not filled")
+	}
+	if err := b.VerifyTxRoot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyBlockTxRoot(t *testing.T) {
+	b := testBlock(t, 0)
+	if !b.Header.TxRoot.IsZero() {
+		t.Fatal("empty block should have zero tx root")
+	}
+	if err := b.VerifyTxRoot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyTxRootDetectsMutation(t *testing.T) {
+	b := testBlock(t, 3)
+	b.Txs[1].Fee = 9999
+	if err := b.VerifyTxRoot(); err != ErrBlockTxRoot {
+		t.Fatalf("want ErrBlockTxRoot, got %v", err)
+	}
+}
+
+func TestBlockHashDependsOnHeader(t *testing.T) {
+	a := testBlock(t, 2)
+	b := testBlock(t, 2)
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical blocks must hash equal")
+	}
+	b.Header.Height = 4
+	if a.Hash() == b.Hash() {
+		t.Fatal("height change must change hash")
+	}
+}
+
+func TestBlockTotalFees(t *testing.T) {
+	b := testBlock(t, 4) // fees 1+2+3+4
+	if b.TotalFees() != 10 {
+		t.Fatalf("TotalFees=%d, want 10", b.TotalFees())
+	}
+}
+
+func TestBlockEncodeDecodeRoundTrip(t *testing.T) {
+	b := testBlock(t, 5)
+	wire := EncodeBlock(b)
+	got, err := DecodeBlock(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != b.Hash() {
+		t.Fatal("decoded block hash differs")
+	}
+	if len(got.Txs) != 5 {
+		t.Fatalf("decoded %d txs", len(got.Txs))
+	}
+	if err := got.VerifyTxRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeBlock(got), wire) {
+		t.Fatal("re-encoding differs")
+	}
+}
+
+func TestBlockWithCertRoundTrip(t *testing.T) {
+	b := testBlock(t, 1)
+	hash := b.Hash()
+	keys := map[gcrypto.Address]gcrypto.PublicKey{}
+	var votes []Vote
+	for i := 0; i < 4; i++ {
+		kp := gcrypto.DeterministicKeyPair(10 + i)
+		keys[kp.Address()] = kp.Public()
+		votes = append(votes, Vote{
+			Endorser:  kp.Address(),
+			Signature: kp.Sign(VoteDigest(hash, 1, 0)),
+		})
+	}
+	b.Cert = &Certificate{BlockHash: hash, Era: 1, View: 0, Votes: votes}
+
+	got, err := DecodeBlock(EncodeBlock(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cert == nil {
+		t.Fatal("certificate lost in round trip")
+	}
+	if err := got.Cert.Verify(hash, keys, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateVerifyQuorum(t *testing.T) {
+	b := testBlock(t, 1)
+	hash := b.Hash()
+	keys := map[gcrypto.Address]gcrypto.PublicKey{}
+	var votes []Vote
+	for i := 0; i < 2; i++ {
+		kp := gcrypto.DeterministicKeyPair(20 + i)
+		keys[kp.Address()] = kp.Public()
+		votes = append(votes, Vote{Endorser: kp.Address(), Signature: kp.Sign(VoteDigest(hash, 1, 0))})
+	}
+	cert := &Certificate{BlockHash: hash, Era: 1, View: 0, Votes: votes}
+	if err := cert.Verify(hash, keys, 3); err == nil {
+		t.Fatal("2 votes must not satisfy quorum 3")
+	}
+	if err := cert.Verify(hash, keys, 2); err != nil {
+		t.Fatalf("2 votes should satisfy quorum 2: %v", err)
+	}
+}
+
+func TestCertificateVerifyRejects(t *testing.T) {
+	b := testBlock(t, 1)
+	hash := b.Hash()
+	kp := gcrypto.DeterministicKeyPair(30)
+	keys := map[gcrypto.Address]gcrypto.PublicKey{kp.Address(): kp.Public()}
+	good := Vote{Endorser: kp.Address(), Signature: kp.Sign(VoteDigest(hash, 1, 0))}
+
+	// Wrong block hash.
+	cert := &Certificate{BlockHash: gcrypto.HashBytes([]byte("other")), Era: 1, Votes: []Vote{good}}
+	if err := cert.Verify(hash, keys, 1); err != ErrCertBlockHash {
+		t.Errorf("wrong hash: %v", err)
+	}
+
+	// Duplicate voter.
+	cert = &Certificate{BlockHash: hash, Era: 1, Votes: []Vote{good, good}}
+	if err := cert.Verify(hash, keys, 1); err != ErrCertDupVote {
+		t.Errorf("dup voter: %v", err)
+	}
+
+	// Non-member vote doesn't count.
+	outsider := gcrypto.DeterministicKeyPair(31)
+	cert = &Certificate{BlockHash: hash, Era: 1, Votes: []Vote{{
+		Endorser:  outsider.Address(),
+		Signature: outsider.Sign(VoteDigest(hash, 1, 0)),
+	}}}
+	if err := cert.Verify(hash, keys, 1); err == nil {
+		t.Error("outsider vote must not satisfy quorum")
+	}
+
+	// Signature over wrong era doesn't count.
+	cert = &Certificate{BlockHash: hash, Era: 1, Votes: []Vote{{
+		Endorser:  kp.Address(),
+		Signature: kp.Sign(VoteDigest(hash, 2, 0)),
+	}}}
+	if err := cert.Verify(hash, keys, 1); err == nil {
+		t.Error("wrong-era signature must not satisfy quorum")
+	}
+}
+
+func TestDecodeBlockErrors(t *testing.T) {
+	if _, err := DecodeBlock([]byte{1}); err == nil {
+		t.Error("garbage must fail")
+	}
+	wire := EncodeBlock(testBlock(t, 1))
+	if _, err := DecodeBlock(append(wire, 0)); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+	// Corrupt the tag.
+	bad := append([]byte(nil), wire...)
+	bad[5] ^= 0xFF
+	if _, err := DecodeBlock(bad); err == nil {
+		t.Error("bad tag must fail")
+	}
+}
+
+func TestVoteDigestDomains(t *testing.T) {
+	h := gcrypto.HashBytes([]byte("b"))
+	if bytes.Equal(VoteDigest(h, 1, 0), VoteDigest(h, 1, 1)) {
+		t.Error("view must affect digest")
+	}
+	if bytes.Equal(VoteDigest(h, 1, 0), VoteDigest(h, 2, 0)) {
+		t.Error("era must affect digest")
+	}
+}

@@ -1,0 +1,93 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+)
+
+// FuzzDecodeTx: arbitrary bytes must never panic the transaction
+// decoder, and any successfully decoded transaction must re-encode to
+// the identical bytes (canonical form).
+func FuzzDecodeTx(f *testing.F) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	tx := &Transaction{
+		Type: TxNormal, Nonce: 7, Payload: []byte("seed"), Fee: 3,
+		Geo: GeoInfo{Location: geo.Point{Lng: 114.18, Lat: 22.3}, Timestamp: time.Unix(1565000000, 0)},
+	}
+	tx.Sign(kp)
+	f.Add(EncodeTx(tx))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeTx(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeTx(got), data) {
+			t.Fatal("decoded tx does not re-encode canonically")
+		}
+	})
+}
+
+// FuzzDecodeBlock: the block decoder must be total.
+func FuzzDecodeBlock(f *testing.F) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	tx := Transaction{
+		Type: TxNormal, Nonce: 1, Payload: []byte("x"), Fee: 1,
+		Geo: GeoInfo{Location: geo.Point{Lng: 1, Lat: 2}, Timestamp: time.Unix(10, 0)},
+	}
+	tx.Sign(kp)
+	b := NewBlock(BlockHeader{Height: 1, Timestamp: time.Unix(11, 0)}, []Transaction{tx})
+	f.Add(EncodeBlock(b))
+	f.Add([]byte("gpbft/block/v1 but not really"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeBlock(got), data) {
+			t.Fatal("decoded block does not re-encode canonically")
+		}
+	})
+}
+
+// FuzzDecodeConfigChange and FuzzDecodeWitnessStatement cover the two
+// payload sub-codecs.
+func FuzzDecodeConfigChange(f *testing.F) {
+	kp := gcrypto.DeterministicKeyPair(2)
+	f.Add(EncodeConfigChange(&ConfigChange{
+		NewEra: 3,
+		Add:    []EndorserInfo{{Address: kp.Address(), PubKey: kp.Public(), Geohash: "wecnyhwbp1"}},
+		Remove: []gcrypto.Address{gcrypto.DeterministicKeyPair(3).Address()},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeConfigChange(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeConfigChange(got), data) {
+			t.Fatal("config change not canonical")
+		}
+	})
+}
+
+func FuzzDecodeWitnessStatement(f *testing.F) {
+	f.Add(EncodeWitnessStatement(&WitnessStatement{
+		Subject: gcrypto.DeterministicKeyPair(4).Address(),
+		Geohash: "wecnyhwbp1",
+		Seen:    true,
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeWitnessStatement(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeWitnessStatement(got), data) {
+			t.Fatal("witness statement not canonical")
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package types
+
+import (
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+)
+
+func TestWitnessStatementRoundTrip(t *testing.T) {
+	st := &WitnessStatement{
+		Subject: gcrypto.DeterministicKeyPair(7).Address(),
+		Geohash: "wecnyhwbp1",
+		Seen:    true,
+	}
+	got, err := DecodeWitnessStatement(EncodeWitnessStatement(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Subject != st.Subject || got.Geohash != st.Geohash || got.Seen != st.Seen {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+}
+
+func TestWitnessStatementDecodeErrors(t *testing.T) {
+	if _, err := DecodeWitnessStatement(nil); err == nil {
+		t.Error("empty payload must fail")
+	}
+	if _, err := DecodeWitnessStatement([]byte("garbage-bytes-here")); err == nil {
+		t.Error("garbage must fail")
+	}
+	wire := EncodeWitnessStatement(&WitnessStatement{Geohash: "abc"})
+	if _, err := DecodeWitnessStatement(append(wire, 1)); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+}
+
+func TestWitnessTxVerify(t *testing.T) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	good := &Transaction{
+		Type: TxWitness,
+		Payload: EncodeWitnessStatement(&WitnessStatement{
+			Subject: gcrypto.DeterministicKeyPair(2).Address(),
+			Geohash: "wecnyhwbp1",
+			Seen:    false,
+		}),
+		Geo: GeoInfo{
+			Location:  geo.Point{Lng: 114.18, Lat: 22.3},
+			Timestamp: time.Unix(1565000000, 0),
+		},
+	}
+	good.Sign(kp)
+	if err := good.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// A witness tx with a garbage payload must fail validation.
+	bad := &Transaction{
+		Type:    TxWitness,
+		Payload: []byte("not-a-statement"),
+		Geo:     good.Geo,
+	}
+	bad.Sign(kp)
+	if err := bad.Verify(); err == nil {
+		t.Fatal("garbage witness payload accepted")
+	}
+	if TxWitness.String() != "witness" {
+		t.Fatal("type name wrong")
+	}
+}

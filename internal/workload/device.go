@@ -1,0 +1,173 @@
+// Package workload models IoT device populations: the fixed devices
+// the paper builds G-PBFT around (street lamps, payment machines, RFID
+// receivers), mobile devices (phones, vehicles), misbehaving devices
+// that lie about their location, and Sybil identity clusters. Devices
+// produce the two transaction streams the protocol consumes — periodic
+// location reports and application data — as signed transactions.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/types"
+)
+
+// Kind classifies simulated devices.
+type Kind int
+
+// Device kinds.
+const (
+	// Fixed devices never move: the endorser material of the paper
+	// ("a smart street lamp of a car monitoring system, or a payment
+	// machine in a parking lot").
+	Fixed Kind = iota
+	// Mobile devices move between waypoints (phones, vehicle trackers);
+	// they can never qualify as endorsers.
+	Mobile
+	// Liar devices physically move but always report one fake fixed
+	// location, probing the geographic authentication.
+	Liar
+	// Sybil devices are extra identities all reporting the same cell as
+	// their master, probing the same-cell defence.
+	Sybil
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Fixed:
+		return "fixed"
+	case Mobile:
+		return "mobile"
+	case Liar:
+		return "liar"
+	case Sybil:
+		return "sybil"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Device is one simulated IoT device.
+type Device struct {
+	Name string
+	Kind Kind
+	Key  *gcrypto.KeyPair
+	// Home is the true position for Fixed devices, the claimed
+	// position for Liar/Sybil devices, and the start for Mobile ones.
+	Home geo.Point
+	// Speed is metres per second of drift for Mobile/Liar devices.
+	Speed float64
+
+	pos   geo.Point
+	nonce uint64
+	rng   *rand.Rand
+}
+
+// NewDevice creates a device with a deterministic identity derived
+// from seed.
+func NewDevice(name string, kind Kind, seed int, home geo.Point, rng *rand.Rand) *Device {
+	return &Device{
+		Name:  name,
+		Kind:  kind,
+		Key:   gcrypto.DeterministicKeyPair(seed),
+		Home:  home,
+		Speed: 1.5, // pedestrian default
+		pos:   home,
+		rng:   rng,
+	}
+}
+
+// Address returns the device's chain address.
+func (d *Device) Address() gcrypto.Address { return d.Key.Address() }
+
+// Position returns the device's current true position.
+func (d *Device) Position() geo.Point { return d.pos }
+
+// Advance moves the device by dt according to its kind.
+func (d *Device) Advance(dt time.Duration) {
+	switch d.Kind {
+	case Fixed, Sybil:
+		// stays put (Sybil claims its master's position anyway)
+	case Mobile, Liar:
+		// Random-walk drift: Speed m/s in a random direction. One
+		// degree of latitude is ~111 km.
+		dist := d.Speed * dt.Seconds()
+		theta := d.rng.Float64() * 2 * math.Pi
+		dLat := dist * math.Cos(theta) / 111_000
+		dLng := dist * math.Sin(theta) / 111_000
+		d.pos.Lat = clamp(d.pos.Lat+dLat, -90, 90)
+		d.pos.Lng = wrap(d.pos.Lng + dLng)
+	}
+}
+
+// ReportedPosition is the position the device CLAIMS in transactions:
+// the truth for honest devices, the fake home for liars and Sybils.
+func (d *Device) ReportedPosition() geo.Point {
+	switch d.Kind {
+	case Liar, Sybil:
+		return d.Home
+	default:
+		return d.pos
+	}
+}
+
+// LocationReport builds the periodic signed location-report
+// transaction (Section III-B3).
+func (d *Device) LocationReport(at time.Time) *types.Transaction {
+	d.nonce++
+	tx := &types.Transaction{
+		Type:  types.TxLocationReport,
+		Nonce: d.nonce,
+		Geo: types.GeoInfo{
+			Location:  d.ReportedPosition(),
+			Timestamp: at,
+		},
+	}
+	tx.Sign(d.Key)
+	return tx
+}
+
+// DataTx builds an application transaction (sensor reading, payment,
+// RFID event) carrying the device's geographic information at the end
+// of the body, as Section III-B2 prescribes.
+func (d *Device) DataTx(at time.Time, payload []byte, fee uint64) *types.Transaction {
+	d.nonce++
+	tx := &types.Transaction{
+		Type:    types.TxNormal,
+		Nonce:   d.nonce,
+		Payload: payload,
+		Fee:     fee,
+		Geo: types.GeoInfo{
+			Location:  d.ReportedPosition(),
+			Timestamp: at,
+		},
+	}
+	tx.Sign(d.Key)
+	return tx
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func wrap(lng float64) float64 {
+	for lng > 180 {
+		lng -= 360
+	}
+	for lng < -180 {
+		lng += 360
+	}
+	return lng
+}

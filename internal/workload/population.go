@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gpbft/internal/geo"
+)
+
+// Population is a set of devices laid out in a deployment region.
+type Population struct {
+	Region  geo.Region
+	Devices []*Device
+	rng     *rand.Rand
+}
+
+// Spec describes how many devices of each kind to create.
+type Spec struct {
+	Fixed  int
+	Mobile int
+	Liar   int
+	// Sybil identities all claim the position of the first fixed
+	// device (the classic clone-an-honest-location attack).
+	Sybil int
+	// SeedBase offsets device key derivation so populations never
+	// collide with endorser identities (endorsers use small indices).
+	SeedBase int
+	// Speed for mobile/liar devices, metres per second.
+	Speed float64
+}
+
+// NewPopulation lays devices out deterministically on a grid inside
+// region, spaced so that distinct fixed devices never share a CSC cell
+// (cells are ~1 m; the grid pitch is several metres).
+func NewPopulation(region geo.Region, spec Spec, seed int64) *Population {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Population{Region: region, rng: rng}
+	if spec.SeedBase == 0 {
+		spec.SeedBase = 10000
+	}
+	if spec.Speed == 0 {
+		spec.Speed = 1.5
+	}
+	total := spec.Fixed + spec.Mobile + spec.Liar + spec.Sybil
+	if total == 0 {
+		return p
+	}
+	// Grid pitch: spread devices over the region, at least ~5 m apart.
+	cols := 1
+	for cols*cols < total {
+		cols++
+	}
+	dLng := (region.MaxLng - region.MinLng) / float64(cols+1)
+	dLat := (region.MaxLat - region.MinLat) / float64(cols+1)
+	cell := func(i int) geo.Point {
+		r, c := i/cols, i%cols
+		return geo.Point{
+			Lng: region.MinLng + dLng*float64(c+1),
+			Lat: region.MinLat + dLat*float64(r+1),
+		}
+	}
+	idx := 0
+	add := func(kind Kind, n int) {
+		for i := 0; i < n; i++ {
+			home := cell(idx)
+			if kind == Sybil && len(p.Devices) > 0 {
+				home = p.Devices[0].Home // clone the first device's cell
+			}
+			d := NewDevice(fmt.Sprintf("%s-%d", kind, i), kind, spec.SeedBase+idx, home, rng)
+			d.Speed = spec.Speed
+			p.Devices = append(p.Devices, d)
+			idx++
+		}
+	}
+	add(Fixed, spec.Fixed)
+	add(Mobile, spec.Mobile)
+	add(Liar, spec.Liar)
+	add(Sybil, spec.Sybil)
+	return p
+}
+
+// OfKind returns the devices of one kind.
+func (p *Population) OfKind(k Kind) []*Device {
+	var out []*Device
+	for _, d := range p.Devices {
+		if d.Kind == k {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AdvanceAll moves every device by dt.
+func (p *Population) AdvanceAll(dt time.Duration) {
+	for _, d := range p.Devices {
+		d.Advance(dt)
+	}
+}
+
+// HongKongTestbed is a convenient ~1 km² deployment region around the
+// paper authors' campus, used across examples and experiments.
+func HongKongTestbed() geo.Region {
+	return geo.NewRegion(
+		geo.Point{Lng: 114.175, Lat: 22.300},
+		geo.Point{Lng: 114.185, Lat: 22.310},
+	)
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gpbft/internal/geo"
+)
+
+var wlEpoch = time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC)
+
+func TestFixedDeviceNeverMoves(t *testing.T) {
+	d := NewDevice("lamp", Fixed, 10001, geo.Point{Lng: 114.18, Lat: 22.305}, rand.New(rand.NewSource(1)))
+	start := d.Position()
+	for i := 0; i < 100; i++ {
+		d.Advance(time.Minute)
+	}
+	if !d.Position().Equal(start) {
+		t.Fatal("fixed device moved")
+	}
+	if !d.ReportedPosition().Equal(start) {
+		t.Fatal("fixed device must report its true position")
+	}
+}
+
+func TestMobileDeviceMoves(t *testing.T) {
+	d := NewDevice("phone", Mobile, 10002, geo.Point{Lng: 114.18, Lat: 22.305}, rand.New(rand.NewSource(1)))
+	d.Speed = 10
+	start := d.Position()
+	for i := 0; i < 60; i++ {
+		d.Advance(time.Second)
+	}
+	if start.DistanceMeters(d.Position()) < 1 {
+		t.Fatal("mobile device did not move")
+	}
+	// Mobile devices are honest: they report where they actually are.
+	if !d.ReportedPosition().Equal(d.Position()) {
+		t.Fatal("mobile device must report true position")
+	}
+}
+
+func TestLiarReportsFakePosition(t *testing.T) {
+	home := geo.Point{Lng: 114.18, Lat: 22.305}
+	d := NewDevice("liar", Liar, 10003, home, rand.New(rand.NewSource(1)))
+	d.Speed = 10
+	for i := 0; i < 60; i++ {
+		d.Advance(time.Second)
+	}
+	if home.DistanceMeters(d.Position()) < 1 {
+		t.Fatal("liar should physically move")
+	}
+	if !d.ReportedPosition().Equal(home) {
+		t.Fatal("liar must keep claiming its fake home")
+	}
+}
+
+func TestLocationReportTx(t *testing.T) {
+	d := NewDevice("lamp", Fixed, 10004, geo.Point{Lng: 114.18, Lat: 22.305}, rand.New(rand.NewSource(1)))
+	tx := d.LocationReport(wlEpoch)
+	if err := tx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Sender != d.Address() {
+		t.Fatal("report must be signed by the device")
+	}
+	tx2 := d.LocationReport(wlEpoch.Add(time.Second))
+	if tx.ID() == tx2.ID() {
+		t.Fatal("consecutive reports must have distinct IDs")
+	}
+}
+
+func TestDataTx(t *testing.T) {
+	d := NewDevice("meter", Fixed, 10005, geo.Point{Lng: 114.18, Lat: 22.305}, rand.New(rand.NewSource(1)))
+	tx := d.DataTx(wlEpoch, []byte("kwh=1.7"), 5)
+	if err := tx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Fee != 5 || string(tx.Payload) != "kwh=1.7" {
+		t.Fatal("payload/fee mangled")
+	}
+}
+
+func TestPopulationLayout(t *testing.T) {
+	region := HongKongTestbed()
+	p := NewPopulation(region, Spec{Fixed: 10, Mobile: 5, Liar: 2, Sybil: 3}, 42)
+	if len(p.Devices) != 20 {
+		t.Fatalf("%d devices", len(p.Devices))
+	}
+	if len(p.OfKind(Fixed)) != 10 || len(p.OfKind(Mobile)) != 5 ||
+		len(p.OfKind(Liar)) != 2 || len(p.OfKind(Sybil)) != 3 {
+		t.Fatal("kind counts wrong")
+	}
+	// All homes inside the region.
+	for _, d := range p.Devices {
+		if !region.Contains(d.Home) {
+			t.Fatalf("device %s home outside region", d.Name)
+		}
+	}
+	// Fixed devices must land in distinct CSC cells (spacing check).
+	seen := map[string]string{}
+	for _, d := range p.OfKind(Fixed) {
+		h := geo.MustEncode(d.Home, geo.CSCPrecision)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("devices %s and %s share CSC cell %s", prev, d.Name, h)
+		}
+		seen[h] = d.Name
+	}
+	// Sybil devices clone the first device's cell.
+	first := geo.MustEncode(p.Devices[0].Home, geo.CSCPrecision)
+	for _, s := range p.OfKind(Sybil) {
+		if geo.MustEncode(s.ReportedPosition(), geo.CSCPrecision) != first {
+			t.Fatal("sybil must claim the first device's cell")
+		}
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a := NewPopulation(HongKongTestbed(), Spec{Fixed: 5, Mobile: 5}, 7)
+	b := NewPopulation(HongKongTestbed(), Spec{Fixed: 5, Mobile: 5}, 7)
+	for i := range a.Devices {
+		if a.Devices[i].Address() != b.Devices[i].Address() {
+			t.Fatal("population identities must be deterministic")
+		}
+		if !a.Devices[i].Home.Equal(b.Devices[i].Home) {
+			t.Fatal("population layout must be deterministic")
+		}
+	}
+}
+
+func TestAdvanceAll(t *testing.T) {
+	p := NewPopulation(HongKongTestbed(), Spec{Fixed: 2, Mobile: 2, Speed: 10}, 7)
+	starts := make([]geo.Point, len(p.Devices))
+	for i, d := range p.Devices {
+		starts[i] = d.Position()
+	}
+	for i := 0; i < 30; i++ {
+		p.AdvanceAll(time.Second)
+	}
+	for i, d := range p.Devices {
+		moved := starts[i].DistanceMeters(d.Position()) > 0.5
+		if d.Kind == Fixed && moved {
+			t.Fatal("fixed device moved")
+		}
+		if d.Kind == Mobile && !moved {
+			t.Fatal("mobile device did not move")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Fixed, Mobile, Liar, Sybil} {
+		if k.String() == "" {
+			t.Fatal("kind must render")
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+}

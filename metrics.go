@@ -1,0 +1,121 @@
+package gpbft
+
+import (
+	"sort"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// Metrics records per-transaction consensus latency, measured exactly
+// as the paper defines it (Section V-B): "the latency from the time
+// when a transaction is sent to an endorser to the time when the
+// transaction is written to the ledger after consensus". The first
+// node to commit a transaction stops its clock.
+type Metrics struct {
+	submits   map[gcrypto.Hash]consensus.Time
+	committed map[gcrypto.Hash]consensus.Time
+	latencies []time.Duration
+	blocks    int
+	eraCount  int
+}
+
+// NewMetrics returns an empty recorder.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		submits:   make(map[gcrypto.Hash]consensus.Time),
+		committed: make(map[gcrypto.Hash]consensus.Time),
+	}
+}
+
+// RecordSubmit starts a transaction's latency clock.
+func (m *Metrics) RecordSubmit(id gcrypto.Hash, now consensus.Time) {
+	if _, dup := m.submits[id]; !dup {
+		m.submits[id] = now
+	}
+}
+
+// ObserveCommit stops the clock for every transaction in a block, on
+// its first commit observation anywhere in the cluster.
+func (m *Metrics) ObserveCommit(now consensus.Time, b *types.Block) {
+	m.blocks++
+	for i := range b.Txs {
+		id := b.Txs[i].ID()
+		if _, done := m.committed[id]; done {
+			continue
+		}
+		sub, ok := m.submits[id]
+		if !ok {
+			continue // internally generated (e.g. config txs)
+		}
+		m.committed[id] = now
+		m.latencies = append(m.latencies, time.Duration(now-sub))
+	}
+}
+
+// ObserveEraSwitch counts completed era switches.
+func (m *Metrics) ObserveEraSwitch() { m.eraCount++ }
+
+// Latencies returns a copy of all recorded commit latencies.
+func (m *Metrics) Latencies() []time.Duration {
+	out := make([]time.Duration, len(m.latencies))
+	copy(out, m.latencies)
+	return out
+}
+
+// SubmittedCount returns how many transactions had their clock started.
+func (m *Metrics) SubmittedCount() int { return len(m.submits) }
+
+// CommittedCount returns how many submitted transactions committed.
+func (m *Metrics) CommittedCount() int { return len(m.committed) }
+
+// PendingCount returns submitted-but-uncommitted transactions.
+func (m *Metrics) PendingCount() int { return len(m.submits) - len(m.committed) }
+
+// BlocksObserved returns the number of first-commit block observations.
+func (m *Metrics) BlocksObserved() int { return m.blocks }
+
+// EraSwitches returns observed era-switch completions.
+func (m *Metrics) EraSwitches() int { return m.eraCount }
+
+// MeanLatency returns the mean commit latency (0 when empty).
+func (m *Metrics) MeanLatency() time.Duration {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range m.latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(m.latencies))
+}
+
+// MaxLatency returns the worst commit latency.
+func (m *Metrics) MaxLatency() time.Duration {
+	var max time.Duration
+	for _, l := range m.latencies {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Quantile returns the q-quantile (0..1) of latencies, 0 when empty.
+func (m *Metrics) Quantile(q float64) time.Duration {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	ls := m.Latencies()
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	idx := int(q * float64(len(ls)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ls) {
+		idx = len(ls) - 1
+	}
+	return ls[idx]
+}

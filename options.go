@@ -1,0 +1,203 @@
+package gpbft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gpbft/internal/geo"
+	"gpbft/internal/ledger"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Protocol selects PBFT (baseline) or GPBFT.
+	Protocol Protocol
+	// Nodes is the total number of IoT nodes in the system (the
+	// paper's n). Under PBFT all of them form the consensus group;
+	// under GPBFT the committee is capped at MaxEndorsers and the rest
+	// are clients/candidates.
+	Nodes int
+	// Seed drives every random choice; same seed ⇒ identical run.
+	Seed int64
+	// Network is the simulated network/node model.
+	Network NetworkProfile
+
+	// --- genesis policy (Section III-C) ---
+	MinEndorsers int
+	MaxEndorsers int
+	// GenesisEndorsers sets the size of the initial core-node
+	// committee. Zero means "as many nodes as the cap allows"
+	// (min(Nodes, MaxEndorsers)). Set it below MaxEndorsers to leave
+	// room for candidates to be elected through era switches.
+	GenesisEndorsers    int
+	EraPeriod           time.Duration
+	SwitchPeriod        time.Duration
+	QualificationWindow time.Duration
+	ReportInterval      time.Duration
+	MinReports          int
+	// MinWitnesses enables witness supervision: candidates need this
+	// many endorser confirmations of their claimed cell (0 = off).
+	MinWitnesses int
+	// WitnessRangeMeters bounds credible witness distance (0 = any).
+	WitnessRangeMeters float64
+	// Region is the deployment area; devices are laid out inside it.
+	Region geo.Region
+
+	// --- engine knobs ---
+	BatchSize          int
+	ViewChangeTimeout  time.Duration
+	CheckpointInterval uint64
+	// GeoTimerProposer orders the committee by geographic timer (the
+	// incentive bias). Only meaningful under GPBFT.
+	GeoTimerProposer bool
+	// DisableEraSwitch freezes the committee (ablation).
+	DisableEraSwitch bool
+	// ForceEraSwitch switches eras every EraPeriod even when the
+	// election changes nothing — the paper's literal schedule, which
+	// produces the switch-period latency outliers of Figure 3b.
+	ForceEraSwitch bool
+
+	// Epoch anchors simulated time to wall-clock timestamps.
+	Epoch time.Time
+
+	// Byzantine assigns adversarial behaviour to node indices. The
+	// protocol tolerates fewer than one third faulty committee members
+	// (the paper's threat model); exceeding that voids all guarantees.
+	Byzantine map[int]Fault
+}
+
+// Fault selects an adversarial behaviour for a node.
+type Fault int
+
+const (
+	// Honest is the default.
+	Honest Fault = iota
+	// FaultSilent joins but never participates.
+	FaultSilent
+	// FaultEquivocate sends conflicting proposals to disjoint halves
+	// of the committee when leading.
+	FaultEquivocate
+	// FaultWithholdVotes suppresses own commit votes.
+	FaultWithholdVotes
+)
+
+// DefaultOptions returns the paper's experiment configuration for the
+// given protocol and node count: min 4 / max 40 endorsers, the LAN
+// profile, and a one-second era period scaled for simulation.
+func DefaultOptions(p Protocol, nodes int) Options {
+	return Options{
+		Protocol:            p,
+		Nodes:               nodes,
+		Seed:                1,
+		Network:             LANProfile(),
+		MinEndorsers:        ledger.DefaultMinEndorsers,
+		MaxEndorsers:        ledger.DefaultMaxEndorsers,
+		EraPeriod:           10 * time.Second,
+		SwitchPeriod:        ledger.DefaultSwitchPeriod,
+		QualificationWindow: 30 * time.Second, // scaled-down 72 h for simulation
+		ReportInterval:      time.Second,
+		MinReports:          3,
+		Region:              geo.NewRegion(geo.Point{Lng: 114.175, Lat: 22.300}, geo.Point{Lng: 114.185, Lat: 22.310}),
+		BatchSize:           32,
+		ViewChangeTimeout:   0, // filled per committee size in NewCluster
+		CheckpointInterval:  16,
+		GeoTimerProposer:    true,
+		Epoch:               time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// validate normalizes and checks the options.
+func (o *Options) validate() error {
+	if o.Nodes < 4 {
+		return errors.New("gpbft: need at least 4 nodes")
+	}
+	if o.MinEndorsers == 0 {
+		o.MinEndorsers = ledger.DefaultMinEndorsers
+	}
+	if o.MaxEndorsers == 0 {
+		o.MaxEndorsers = ledger.DefaultMaxEndorsers
+	}
+	if o.MinEndorsers < 4 || o.MaxEndorsers < o.MinEndorsers {
+		return fmt.Errorf("gpbft: bad endorser bounds [%d, %d]", o.MinEndorsers, o.MaxEndorsers)
+	}
+	if o.EraPeriod == 0 {
+		o.EraPeriod = ledger.DefaultEraPeriod
+	}
+	if o.SwitchPeriod == 0 {
+		o.SwitchPeriod = ledger.DefaultSwitchPeriod
+	}
+	if o.QualificationWindow == 0 {
+		o.QualificationWindow = ledger.DefaultQualificationWindow
+	}
+	if o.ReportInterval == 0 {
+		o.ReportInterval = ledger.DefaultReportInterval
+	}
+	if o.MinReports == 0 {
+		o.MinReports = ledger.DefaultMinReports
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 32
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 16
+	}
+	if o.Epoch.IsZero() {
+		o.Epoch = time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC)
+	}
+	if o.Region.IsZero() {
+		o.Region = geo.NewRegion(geo.Point{Lng: 114.175, Lat: 22.300}, geo.Point{Lng: 114.185, Lat: 22.310})
+	}
+	if o.GenesisEndorsers > 0 && o.GenesisEndorsers < o.MinEndorsers {
+		return fmt.Errorf("gpbft: GenesisEndorsers %d below MinEndorsers %d", o.GenesisEndorsers, o.MinEndorsers)
+	}
+	if o.ViewChangeTimeout == 0 {
+		// Scale patience with committee size: a 202-node PBFT round
+		// takes ~n*ProcTime per phase, and under sustained load the
+		// queueing delay grows far beyond a single round — a fixed
+		// small timeout would depose primaries that are merely slow.
+		n := o.committeeSize()
+		o.ViewChangeTimeout = 2*time.Second + time.Duration(n*n/4)*o.Network.ProcTime
+	}
+	return nil
+}
+
+// committeeSize returns the size of the initial consensus group.
+func (o *Options) committeeSize() int {
+	if o.Protocol == PBFT {
+		return o.Nodes
+	}
+	size := o.MaxEndorsers
+	if o.GenesisEndorsers > 0 && o.GenesisEndorsers < size {
+		size = o.GenesisEndorsers
+	}
+	if o.Nodes < size {
+		size = o.Nodes
+	}
+	return size
+}
+
+// policy assembles the genesis admittance policy.
+func (o *Options) policy() ledger.AdmittancePolicy {
+	return ledger.AdmittancePolicy{
+		MinEndorsers:        o.MinEndorsers,
+		MaxEndorsers:        o.maxForProtocol(),
+		Region:              o.Region,
+		QualificationWindow: o.QualificationWindow,
+		MinReports:          o.MinReports,
+		EraPeriod:           o.EraPeriod,
+		SwitchPeriod:        o.SwitchPeriod,
+		ReportInterval:      o.ReportInterval,
+		MinWitnesses:        o.MinWitnesses,
+		WitnessRangeMeters:  o.WitnessRangeMeters,
+	}
+}
+
+// maxForProtocol: under baseline PBFT every node is a consensus member,
+// so the policy cap must admit all of them.
+func (o *Options) maxForProtocol() int {
+	if o.Protocol == PBFT && o.Nodes > o.MaxEndorsers {
+		return o.Nodes
+	}
+	return o.MaxEndorsers
+}

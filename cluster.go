@@ -223,6 +223,11 @@ func (c *Cluster) CoreEngine(i int) *core.Engine { return c.coreEng[i] }
 // PBFTEngine returns node i's PBFT engine (nil under GPBFT).
 func (c *Cluster) PBFTEngine(i int) *pbft.Engine { return c.pbftEng[i] }
 
+// NodeCounters returns node i's runtime event counters (envelopes
+// delivered, timers fired, blocks committed) — the same snapshot a TCP
+// deployment exports through gpbft-node's -metrics-addr endpoint.
+func (c *Cluster) NodeCounters(i int) runtime.CounterSnapshot { return c.nodes[i].Counters() }
+
 // Address returns node i's chain address.
 func (c *Cluster) Address(i int) gcrypto.Address { return c.keys[i].Address() }
 

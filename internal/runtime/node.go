@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"gpbft/internal/consensus"
 	"gpbft/internal/gcrypto"
@@ -37,6 +38,48 @@ type Node struct {
 	OnEraSwitch func(now consensus.Time, era uint64, committee []gcrypto.Address)
 	// CommitErr records the first commit failure (a bug or a fork).
 	CommitErr error
+
+	ctr nodeCounters
+}
+
+// nodeCounters tracks engine-loop activity with atomics so metrics
+// readers (the -metrics-addr HTTP handler) can snapshot them from
+// outside the event loop without racing it.
+type nodeCounters struct {
+	delivered  atomic.Uint64
+	fired      atomic.Uint64
+	submitted  atomic.Uint64
+	rejected   atomic.Uint64
+	committed  atomic.Uint64
+	lastHeight atomic.Uint64
+}
+
+// CounterSnapshot is a point-in-time view of a node's event counters.
+type CounterSnapshot struct {
+	// Delivered counts envelopes fed to the engine, Fired timer
+	// expiries, Submitted accepted local transactions, Rejected
+	// transactions refused at submission.
+	Delivered uint64
+	Fired     uint64
+	Submitted uint64
+	Rejected  uint64
+	// Committed counts blocks applied to the chain; LastHeight is the
+	// height of the most recent one.
+	Committed  uint64
+	LastHeight uint64
+}
+
+// Counters snapshots the node's event counters; safe to call from any
+// goroutine.
+func (n *Node) Counters() CounterSnapshot {
+	return CounterSnapshot{
+		Delivered:  n.ctr.delivered.Load(),
+		Fired:      n.ctr.fired.Load(),
+		Submitted:  n.ctr.submitted.Load(),
+		Rejected:   n.ctr.rejected.Load(),
+		Committed:  n.ctr.committed.Load(),
+		LastHeight: n.ctr.lastHeight.Load(),
+	}
 }
 
 // Start runs the engine's Init.
@@ -56,11 +99,13 @@ func (n *Node) HandleTimer(now consensus.Time, id consensus.TimerID) {
 
 // Deliver feeds a received envelope to the engine.
 func (n *Node) Deliver(now consensus.Time, env *consensus.Envelope) {
+	n.ctr.delivered.Add(1)
 	n.apply(now, n.Engine.OnEnvelope(now, env))
 }
 
 // Fire feeds a timer expiry to the engine.
 func (n *Node) Fire(now consensus.Time, id consensus.TimerID) {
+	n.ctr.fired.Add(1)
 	n.apply(now, n.Engine.OnTimer(now, id))
 }
 
@@ -68,8 +113,10 @@ func (n *Node) Fire(now consensus.Time, id consensus.TimerID) {
 // to the engine for proposal/forwarding.
 func (n *Node) Submit(now consensus.Time, tx *types.Transaction) error {
 	if err := n.App.SubmitTx(tx); err != nil {
+		n.ctr.rejected.Add(1)
 		return err
 	}
+	n.ctr.submitted.Add(1)
 	n.apply(now, n.Engine.OnRequest(now, tx))
 	return nil
 }
@@ -108,6 +155,8 @@ func (n *Node) applyList(now consensus.Time, acts []consensus.Action) (committed
 				continue
 			}
 			committed = true
+			n.ctr.committed.Add(1)
+			n.ctr.lastHeight.Store(act.Block.Header.Height)
 			if n.OnCommit != nil {
 				n.OnCommit(now, act.Block)
 			}

@@ -153,6 +153,35 @@ func TestNodeChainedCommitNotifications(t *testing.T) {
 	}
 }
 
+func TestNodeCounters(t *testing.T) {
+	eng := &scriptedEngine{}
+	n, _, chain := testNode(t, eng)
+	b := validNextBlock(chain)
+	eng.initActs = []consensus.Action{consensus.CommitBlock{Block: b}}
+	n.Start(0)
+
+	kp := gcrypto.DeterministicKeyPair(0)
+	n.Deliver(time.Second, consensus.Seal(kp, &fakeReq{}))
+	n.Deliver(time.Second, consensus.Seal(kp, &fakeReq{}))
+	n.Fire(time.Second, 7)
+	if err := n.Submit(time.Second, mkTx(0, 500)); err != nil {
+		t.Fatal(err)
+	}
+	// An unsigned transaction fails verification and counts as rejected.
+	if err := n.Submit(time.Second, &types.Transaction{Type: types.TxNormal, Nonce: 9}); err == nil {
+		t.Fatal("unsigned tx accepted")
+	}
+
+	c := n.Counters()
+	want := CounterSnapshot{
+		Delivered: 2, Fired: 1, Submitted: 1, Rejected: 1,
+		Committed: 1, LastHeight: 1,
+	}
+	if c != want {
+		t.Fatalf("counters %+v, want %+v", c, want)
+	}
+}
+
 func TestNodeEraSwitchHook(t *testing.T) {
 	eng := &scriptedEngine{initActs: []consensus.Action{
 		consensus.EraSwitched{Era: 3, Committee: []gcrypto.Address{gcrypto.DeterministicKeyPair(0).Address()}},

@@ -32,3 +32,25 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeHello: hostile hello payloads must never panic the
+// handshake decoder, and every accepted hello must re-encode to the
+// same bytes (canonical form).
+func FuzzDecodeHello(f *testing.F) {
+	kp := gcrypto.DeterministicKeyPair(1)
+	f.Add(EncodeHello(NewHello(kp)))
+	f.Add([]byte(helloMagic))
+	f.Add([]byte(helloMagic + "\x01"))
+	f.Add(append([]byte(helloMagic+"\x01"), make([]byte, 64)...))
+	f.Add(append([]byte(helloMagic), 99))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHello(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeHello(h), data) {
+			t.Fatal("accepted hello is not canonical")
+		}
+		_ = h.Verify() // must not panic on arbitrary key/sig lengths
+	})
+}

@@ -71,6 +71,114 @@ func TestRedialAfterPeerRestart(t *testing.T) {
 	}
 }
 
+// TestAddPeerEndpointChangeLiveConn is the regression test for the
+// seed bug where writeLoop captured hostport once at spawn: after the
+// peer moves, AddPeer's new endpoint must reach the live writer. Here
+// the writer already holds a connection to the OLD endpoint; the
+// update must burn it and redial the new one.
+func TestAddPeerEndpointChangeLiveConn(t *testing.T) {
+	kpA := gcrypto.DeterministicKeyPair(1)
+	kpB := gcrypto.DeterministicKeyPair(2)
+
+	b1, err := New(Config{Listen: "127.0.0.1:0", Key: kpB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{
+		Listen:      "127.0.0.1:0",
+		Key:         kpA,
+		Peers:       []Peer{{Addr: kpB.Address(), HostPort: b1.ListenAddr()}},
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	env := consensus.Seal(kpA, &pbft.Prepare{Era: 1, Seq: 1})
+	if err := a.Send(kpB.Address(), env); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b1.Incoming():
+	case <-time.After(5 * time.Second):
+		t.Fatal("initial delivery failed")
+	}
+
+	// The peer moves: old endpoint dies, a new one appears elsewhere.
+	b2, err := New(Config{Listen: "127.0.0.1:0", Key: kpB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	b1.Close()
+	a.AddPeer(Peer{Addr: kpB.Address(), HostPort: b2.ListenAddr()})
+
+	deadline := time.After(10 * time.Second)
+	for {
+		if err := a.Send(kpB.Address(), env); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-b2.Incoming():
+			return
+		case <-time.After(200 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("messages never followed the peer to its new endpoint")
+		}
+	}
+}
+
+// TestAddPeerEndpointChangeWhileBackingOff: the writer is stuck
+// redialing a dead endpoint; AddPeer must cut the backoff short and
+// the queued message must come out at the NEW endpoint.
+func TestAddPeerEndpointChangeWhileBackingOff(t *testing.T) {
+	kpA := gcrypto.DeterministicKeyPair(1)
+	kpB := gcrypto.DeterministicKeyPair(2)
+
+	// Reserve-and-release a port so the book points into a void.
+	hole, err := New(Config{Listen: "127.0.0.1:0", Self: kpB.Address()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := hole.ListenAddr()
+	hole.Close()
+
+	a, err := New(Config{
+		Listen:      "127.0.0.1:0",
+		Key:         kpA,
+		Peers:       []Peer{{Addr: kpB.Address(), HostPort: deadAddr}},
+		DialTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	env := consensus.Seal(kpA, &pbft.Prepare{Era: 1, Seq: 1})
+	if err := a.Send(kpB.Address(), env); err != nil {
+		t.Fatal(err)
+	}
+	// Let the writer enter its dial/backoff loop against the dead port.
+	time.Sleep(150 * time.Millisecond)
+
+	b, err := New(Config{Listen: "127.0.0.1:0", Key: kpB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(Peer{Addr: kpB.Address(), HostPort: b.ListenAddr()})
+
+	select {
+	case <-b.Incoming():
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued message never reached the re-registered endpoint")
+	}
+	if s := a.Stats(); s.DialFailures == 0 {
+		t.Fatalf("expected dial failures against the dead endpoint, got %+v", s)
+	}
+}
+
 // TestSendQueueOverflowDrops: a tiny queue with a dead peer counts
 // drops instead of blocking.
 func TestSendQueueOverflowDrops(t *testing.T) {

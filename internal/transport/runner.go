@@ -51,6 +51,15 @@ func NewRunner(node *runtime.Node, tcp *TCP) *Runner {
 // now returns engine time: elapsed real time since the runner started.
 func (r *Runner) now() consensus.Time { return time.Since(r.start) }
 
+// Stats snapshots the transport layer this runner drives; together
+// with the node's runtime counters it is what the -metrics-addr
+// endpoint of cmd/gpbft-node exports.
+func (r *Runner) Stats() Stats { return r.tcp.Stats() }
+
+// Node returns the runtime node this runner drives (its counters
+// complement the transport stats for observability).
+func (r *Runner) Node() *runtime.Node { return r.node }
+
 // Send implements runtime.Executor.
 func (r *Runner) Send(to gcrypto.Address, env *consensus.Envelope) {
 	_ = r.tcp.Send(to, env)

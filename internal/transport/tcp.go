@@ -1,8 +1,10 @@
 // Package transport runs the same consensus engines that the
 // simulator drives over real TCP: length-prefixed envelope framing, an
-// address book mapping chain addresses to host:port endpoints, lazy
-// dialing with reconnection, and a single-goroutine real-time runner
-// that serializes engine events exactly like the simulator does.
+// address book mapping chain addresses to host:port endpoints, a signed
+// identity handshake so inbound connections are attributed and reused
+// bidirectionally, per-peer writers with capped-exponential redial, and
+// a single-goroutine real-time runner that serializes engine events
+// exactly like the simulator does.
 package transport
 
 import (
@@ -10,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -29,9 +32,8 @@ var (
 	ErrClosed        = errors.New("transport: closed")
 )
 
-// WriteFrame writes one length-prefixed envelope to w.
-func WriteFrame(w io.Writer, env *consensus.Envelope) error {
-	payload := consensus.EncodeEnvelope(env)
+// writeRawFrame writes one length-prefixed payload to w.
+func writeRawFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return ErrFrameTooLarge
 	}
@@ -44,8 +46,8 @@ func WriteFrame(w io.Writer, env *consensus.Envelope) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed envelope from r.
-func ReadFrame(r io.Reader) (*consensus.Envelope, error) {
+// readRawFrame reads one length-prefixed payload from r.
+func readRawFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -56,6 +58,20 @@ func ReadFrame(r io.Reader) (*consensus.Envelope, error) {
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFrame writes one length-prefixed envelope to w.
+func WriteFrame(w io.Writer, env *consensus.Envelope) error {
+	return writeRawFrame(w, consensus.EncodeEnvelope(env))
+}
+
+// ReadFrame reads one length-prefixed envelope from r.
+func ReadFrame(r io.Reader) (*consensus.Envelope, error) {
+	buf, err := readRawFrame(r)
+	if err != nil {
 		return nil, err
 	}
 	return consensus.DecodeEnvelope(buf)
@@ -74,40 +90,105 @@ type Config struct {
 	Listen string
 	// Peers is the address book (self may be included; it is ignored).
 	Peers []Peer
-	// Self filters the address book.
+	// Self filters the address book. Derived from Key when zero.
 	Self gcrypto.Address
+	// Key, when set, signs the identity hello sent on every outbound
+	// connection, letting the remote side attribute and reuse the
+	// connection for its own traffic. Without a key no hello is sent
+	// and connections stay one-directional (legacy/client mode).
+	Key *gcrypto.KeyPair
 	// DialTimeout bounds connection attempts (default 2 s).
 	DialTimeout time.Duration
 	// SendQueue is the per-peer outbound buffer (default 4096).
 	SendQueue int
+	// WriteTimeout bounds one frame write (default 10 s); a peer that
+	// stops draining its socket cannot wedge the writer forever.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the wait for an inbound connection's
+	// first frame (default 5 s), shedding silent connections.
+	HandshakeTimeout time.Duration
+	// KeepAlivePeriod is the TCP keepalive probe interval (default
+	// 30 s; negative disables).
+	KeepAlivePeriod time.Duration
+	// BaseBackoff and MaxBackoff bound the capped-exponential redial
+	// delay (defaults 50 ms and 2 s). Jitter of up to 50% is added so a
+	// committee redialing a restarted peer does not stampede it.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// IdleTimeout, when positive, closes connections that deliver no
+	// frame for that long (default 0: rely on keepalives, since an
+	// idle committee is legitimately silent between proposals).
+	IdleTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Key != nil && c.Self.IsZero() {
+		c.Self = c.Key.Address()
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.SendQueue == 0 {
+		c.SendQueue = 4096
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.KeepAlivePeriod == 0 {
+		c.KeepAlivePeriod = 30 * time.Second
+	}
+	if c.BaseBackoff == 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
 }
 
 // TCP is a transport endpoint: it accepts inbound framed envelopes and
-// maintains one outbound connection per peer, dialed lazily and
-// re-dialed on failure.
+// maintains one writer per peer. Writers prefer a connection the peer
+// dialed to us (attributed via the identity handshake); otherwise they
+// dial lazily, re-resolving the peer's endpoint from the address book
+// on every attempt so AddPeer updates reach live writers.
 type TCP struct {
 	cfg      Config
 	ln       net.Listener
-	book     map[gcrypto.Address]string
 	incoming chan *consensus.Envelope
+	ctr      counters
 
-	mu    sync.Mutex
-	outs  map[gcrypto.Address]chan *consensus.Envelope
-	conns []net.Conn
-	done  chan struct{}
-	wg    sync.WaitGroup
+	mu     sync.Mutex
+	book   map[gcrypto.Address]string
+	peers  map[gcrypto.Address]*peer
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
 
-	dropped int64 // outbound messages dropped on full queues
+// peer is the per-peer connection state machine. Lock order: t.mu may
+// not be acquired while holding p.mu.
+type peer struct {
+	t    *TCP
+	addr gcrypto.Address
+	q    chan *consensus.Envelope
+	// wake interrupts a backoff wait early: an endpoint change or an
+	// adopted inbound connection makes an immediate retry worthwhile.
+	wake chan struct{}
+
+	mu          sync.Mutex
+	conn        net.Conn
+	inboundConn bool
+	state       PeerState
+	dialed      bool // a dial has been attempted before (redial accounting)
+	redials     int64
 }
 
 // New starts listening and returns the endpoint.
 func New(cfg Config) (*TCP, error) {
-	if cfg.DialTimeout == 0 {
-		cfg.DialTimeout = 2 * time.Second
-	}
-	if cfg.SendQueue == 0 {
-		cfg.SendQueue = 4096
-	}
+	cfg.applyDefaults()
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
@@ -115,9 +196,10 @@ func New(cfg Config) (*TCP, error) {
 	t := &TCP{
 		cfg:      cfg,
 		ln:       ln,
-		book:     make(map[gcrypto.Address]string, len(cfg.Peers)),
 		incoming: make(chan *consensus.Envelope, 8192),
-		outs:     make(map[gcrypto.Address]chan *consensus.Envelope),
+		book:     make(map[gcrypto.Address]string, len(cfg.Peers)),
+		peers:    make(map[gcrypto.Address]*peer),
+		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
 	for _, p := range cfg.Peers {
@@ -138,10 +220,113 @@ func (t *TCP) Incoming() <-chan *consensus.Envelope { return t.incoming }
 
 // Dropped returns how many outbound messages were discarded because a
 // peer queue was full or its connection kept failing.
-func (t *TCP) Dropped() int64 {
+func (t *TCP) Dropped() int64 { return t.ctr.dropped.Load() }
+
+// Send queues env for delivery to a known peer; unknown peers are an
+// error, full queues drop (consensus protocols tolerate loss).
+func (t *TCP) Send(to gcrypto.Address, env *consensus.Envelope) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	p := t.peers[to]
+	if p == nil {
+		if _, known := t.book[to]; !known {
+			t.mu.Unlock()
+			return ErrUnknownPeer
+		}
+		p = t.startPeerLocked(to)
+	}
+	t.mu.Unlock()
+	select {
+	case p.q <- env:
+	default:
+		t.ctr.dropped.Add(1)
+	}
+	return nil
+}
+
+// AddPeer registers or updates a peer endpoint at runtime (new
+// endorsers joining, a device moving to a new address). If the
+// endpoint changed, the live writer is kicked so new traffic redials
+// the fresh address instead of the stale one.
+func (t *TCP) AddPeer(pr Peer) {
+	if pr.Addr == t.cfg.Self {
+		return
+	}
+	t.mu.Lock()
+	old, had := t.book[pr.Addr]
+	t.book[pr.Addr] = pr.HostPort
+	p := t.peers[pr.Addr]
+	t.mu.Unlock()
+	if p != nil && (!had || old != pr.HostPort) {
+		p.endpointChanged()
+	}
+}
+
+// startPeerLocked creates the peer state machine and its writer; the
+// caller must hold t.mu and have checked t.closed.
+func (t *TCP) startPeerLocked(addr gcrypto.Address) *peer {
+	p := &peer{
+		t:    t,
+		addr: addr,
+		q:    make(chan *consensus.Envelope, t.cfg.SendQueue),
+		wake: make(chan struct{}, 1),
+	}
+	t.peers[addr] = p
+	t.wg.Add(1)
+	go p.writeLoop()
+	return p
+}
+
+// endpoint resolves the peer's current address-book entry ("" when the
+// peer is known only through an inbound connection).
+func (t *TCP) endpoint(addr gcrypto.Address) string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.dropped
+	return t.book[addr]
+}
+
+// track registers a connection for shutdown and pruning; it refuses
+// (and closes) when the endpoint is already closed.
+func (t *TCP) track(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		conn.Close()
+		return false
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack prunes a dead connection so churn (era switches, peer
+// restarts) does not grow the tracked set without bound.
+func (t *TCP) untrack(conn net.Conn) {
+	t.mu.Lock()
+	_, present := t.conns[conn]
+	delete(t.conns, conn)
+	t.mu.Unlock()
+	conn.Close()
+	if present {
+		t.ctr.connsPruned.Add(1)
+	}
+}
+
+// configureConn applies keepalive settings to a fresh connection.
+func (t *TCP) configureConn(conn net.Conn) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	if t.cfg.KeepAlivePeriod > 0 {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(t.cfg.KeepAlivePeriod)
+	} else {
+		tc.SetKeepAlive(false)
+	}
+	tc.SetNoDelay(true)
 }
 
 func (t *TCP) acceptLoop() {
@@ -151,144 +336,307 @@ func (t *TCP) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		t.mu.Lock()
-		select {
-		case <-t.done:
-			t.mu.Unlock()
-			conn.Close()
+		t.ctr.accepted.Add(1)
+		if !t.track(conn) {
 			return
-		default:
 		}
-		t.conns = append(t.conns, conn)
-		t.mu.Unlock()
 		t.wg.Add(1)
-		go t.readLoop(conn)
+		go t.serveInbound(conn)
 	}
 }
 
-func (t *TCP) readLoop(conn net.Conn) {
+// serveInbound handles one accepted connection. The first frame
+// decides its nature: a verified hello attributes the connection to a
+// chain address (enabling bidirectional reuse); a plain envelope marks
+// a legacy/client connection that stays unattributed.
+func (t *TCP) serveInbound(conn net.Conn) {
 	defer t.wg.Done()
-	defer conn.Close()
+	defer t.untrack(conn)
+	t.configureConn(conn)
+
+	conn.SetReadDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
+	payload, err := readRawFrame(conn)
+	if err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	if isHello(payload) {
+		h, err := DecodeHello(payload)
+		if err != nil || h.Verify() != nil || h.Addr == t.cfg.Self {
+			t.ctr.handshakeFailures.Add(1)
+			return
+		}
+		if p := t.adoptInbound(h.Addr, conn); p != nil {
+			defer p.dropConn(conn)
+		}
+	} else if !t.deliverPayload(conn, payload) {
+		return
+	}
+	t.readFrames(conn)
+}
+
+// adoptInbound offers an attributed inbound connection to the peer's
+// writer; it returns the peer so the caller can detach the connection
+// on read exit, or nil when the transport is closing.
+func (t *TCP) adoptInbound(addr gcrypto.Address, conn net.Conn) *peer {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	p := t.peers[addr]
+	if p == nil {
+		p = t.startPeerLocked(addr)
+	}
+	t.mu.Unlock()
+	p.offerConn(conn, true)
+	return p
+}
+
+// deliverPayload decodes and queues one received frame; a malformed
+// frame is a protocol violation that closes the connection.
+func (t *TCP) deliverPayload(conn net.Conn, payload []byte) bool {
+	env, err := consensus.DecodeEnvelope(payload)
+	if err != nil {
+		return false
+	}
+	t.ctr.framesIn.Add(1)
+	t.ctr.bytesIn.Add(int64(4 + len(payload)))
+	select {
+	case t.incoming <- env:
+		return true
+	case <-t.done:
+		return false
+	}
+}
+
+// readFrames pumps envelopes off a connection until it fails.
+func (t *TCP) readFrames(conn net.Conn) {
 	for {
-		env, err := ReadFrame(conn)
+		if t.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
+		}
+		payload, err := readRawFrame(conn)
 		if err != nil {
 			return
 		}
-		select {
-		case t.incoming <- env:
-		case <-t.done:
+		if !t.deliverPayload(conn, payload) {
 			return
 		}
 	}
 }
 
-// Send queues env for delivery to a known peer; unknown peers are an
-// error, full queues drop (consensus protocols tolerate loss).
-func (t *TCP) Send(to gcrypto.Address, env *consensus.Envelope) error {
-	hostport, ok := t.book[to]
-	if !ok {
-		return ErrUnknownPeer
-	}
-	t.mu.Lock()
-	select {
-	case <-t.done:
-		t.mu.Unlock()
-		return ErrClosed
-	default:
-	}
-	q, ok := t.outs[to]
-	if !ok {
-		q = make(chan *consensus.Envelope, t.cfg.SendQueue)
-		t.outs[to] = q
-		t.wg.Add(1)
-		go t.writeLoop(hostport, q)
-	}
-	t.mu.Unlock()
-	select {
-	case q <- env:
-		return nil
-	default:
-		t.mu.Lock()
-		t.dropped++
-		t.mu.Unlock()
-		return nil
-	}
-}
+// --- per-peer writer ---
 
-// AddPeer extends the address book at runtime (new endorsers joining).
-func (t *TCP) AddPeer(p Peer) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if p.Addr != t.cfg.Self {
-		t.book[p.Addr] = p.HostPort
-	}
-}
-
-func (t *TCP) writeLoop(hostport string, q chan *consensus.Envelope) {
-	defer t.wg.Done()
-	var conn net.Conn
-	defer func() {
-		if conn != nil {
-			conn.Close()
-		}
-	}()
-	backoff := 50 * time.Millisecond
+func (p *peer) writeLoop() {
+	defer p.t.wg.Done()
 	for {
 		select {
-		case <-t.done:
+		case <-p.t.done:
 			return
-		case env := <-q:
-			for conn == nil {
-				c, err := net.DialTimeout("tcp", hostport, t.cfg.DialTimeout)
-				if err == nil {
-					conn = c
-					backoff = 50 * time.Millisecond
-					break
-				}
-				select {
-				case <-t.done:
-					return
-				case <-time.After(backoff):
-				}
-				if backoff < 2*time.Second {
-					backoff *= 2
-				}
+		case env := <-p.q:
+			if !p.deliver(env) {
+				return
 			}
-			if err := WriteFrame(conn, env); err != nil {
-				conn.Close()
-				conn = nil
-				// One redial attempt for this message, then drop it.
-				c, derr := net.DialTimeout("tcp", hostport, t.cfg.DialTimeout)
-				if derr != nil {
-					t.mu.Lock()
-					t.dropped++
-					t.mu.Unlock()
-					continue
+		}
+	}
+}
+
+// deliver writes one envelope, establishing a connection first if
+// needed. A failed write burns the connection and retries once on a
+// fresh one; a second failure drops the envelope (consensus protocols
+// tolerate loss — blocking the whole queue on one frame does not).
+// It returns false when the transport is shutting down.
+func (p *peer) deliver(env *consensus.Envelope) bool {
+	payload := consensus.EncodeEnvelope(env)
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, ok := p.ensureConn()
+		if !ok {
+			return false
+		}
+		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+		if err := writeRawFrame(conn, payload); err == nil {
+			p.t.ctr.framesOut.Add(1)
+			p.t.ctr.bytesOut.Add(int64(4 + len(payload)))
+			return true
+		}
+		p.dropConn(conn)
+	}
+	p.t.ctr.dropped.Add(1)
+	return true
+}
+
+// ensureConn returns a live connection for the peer, blocking through
+// dial attempts and backoff waits. It prefers an adopted inbound
+// connection; otherwise it dials the endpoint re-resolved from the
+// address book on EVERY attempt, so an AddPeer endpoint update takes
+// effect on the next (re)dial instead of never. Returns ok=false when
+// the transport closes.
+func (p *peer) ensureConn() (net.Conn, bool) {
+	backoff := p.t.cfg.BaseBackoff
+	for {
+		select {
+		case <-p.t.done:
+			return nil, false
+		default:
+		}
+		p.mu.Lock()
+		if p.conn != nil {
+			conn := p.conn
+			p.mu.Unlock()
+			return conn, true
+		}
+		p.mu.Unlock()
+
+		if endpoint := p.t.endpoint(p.addr); endpoint != "" {
+			p.setState(PeerConnecting)
+			conn, err := p.dial(endpoint)
+			if err == nil {
+				if !p.t.track(conn) {
+					return nil, false
 				}
-				conn = c
-				if err := WriteFrame(conn, env); err != nil {
-					conn.Close()
-					conn = nil
-					t.mu.Lock()
-					t.dropped++
-					t.mu.Unlock()
+				if p.offerConn(conn, false) {
+					p.t.wg.Add(1)
+					go p.t.serveOutbound(p, conn)
+				} else {
+					// An inbound connection was adopted while we dialed;
+					// reuse it and discard ours.
+					p.t.untrack(conn)
+				}
+				continue
+			}
+			p.t.ctr.dialFailures.Add(1)
+		}
+		p.setState(PeerBackoff)
+		// Jittered wait, interruptible by shutdown or a wake (endpoint
+		// change, adopted inbound connection).
+		delay := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		select {
+		case <-p.t.done:
+			return nil, false
+		case <-p.wake:
+			backoff = p.t.cfg.BaseBackoff
+		case <-time.After(delay):
+			if backoff < p.t.cfg.MaxBackoff {
+				backoff *= 2
+				if backoff > p.t.cfg.MaxBackoff {
+					backoff = p.t.cfg.MaxBackoff
 				}
 			}
 		}
 	}
+}
+
+// dial connects to the endpoint and sends the identity hello.
+func (p *peer) dial(endpoint string) (net.Conn, error) {
+	p.mu.Lock()
+	redial := p.dialed
+	p.dialed = true
+	p.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", endpoint, p.t.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	p.t.configureConn(conn)
+	if p.t.cfg.Key != nil {
+		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+		if err := writeRawFrame(conn, EncodeHello(NewHello(p.t.cfg.Key))); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		conn.SetWriteDeadline(time.Time{})
+	}
+	p.t.ctr.dials.Add(1)
+	if redial {
+		p.t.ctr.redials.Add(1)
+		p.mu.Lock()
+		p.redials++
+		p.mu.Unlock()
+	}
+	return conn, nil
+}
+
+// serveOutbound reads response frames off a connection we dialed (the
+// remote side reuses it for its own traffic) and detaches it on exit.
+func (t *TCP) serveOutbound(p *peer, conn net.Conn) {
+	defer t.wg.Done()
+	defer t.untrack(conn)
+	defer p.dropConn(conn)
+	t.readFrames(conn)
+}
+
+// offerConn installs a connection as the peer's writer conduit; it
+// declines when one is already installed (the extra connection stays
+// read-only until it dies).
+func (p *peer) offerConn(conn net.Conn, inbound bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return false
+	}
+	p.conn = conn
+	p.inboundConn = inbound
+	p.state = PeerConnected
+	p.notifyWake()
+	return true
+}
+
+// dropConn detaches (and closes) a dead connection if it is the
+// peer's current conduit, returning the writer to redialing.
+func (p *peer) dropConn(conn net.Conn) {
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+		p.inboundConn = false
+		if p.state == PeerConnected {
+			p.state = PeerIdle
+		}
+	}
+	p.mu.Unlock()
+	conn.Close()
+}
+
+// endpointChanged reacts to an AddPeer endpoint update: a dialed
+// connection to the old address is burned (an adopted inbound one is
+// kept — the peer chose it), and any backoff wait is cut short.
+func (p *peer) endpointChanged() {
+	p.mu.Lock()
+	if p.conn != nil && !p.inboundConn {
+		p.conn.Close() // its read loop detaches it; the writer redials
+	}
+	p.mu.Unlock()
+	p.notifyWake()
+}
+
+func (p *peer) notifyWake() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (p *peer) setState(s PeerState) {
+	p.mu.Lock()
+	if p.conn == nil { // a concurrent adoption wins over dial bookkeeping
+		p.state = s
+	}
+	p.mu.Unlock()
 }
 
 // Close shuts the endpoint down.
 func (t *TCP) Close() {
 	t.mu.Lock()
-	select {
-	case <-t.done:
+	if t.closed {
 		t.mu.Unlock()
 		return
-	default:
-		close(t.done)
 	}
-	conns := t.conns
+	t.closed = true
+	close(t.done)
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
 	t.mu.Unlock()
 	t.ln.Close()
 	for _, c := range conns {

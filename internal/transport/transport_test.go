@@ -140,7 +140,7 @@ func TestRealTCPPBFTCluster(t *testing.T) {
 	// Start all endpoints first so the address book is complete.
 	tcps := make([]*TCP, n)
 	for i := 0; i < n; i++ {
-		tp, err := New(Config{Listen: "127.0.0.1:0", Self: keys[i].Address()})
+		tp, err := New(Config{Listen: "127.0.0.1:0", Key: keys[i]})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,5 +206,170 @@ func TestRealTCPPBFTCluster(t *testing.T) {
 		case <-deadline:
 			t.Fatalf("only %d/%d nodes committed within deadline", seen, n)
 		}
+	}
+}
+
+// TestTCPClusterStatsAndPeerMove runs a 4-node PBFT committee over
+// real TCP, checks that transport.Stats reports live traffic, then
+// moves one node to a brand-new port mid-run. The survivors learn the
+// new endpoint via AddPeer and the cluster must commit another block —
+// the era-switch/reconnect scenario of the paper's Raspberry-Pi
+// deployment (Section V).
+func TestTCPClusterStatsAndPeerMove(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster in -short mode")
+	}
+	const n = 4
+	keys := make([]*gcrypto.KeyPair, n)
+	g := &ledger.Genesis{ChainID: "tcp-move-test", Timestamp: epoch, Policy: ledger.DefaultPolicy()}
+	for i := 0; i < n; i++ {
+		keys[i] = gcrypto.DeterministicKeyPair(i)
+		g.Endorsers = append(g.Endorsers, types.EndorserInfo{
+			Address: keys[i].Address(), PubKey: keys[i].Public(),
+			Geohash: geo.MustEncode(geo.Point{Lng: 114.18, Lat: 22.3}, geo.CSCPrecision),
+		})
+	}
+	com, err := consensus.NewCommittee(g.Endorsers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newTCP := func(i int) *TCP {
+		tp, err := New(Config{Listen: "127.0.0.1:0", Key: keys[i], DialTimeout: 500 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	tcps := make([]*TCP, n)
+	for i := 0; i < n; i++ {
+		tcps[i] = newTCP(i)
+	}
+	defer func() {
+		for _, tp := range tcps {
+			tp.Close()
+		}
+	}()
+	wirePeers := func(tp *TCP, self int) {
+		for j := 0; j < n; j++ {
+			if j != self {
+				tp.AddPeer(Peer{Addr: keys[j].Address(), HostPort: tcps[j].ListenAddr()})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		wirePeers(tcps[i], i)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type commitEv struct {
+		node   int
+		height uint64
+	}
+	committed := make(chan commitEv, n*16)
+	nodes := make([]*runtime.Node, n)
+	runnerCancel := make([]context.CancelFunc, n)
+	runnerDone := make([]chan struct{}, n)
+	startRunner := func(i int) *Runner {
+		r := NewRunner(nodes[i], tcps[i])
+		rctx, rcancel := context.WithCancel(ctx)
+		done := make(chan struct{})
+		runnerCancel[i], runnerDone[i] = rcancel, done
+		go func() {
+			defer close(done)
+			r.Run(rctx)
+		}()
+		return r
+	}
+	runners := make([]*Runner, n)
+	for i := 0; i < n; i++ {
+		chain, err := ledger.NewChain(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := runtime.NewApp(chain, runtime.NewMempool(0), keys[i].Address(), epoch, 16)
+		eng, err := pbft.New(pbft.Config{
+			Committee: com, Key: keys[i], App: app,
+			Timers: consensus.NewTimerAllocator(), StartHeight: 1,
+			ViewChangeTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		nodes[i] = &runtime.Node{
+			ID: keys[i].Address(), Key: keys[i], App: app, Engine: eng,
+			OnCommit: func(_ consensus.Time, b *types.Block) {
+				committed <- commitEv{node: i, height: b.Header.Height}
+			},
+		}
+		runners[i] = startRunner(i)
+	}
+
+	waitHeight := func(h uint64) {
+		t.Helper()
+		seen := make(map[int]bool)
+		deadline := time.After(30 * time.Second)
+		for len(seen) < n {
+			select {
+			case ev := <-committed:
+				if ev.height == h {
+					seen[ev.node] = true
+				}
+			case <-deadline:
+				t.Fatalf("only %d/%d nodes committed height %d within deadline", len(seen), n, h)
+			}
+		}
+	}
+
+	submitTx := func(nonce uint64, payload string) {
+		tx := &types.Transaction{
+			Type: types.TxNormal, Nonce: nonce, Payload: []byte(payload), Fee: 1,
+			Geo: types.GeoInfo{Location: geo.Point{Lng: 114.18, Lat: 22.3}, Timestamp: epoch.Add(time.Duration(nonce) * time.Second)},
+		}
+		tx.Sign(gcrypto.DeterministicKeyPair(1000))
+		if err := runners[1].Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	submitTx(1, "before-move")
+	waitHeight(1)
+
+	// Consensus traffic must show up in the stats of every endpoint.
+	for i, tp := range tcps {
+		s := tp.Stats()
+		if s.FramesIn == 0 || s.FramesOut == 0 || s.BytesIn == 0 || s.BytesOut == 0 {
+			t.Fatalf("node %d stats show no traffic after a commit: %+v", i, s)
+		}
+	}
+
+	// Node 3 moves: its runner is stopped, its transport restarts on a
+	// brand-new port, and a fresh runner drives the SAME engine state.
+	// Survivors re-register the endpoint via AddPeer on their LIVE
+	// transports — their writers held connections to the dead port.
+	const mover = 3
+	runnerCancel[mover]()
+	<-runnerDone[mover]
+	tcps[mover].Close()
+	tcps[mover] = newTCP(mover)
+	wirePeers(tcps[mover], mover)
+	runners[mover] = startRunner(mover)
+	for i := 0; i < n; i++ {
+		if i != mover {
+			tcps[i].AddPeer(Peer{Addr: keys[mover].Address(), HostPort: tcps[mover].ListenAddr()})
+		}
+	}
+
+	submitTx(2, "after-move")
+	waitHeight(2)
+
+	// The survivors' writers had a dead endpoint for the mover; commit
+	// at height 2 on all four nodes proves the re-registered address
+	// took effect on live connections.
+	if s := tcps[mover].Stats(); s.FramesIn == 0 {
+		t.Fatalf("moved node saw no inbound frames on its new endpoint: %+v", s)
 	}
 }

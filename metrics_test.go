@@ -81,6 +81,55 @@ func TestMetricsDuplicateSubmit(t *testing.T) {
 	}
 }
 
+// TestMetricsPendingCap is the regression test for unbounded growth of
+// Metrics.submits: transactions submitted under overload but never
+// committed must not accumulate forever.
+func TestMetricsPendingCap(t *testing.T) {
+	m := gpbft.NewMetrics()
+	m.SetMaxPending(8)
+	txs := make([]*types.Transaction, 32)
+	for i := range txs {
+		txs[i] = metricsTx(i)
+		m.RecordSubmit(txs[i].ID(), time.Duration(i)*time.Millisecond)
+	}
+	if m.PendingCount() != 8 {
+		t.Fatalf("pending %d, want capped at 8", m.PendingCount())
+	}
+	if m.EvictedCount() != 24 {
+		t.Fatalf("evicted %d, want 24", m.EvictedCount())
+	}
+	if m.SubmittedCount() != 32 {
+		t.Fatalf("submitted %d, want 32 (eviction must not rewrite history)", m.SubmittedCount())
+	}
+
+	// A recent (still-tracked) transaction commits normally.
+	m.ObserveCommit(100*time.Millisecond, metricsBlock(txs[31]))
+	if m.CommittedCount() != 1 || len(m.Latencies()) != 1 {
+		t.Fatal("tracked tx must still measure")
+	}
+	if m.Latencies()[0] != 100*time.Millisecond-31*time.Millisecond {
+		t.Fatalf("latency %v", m.Latencies()[0])
+	}
+	// An evicted transaction committing later is simply unmeasured.
+	m.ObserveCommit(200*time.Millisecond, metricsBlock(txs[0]))
+	if m.CommittedCount() != 1 || len(m.Latencies()) != 1 {
+		t.Fatal("evicted tx must not produce a latency sample")
+	}
+	// Re-submitting a committed transaction must not restart its clock.
+	m.RecordSubmit(txs[31].ID(), 999*time.Millisecond)
+	if m.PendingCount() != 7 {
+		t.Fatalf("pending %d after re-submit of committed tx, want 7", m.PendingCount())
+	}
+
+	// Sustained churn stays bounded.
+	for i := 0; i < 10000; i++ {
+		m.RecordSubmit(metricsTx(100+i).ID(), time.Duration(i)*time.Millisecond)
+	}
+	if m.PendingCount() > 8 {
+		t.Fatalf("pending %d after churn, want <= 8", m.PendingCount())
+	}
+}
+
 func TestMetricsEmpty(t *testing.T) {
 	m := gpbft.NewMetrics()
 	if m.MeanLatency() != 0 || m.MaxLatency() != 0 || m.Quantile(0.5) != 0 {

@@ -14,6 +14,11 @@
 // Node identities are deterministic (derived from -index) so that all
 // participants compute the same genesis block without a coordination
 // step; pass -chain-id to isolate deployments.
+//
+// With -data, the node is crash-safe: committed blocks go to the block
+// log and every consensus vote is persisted to <data>.wal before it is
+// sent, so a killed-and-restarted node recovers its chain, rejoins its
+// era, and never contradicts a vote it already sent.
 package main
 
 import (
@@ -39,7 +44,18 @@ import (
 	"gpbft/internal/types"
 )
 
+// main stays a thin wrapper around run so that every exit path —
+// including SIGINT/SIGTERM and configuration errors — unwinds run's
+// defers and closes the durable logs. os.Exit anywhere inside the
+// setup would skip the fsync-on-close of the block log and vote WAL.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gpbft-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		index     = flag.Int("index", 0, "node index (derives identity, position and port)")
 		committee = flag.Int("committee", 4, "genesis committee size")
@@ -54,8 +70,8 @@ func main() {
 		report    = flag.Duration("report", 5*time.Second, "own location-report period (gpbft; 0 = off)")
 		batch     = flag.Int("batch", 32, "max transactions per block")
 		quiet     = flag.Bool("quiet", false, "suppress per-block logging")
-		dataPath  = flag.String("data", "", "block-log file for durable persistence (empty = in-memory only)")
-		fsync     = flag.Bool("fsync", false, "fsync the block log after every commit")
+		dataPath  = flag.String("data", "", "block-log file for durable persistence; the vote WAL lives at <data>.wal (empty = in-memory only)")
+		fsync     = flag.Bool("fsync", false, "fsync the block log and vote WAL after every write")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this host:port (empty = off)")
 	)
 	flag.Parse()
@@ -64,10 +80,10 @@ func main() {
 		*nodes = *committee
 	}
 	if *index < 0 || *index >= *nodes {
-		fatalf("index %d out of range [0,%d)", *index, *nodes)
+		return fmt.Errorf("index %d out of range [0,%d)", *index, *nodes)
 	}
 	if *committee < 4 {
-		fatalf("committee must be at least 4")
+		return fmt.Errorf("committee must be at least 4")
 	}
 	epoch := time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC)
 
@@ -97,26 +113,39 @@ func main() {
 	}
 	chain, err := ledger.NewChain(g)
 	if err != nil {
-		fatalf("genesis: %v", err)
+		return fmt.Errorf("genesis: %v", err)
 	}
 
-	// Durable persistence: replay the block log into the chain, then
-	// append every commit.
+	// Durable persistence: replay the block log into the chain and read
+	// back the consensus WAL, then append every commit / persist every
+	// vote. Close (which syncs) runs on every exit path via the defers.
 	var blockLog *store.BlockLog
+	var voteWAL *store.WAL
+	var recovered []store.WALRecord
 	if *dataPath != "" {
-		lg, recovered, err := store.Open(*dataPath, store.Options{Sync: *fsync})
+		lg, blocks, err := store.Open(*dataPath, store.Options{Sync: *fsync})
 		if err != nil {
-			fatalf("block log: %v", err)
+			return fmt.Errorf("block log: %v", err)
 		}
 		blockLog = lg
 		defer blockLog.Close()
-		for i, b := range recovered {
+		for i, b := range blocks {
 			if err := chain.AddBlock(b); err != nil {
-				fatalf("replay block %d: %v", i, err)
+				return fmt.Errorf("replay block %d: %v", i, err)
 			}
 		}
-		if len(recovered) > 0 {
-			log.Printf("recovered %d blocks from %s (height %d)", len(recovered), *dataPath, chain.Height())
+		if len(blocks) > 0 {
+			log.Printf("recovered %d blocks from %s (height %d)", len(blocks), *dataPath, chain.Height())
+		}
+		w, recs, err := store.OpenWAL(*dataPath+".wal", store.WALOptions{NoSync: !*fsync})
+		if err != nil {
+			return fmt.Errorf("consensus wal: %v", err)
+		}
+		voteWAL = w
+		defer voteWAL.Close()
+		recovered = recs
+		if len(recs) > 0 {
+			log.Printf("recovered %d consensus records from %s.wal", len(recs), *dataPath)
 		}
 	}
 
@@ -127,27 +156,37 @@ func main() {
 	case "pbft":
 		com, err := consensus.NewCommittee(g.Endorsers)
 		if err != nil {
-			fatalf("committee: %v", err)
+			return fmt.Errorf("committee: %v", err)
 		}
-		eng, err := pbft.New(pbft.Config{
+		cfg := pbft.Config{
 			Committee: com, Key: self, App: app,
-			Timers: consensus.NewTimerAllocator(), StartHeight: 1,
-		})
+			Timers: consensus.NewTimerAllocator(), StartHeight: chain.Height() + 1,
+		}
+		if voteWAL != nil {
+			cfg.WAL = voteWAL
+			cfg.Durable = pbft.RecoverState(0, recovered)
+		}
+		eng, err := pbft.New(cfg)
 		if err != nil {
-			fatalf("pbft: %v", err)
+			return fmt.Errorf("pbft: %v", err)
 		}
 		engine = eng
 	case "gpbft":
-		eng, err := core.New(core.Config{
+		cfg := core.Config{
 			Chain: chain, Key: self, App: app,
 			Timers: consensus.NewTimerAllocator(), Epoch: epoch,
-		})
+		}
+		if voteWAL != nil {
+			cfg.WAL = voteWAL
+			cfg.Recovered = recovered
+		}
+		eng, err := core.New(cfg)
 		if err != nil {
-			fatalf("gpbft: %v", err)
+			return fmt.Errorf("gpbft: %v", err)
 		}
 		engine = eng
 	default:
-		fatalf("unknown -protocol %q", *protocol)
+		return fmt.Errorf("unknown -protocol %q", *protocol)
 	}
 
 	addr := *listen
@@ -156,7 +195,7 @@ func main() {
 	}
 	tcp, err := transport.New(transport.Config{Listen: addr, Key: self})
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	defer tcp.Close()
 	for i := 0; i < *nodes; i++ {
@@ -215,6 +254,7 @@ func main() {
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -251,9 +291,5 @@ func main() {
 		*index, self.Address().Short(), addr, *protocol, *committee, *nodes)
 	runner.Run(ctx)
 	log.Printf("shutting down at height %d", chain.Height())
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "gpbft-node: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,513 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/core"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/ledger"
+	"gpbft/internal/runtime"
+	"gpbft/internal/simnet"
+	"gpbft/internal/store"
+	"gpbft/internal/types"
+)
+
+// Options configures a chaos cluster.
+type Options struct {
+	// Nodes is the committee size; 4..16.
+	Nodes int
+	// Seed drives both the network simulator and the fault schedule;
+	// the same seed reproduces the same run bit for bit.
+	Seed int64
+	// StepInterval is the virtual time between schedule operations
+	// (default 200ms).
+	StepInterval time.Duration
+	// DropRate is the background message-loss probability during the
+	// fault phase ("drop" faults). Recovery runs on a clean network.
+	DropRate float64
+	// EnableEraSwitch runs forced era switches underneath the chaos,
+	// exercising WAL rotation and era rejoin.
+	EnableEraSwitch bool
+}
+
+// slot is one node's durable storage: what survives a crash. The WAL
+// holds consensus votes; blocks is the persisted block log. Everything
+// else — mempool, vote tables, timers, sockets — dies with the
+// process and is rebuilt from these two on restart.
+type slot struct {
+	wal    *store.MemWAL
+	blocks []*types.Block
+}
+
+// Cluster is a simulated committee under fault injection. All nodes
+// are genesis endorsers; each has a durable slot it reboots from.
+type Cluster struct {
+	opts    Options
+	epoch   time.Time
+	net     *simnet.Network
+	rng     *rand.Rand
+	genesis *ledger.Genesis
+
+	keys      []*gcrypto.KeyPair
+	positions []geo.Point
+
+	slots   []*slot
+	nodes   []*runtime.Node
+	engines []*core.Engine
+	crashed []bool
+	high    []uint64 // committed-height high-water per node
+	nonces  []uint64
+	parts   map[[2]int]bool
+	checker *Checker
+}
+
+// New builds and starts (at virtual time 0) a chaos cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Nodes < 4 || opts.Nodes > 16 {
+		return nil, fmt.Errorf("chaos: Nodes must be in [4,16], got %d", opts.Nodes)
+	}
+	if opts.StepInterval == 0 {
+		opts.StepInterval = 200 * time.Millisecond
+	}
+	c := &Cluster{
+		opts:    opts,
+		epoch:   time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC),
+		rng:     rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
+		slots:   make([]*slot, opts.Nodes),
+		nodes:   make([]*runtime.Node, opts.Nodes),
+		engines: make([]*core.Engine, opts.Nodes),
+		crashed: make([]bool, opts.Nodes),
+		high:    make([]uint64, opts.Nodes),
+		nonces:  make([]uint64, opts.Nodes),
+		parts:   make(map[[2]int]bool),
+		checker: NewChecker(),
+	}
+	c.net = simnet.New(simnet.Config{
+		Seed: opts.Seed,
+		Latency: simnet.UniformLatency{
+			Base:   time.Millisecond,
+			Jitter: 500 * time.Microsecond,
+		},
+		ProcTime: 100 * time.Microsecond,
+		SendTime: 20 * time.Microsecond,
+		DropRate: opts.DropRate,
+		Tap:      c.checker.Observe,
+	})
+
+	c.positions = gridLayout(opts.Nodes)
+	c.keys = make([]*gcrypto.KeyPair, opts.Nodes)
+	for i := range c.keys {
+		c.keys[i] = gcrypto.DeterministicKeyPair(i)
+	}
+
+	g := &ledger.Genesis{
+		ChainID:   fmt.Sprintf("gpbft-chaos-%d", opts.Seed),
+		Timestamp: c.epoch,
+		Policy:    ledger.DefaultPolicy(),
+	}
+	if opts.Nodes > g.Policy.MaxEndorsers {
+		g.Policy.MaxEndorsers = opts.Nodes
+	}
+	g.Policy.EraPeriod = time.Second
+	g.Policy.SwitchPeriod = 50 * time.Millisecond
+	for i := 0; i < opts.Nodes; i++ {
+		g.Endorsers = append(g.Endorsers, types.EndorserInfo{
+			Address: c.keys[i].Address(),
+			PubKey:  c.keys[i].Public(),
+			Geohash: geo.MustEncode(c.positions[i], geo.CSCPrecision),
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c.genesis = g
+
+	for i := 0; i < opts.Nodes; i++ {
+		c.slots[i] = &slot{wal: &store.MemWAL{}}
+		if err := c.boot(i, false); err != nil {
+			return nil, err
+		}
+		c.net.AddNode(c.keys[i].Address(), c.nodes[i])
+	}
+	c.net.Schedule(0, func(now consensus.Time) {
+		for _, n := range c.nodes {
+			n.Start(now)
+		}
+	})
+	return c, nil
+}
+
+// gridLayout spreads n nodes over a small urban region, one CSC cell
+// apart, mirroring the paper's deployment layout.
+func gridLayout(n int) []geo.Point {
+	const minLng, maxLng, minLat, maxLat = 114.170, 114.180, 22.300, 22.310
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	dLng := (maxLng - minLng) / float64(cols+1)
+	dLat := (maxLat - minLat) / float64(cols+1)
+	out := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = geo.Point{
+			Lng: minLng + dLng*float64(i%cols+1),
+			Lat: minLat + dLat*float64(i/cols+1),
+		}
+	}
+	return out
+}
+
+// boot builds node i's incarnation from its durable slot only: replay
+// the block log into a fresh chain, then hand the engine the WAL and
+// its recovered records. With amnesia=true the consensus WAL is wiped
+// first — the configuration the regression-guard tests prove unsafe.
+func (c *Cluster) boot(i int, amnesia bool) error {
+	s := c.slots[i]
+	if amnesia {
+		s.wal = &store.MemWAL{}
+	}
+	chain, err := ledger.NewChain(c.genesis)
+	if err != nil {
+		return err
+	}
+	for _, b := range s.blocks {
+		if err := chain.AddBlock(b); err != nil {
+			return fmt.Errorf("chaos: node %d replay height %d: %w", i, b.Header.Height, err)
+		}
+	}
+	kp := c.keys[i]
+	app := runtime.NewApp(chain, runtime.NewMempool(0), kp.Address(), c.epoch, 1)
+	cfg := core.Config{
+		Chain:              chain,
+		Key:                kp,
+		App:                app,
+		Timers:             consensus.NewTimerAllocator(),
+		Epoch:              c.epoch,
+		CheckpointInterval: 4,
+		ViewChangeTimeout:  500 * time.Millisecond,
+		ProposerPolicy:     core.ProposerAddress,
+		DisableEraSwitch:   !c.opts.EnableEraSwitch,
+		ForceEraSwitch:     c.opts.EnableEraSwitch,
+	}
+	if !amnesia {
+		cfg.WAL = s.wal
+		cfg.Recovered = s.wal.Records()
+	}
+	eng, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	node := &runtime.Node{
+		ID: kp.Address(), Key: kp, App: app, Engine: eng,
+		Exec: c.net.Executor(kp.Address()),
+	}
+	node.OnCommit = func(_ consensus.Time, b *types.Block) {
+		s.blocks = append(s.blocks, b)
+	}
+	c.nodes[i] = node
+	c.engines[i] = eng
+	return nil
+}
+
+// --- fault operations ---
+
+func (c *Cluster) addr(i int) gcrypto.Address { return c.keys[i].Address() }
+
+// Crash fail-stops node i: it drops all traffic and its pending timers
+// die with the process.
+func (c *Cluster) Crash(i int) {
+	if c.crashed[i] {
+		return
+	}
+	c.net.Crash(c.addr(i))
+	c.crashed[i] = true
+}
+
+// Restart reboots node i as a fresh incarnation built from its durable
+// slot. A running node is killed first (a restart implies a crash).
+// With amnesia=true the consensus WAL is discarded too, modeling an
+// operator who lost the vote log but kept the block log.
+func (c *Cluster) Restart(i int, amnesia bool) error {
+	if !c.crashed[i] {
+		c.net.Crash(c.addr(i))
+		c.crashed[i] = true
+	}
+	if err := c.boot(i, amnesia); err != nil {
+		return err
+	}
+	c.net.Restart(c.addr(i), c.nodes[i])
+	c.crashed[i] = false
+	c.nodes[i].Start(c.net.Now())
+	return nil
+}
+
+// Partition blocks traffic between nodes i and j.
+func (c *Cluster) Partition(i, j int) {
+	if i == j {
+		return
+	}
+	if j < i {
+		i, j = j, i
+	}
+	c.parts[[2]int{i, j}] = true
+	c.net.Partition(c.addr(i), c.addr(j))
+}
+
+// HealAll removes every active partition.
+func (c *Cluster) HealAll() {
+	for p := range c.parts {
+		c.net.Heal(c.addr(p[0]), c.addr(p[1]))
+		delete(c.parts, p)
+	}
+}
+
+// Submit injects a signed transaction through node i (must be live).
+func (c *Cluster) Submit(i int, payload []byte) {
+	if c.crashed[i] {
+		return
+	}
+	c.nonces[i]++
+	tx := &types.Transaction{
+		Type:    types.TxNormal,
+		Nonce:   c.nonces[i],
+		Payload: payload,
+		Fee:     1,
+		Geo: types.GeoInfo{
+			Location:  c.positions[i],
+			Timestamp: c.epoch.Add(c.net.Now()),
+		},
+	}
+	tx.Sign(c.keys[i])
+	_ = c.nodes[i].Submit(c.net.Now(), tx)
+}
+
+// RunFor advances virtual time by d, processing events.
+func (c *Cluster) RunFor(d time.Duration) {
+	c.net.Run(c.net.Now() + d)
+}
+
+// RunUntilIdleFor processes events until quiescence or until d of
+// virtual time has elapsed.
+func (c *Cluster) RunUntilIdleFor(d time.Duration) {
+	c.net.RunUntilIdle(c.net.Now() + d)
+}
+
+// --- accessors ---
+
+// Height returns node i's committed chain height.
+func (c *Cluster) Height(i int) uint64 { return c.nodes[i].App.Chain().Height() }
+
+// MinHeight returns the lowest committed height across nodes.
+func (c *Cluster) MinHeight() uint64 {
+	min := c.Height(0)
+	for i := 1; i < len(c.nodes); i++ {
+		if h := c.Height(i); h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// Checker exposes the trace equivocation checker.
+func (c *Cluster) Checker() *Checker { return c.checker }
+
+// PrimaryIndex returns the node index acting as primary for the given
+// view in the current era (ProposerAddress rotation).
+func (c *Cluster) PrimaryIndex(view uint64) int {
+	for _, e := range c.engines {
+		if com := e.Committee(); com != nil {
+			p := com.Primary(view)
+			for i := range c.keys {
+				if c.addr(i) == p {
+					return i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// --- invariants ---
+
+// CheckInvariants asserts the crash-recovery safety properties:
+//
+//  1. no double-signed conflicting votes anywhere in the trace;
+//  2. no commit errors (a fork detected by a node's own ledger);
+//  3. durability lockstep: every committed block was persisted before
+//     the commit was acknowledged, so in-memory height always equals
+//     durable height;
+//  4. no committed-height regression across restarts;
+//  5. no fork: all durable block logs agree on every shared height.
+func (c *Cluster) CheckInvariants() error {
+	if v := c.checker.Violations(); len(v) > 0 {
+		return fmt.Errorf("equivocation in trace: %s", v[0])
+	}
+	ref := 0
+	for i := range c.slots {
+		if len(c.slots[i].blocks) > len(c.slots[ref].blocks) {
+			ref = i
+		}
+	}
+	rb := c.slots[ref].blocks
+	for i, s := range c.slots {
+		if err := c.nodes[i].CommitErr; err != nil {
+			return fmt.Errorf("node %d commit error: %w", i, err)
+		}
+		if got := c.Height(i); got != uint64(len(s.blocks)) {
+			return fmt.Errorf("node %d: in-memory height %d != durable height %d", i, got, len(s.blocks))
+		}
+		if uint64(len(s.blocks)) < c.high[i] {
+			return fmt.Errorf("node %d: committed height regressed %d -> %d", i, c.high[i], len(s.blocks))
+		}
+		c.high[i] = uint64(len(s.blocks))
+		for h, b := range s.blocks {
+			if b.Header.Height != uint64(h+1) {
+				return fmt.Errorf("node %d: durable log gap at position %d (height %d)", i, h, b.Header.Height)
+			}
+			if b.Hash() != rb[h].Hash() {
+				return fmt.Errorf("fork: nodes %d and %d disagree at height %d", i, ref, h+1)
+			}
+		}
+	}
+	return nil
+}
+
+// --- schedules ---
+
+// RunRandomSchedule drives `steps` seeded random fault operations,
+// checking invariants after every step, then heals everything and
+// verifies the cluster is live and convergent again.
+func (c *Cluster) RunRandomSchedule(steps int) error {
+	f := (c.opts.Nodes - 1) / 3
+	for s := 0; s < steps; s++ {
+		c.stepOp(s, f)
+		c.RunFor(c.opts.StepInterval)
+		if err := c.CheckInvariants(); err != nil {
+			return fmt.Errorf("step %d: %w", s, err)
+		}
+	}
+	return c.FinalRecovery()
+}
+
+func (c *Cluster) stepOp(s, f int) {
+	switch r := c.rng.Intn(100); {
+	case r < 35:
+		if i := c.randLive(); i >= 0 {
+			c.Submit(i, []byte(fmt.Sprintf("chaos-%d", s)))
+		}
+	case r < 50:
+		if c.crashedCount() < f {
+			if i := c.randLive(); i >= 0 {
+				c.Crash(i)
+			}
+		}
+	case r < 65:
+		if i := c.randCrashed(); i >= 0 {
+			_ = c.Restart(i, false)
+		}
+	case r < 80:
+		if len(c.parts) < f {
+			i := c.rng.Intn(c.opts.Nodes)
+			j := c.rng.Intn(c.opts.Nodes)
+			c.Partition(i, j)
+		}
+	case r < 90:
+		for p := range c.parts {
+			c.net.Heal(c.addr(p[0]), c.addr(p[1]))
+			delete(c.parts, p)
+			break
+		}
+	default:
+		// Quiet step: let timers fire and views settle.
+	}
+}
+
+func (c *Cluster) crashedCount() int {
+	n := 0
+	for _, down := range c.crashed {
+		if down {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cluster) randLive() int {
+	live := make([]int, 0, len(c.crashed))
+	for i, down := range c.crashed {
+		if !down {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return -1
+	}
+	return live[c.rng.Intn(len(live))]
+}
+
+func (c *Cluster) randCrashed() int {
+	down := make([]int, 0, len(c.crashed))
+	for i, d := range c.crashed {
+		if d {
+			down = append(down, i)
+		}
+	}
+	if len(down) == 0 {
+		return -1
+	}
+	return down[c.rng.Intn(len(down))]
+}
+
+// FinalRecovery ends the fault phase: it heals every partition, stops
+// background drops, reboots every node from durable state (forcing
+// each through WAL recovery and block-sync catch-up), then proves
+// liveness by committing one more transaction on every node.
+func (c *Cluster) FinalRecovery() error {
+	c.HealAll()
+	c.net.SetDropRate(0)
+	for i := range c.nodes {
+		if c.crashed[i] {
+			if err := c.Restart(i, false); err != nil {
+				return err
+			}
+		}
+	}
+	c.RunFor(2 * time.Second)
+	// Rolling restart: every node must come back from its durable slot
+	// and catch up to the head via sync.
+	for i := range c.nodes {
+		if err := c.Restart(i, false); err != nil {
+			return err
+		}
+		c.RunFor(200 * time.Millisecond)
+	}
+	c.RunUntilIdleFor(10 * time.Second)
+	if err := c.CheckInvariants(); err != nil {
+		return fmt.Errorf("after recovery: %w", err)
+	}
+
+	before := c.MinHeight()
+	c.Submit(c.liveSubmitter(), []byte("liveness-probe"))
+	c.RunUntilIdleFor(30 * time.Second)
+	if err := c.CheckInvariants(); err != nil {
+		return fmt.Errorf("after liveness probe: %w", err)
+	}
+	for i := range c.nodes {
+		if c.Height(i) <= before {
+			return fmt.Errorf("liveness: node %d stuck at height %d after healing (probe never committed)", i, c.Height(i))
+		}
+	}
+	return nil
+}
+
+// liveSubmitter picks a deterministic live node to submit through.
+func (c *Cluster) liveSubmitter() int {
+	for i := range c.nodes {
+		if !c.crashed[i] {
+			return i
+		}
+	}
+	return 0
+}

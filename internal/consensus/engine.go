@@ -34,6 +34,10 @@ type Broadcast struct {
 // runtime to append to the chain.
 type CommitBlock struct {
 	Block *types.Block
+	// Applied marks a block the engine already applied to the chain
+	// itself (the block-sync path): the runtime must still persist and
+	// observe it, but must not apply it a second time.
+	Applied bool
 }
 
 // StartTimer asks the runner to fire OnTimer(id) after Delay.

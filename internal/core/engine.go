@@ -12,6 +12,7 @@ import (
 	"gpbft/internal/ledger"
 	"gpbft/internal/pbft"
 	"gpbft/internal/runtime"
+	"gpbft/internal/store"
 	"gpbft/internal/types"
 )
 
@@ -48,6 +49,15 @@ type Config struct {
 	SwitchPeriod time.Duration
 
 	ProposerPolicy ProposerPolicy
+	// WAL, when set, makes the inner consensus engines durable: every
+	// vote is persisted before it is sent, and the log is rotated when
+	// an era switch completes (finished eras can never conflict again).
+	WAL ConsensusWAL
+	// Recovered holds the records read back from the WAL at startup.
+	// The engine folds the current era's records into its first inner
+	// instance so a restarted endorser rejoins at the view it had
+	// reached and never contradicts a vote it already sent.
+	Recovered []store.WALRecord
 	// DisableEraSwitch turns the era layer off (ablation: a static
 	// committee forever).
 	DisableEraSwitch bool
@@ -57,6 +67,14 @@ type Config struct {
 	// every T seconds in our system") and produces the switch-period
 	// latency outliers of Figure 3b.
 	ForceEraSwitch bool
+}
+
+// ConsensusWAL is the durable log the era layer threads into its inner
+// PBFT instances: an append sink plus era rotation. *store.WAL and
+// *store.MemWAL both satisfy it.
+type ConsensusWAL interface {
+	pbft.WAL
+	Rotate(era uint64) error
 }
 
 // timer purposes of the era layer.
@@ -96,6 +114,11 @@ type Engine struct {
 
 	syncInFlight bool
 	syncTarget   uint64
+
+	// pendingDurable is the recovered consensus state awaiting the
+	// first buildInstance; consumed exactly once (later instances start
+	// fresh eras with no prior promises).
+	pendingDurable *pbft.DurableState
 
 	nonce uint64
 
@@ -155,9 +178,37 @@ func (e *Engine) EraSwitches() uint64 { return e.eraSwitches }
 // Init implements consensus.Engine.
 func (e *Engine) Init(now consensus.Time) []consensus.Action {
 	e.era = e.chain.Era()
+	restarted := e.chain.Height() > 0 || len(e.cfg.Recovered) > 0
+	if len(e.cfg.Recovered) > 0 {
+		e.pendingDurable = pbft.RecoverState(e.era, e.cfg.Recovered)
+	}
 	var acts []consensus.Action
 	acts = e.buildInstance(now, acts)
 	acts = e.armEraTimer(acts)
+	if restarted {
+		// A restarted node may have missed commits (and even era
+		// switches) while it was down: pull from the committee through
+		// the ordinary sync path before relying on timers to notice.
+		acts = e.requestCatchUp(acts)
+	}
+	return acts
+}
+
+// requestCatchUp asks the committee for blocks beyond our head. The
+// responses flow through the certificate-checked applySync path; peers
+// that have nothing newer simply stay silent.
+func (e *Engine) requestCatchUp(acts []consensus.Action) []consensus.Action {
+	com := e.committee
+	if com == nil {
+		var err error
+		if com, err = e.buildCommittee(); err != nil {
+			return acts
+		}
+	}
+	req := consensus.Seal(e.cfg.Key, &SyncRequest{FromHeight: e.chain.Height() + 1})
+	for _, addr := range com.Others(e.self) {
+		acts = append(acts, consensus.Send{To: addr, Env: req})
+	}
 	return acts
 }
 
@@ -183,6 +234,8 @@ func (e *Engine) buildInstance(now consensus.Time, acts []consensus.Action) []co
 		e.inner = nil
 		return acts
 	}
+	durable := e.pendingDurable
+	e.pendingDurable = nil
 	inner, err := pbft.New(pbft.Config{
 		Era:                e.era,
 		Committee:          com,
@@ -192,6 +245,8 @@ func (e *Engine) buildInstance(now consensus.Time, acts []consensus.Action) []co
 		StartHeight:        e.chain.Height() + 1,
 		CheckpointInterval: e.cfg.CheckpointInterval,
 		ViewChangeTimeout:  e.cfg.ViewChangeTimeout,
+		WAL:                e.cfg.WAL,
+		Durable:            durable,
 	})
 	if err != nil {
 		return acts
@@ -297,8 +352,36 @@ func (e *Engine) OnEnvelope(now consensus.Time, env *consensus.Envelope) []conse
 		if e.inner == nil || e.switching || msgEra < e.era {
 			return nil
 		}
-		return e.filterInner(e.inner.OnEnvelope(now, env))
+		acts := e.maybeLagSync(env)
+		return append(acts, e.filterInner(e.inner.OnEnvelope(now, env))...)
 	}
+}
+
+// maybeLagSync turns overheard commit votes for heights we do not
+// have into a block-sync pull. Seeing a commit for seq beyond
+// height+1 means the committee finalized blocks this node missed —
+// the restarted-mid-era case, where no EraAnnounce will arrive until
+// the era actually switches. The vote itself still flows to the
+// inner engine; the pull runs alongside it.
+func (e *Engine) maybeLagSync(env *consensus.Envelope) []consensus.Action {
+	if env.MsgKind != consensus.KindCommit {
+		return nil
+	}
+	seq, ok := peekSeq(env)
+	if !ok || seq <= e.chain.Height()+1 {
+		return nil
+	}
+	// A commit for seq proves blocks up to seq-1 exist on the sender's
+	// chain. Suppress duplicate pulls while one is in flight, but allow
+	// a re-request when the head keeps moving past the current target
+	// (covers a lost response: the next commit re-arms the sync).
+	if e.syncInFlight && e.syncTarget >= seq-1 {
+		return nil
+	}
+	e.syncInFlight = true
+	e.syncTarget = seq - 1
+	req := consensus.Seal(e.cfg.Key, &SyncRequest{FromHeight: e.chain.Height() + 1})
+	return []consensus.Action{consensus.Send{To: env.From, Env: req}}
 }
 
 // peekEra reads the leading Era field every intra-era payload starts
@@ -311,6 +394,20 @@ func peekEra(env *consensus.Envelope) (uint64, bool) {
 			return 0, false
 		}
 		return binary.BigEndian.Uint64(env.Body[:8]), true
+	default:
+		return 0, false
+	}
+}
+
+// peekSeq reads the Seq field of the fixed-layout vote payloads
+// (Era, View and Seq lead the PrePrepare, Prepare and Commit bodies).
+func peekSeq(env *consensus.Envelope) (uint64, bool) {
+	switch env.MsgKind {
+	case consensus.KindPrePrepare, consensus.KindPrepare, consensus.KindCommit:
+		if len(env.Body) < 24 {
+			return 0, false
+		}
+		return binary.BigEndian.Uint64(env.Body[16:24]), true
 	default:
 		return 0, false
 	}
@@ -384,6 +481,7 @@ func (e *Engine) onResume(now consensus.Time) []consensus.Action {
 	}
 	e.era = newEra
 	e.eraSwitches++
+	e.rotateWAL()
 
 	var acts []consensus.Action
 	// Announce to the freshly added endorsers so they sync and join.
@@ -567,8 +665,12 @@ func (e *Engine) serveSync(to gcrypto.Address, from uint64) []consensus.Action {
 
 // applySync applies certificate-carrying blocks directly through the
 // application (AddBlock verifies certificates against the committee as
-// of each height), then joins the new era if elected.
+// of each height), then joins the new era if elected. Each applied
+// block is also surfaced as an Applied CommitBlock action so the
+// runtime persists it — without that, synced blocks would exist only
+// in memory and vanish at the next restart.
 func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncResponse) []consensus.Action {
+	var acts []consensus.Action
 	for i := range resp.Blocks {
 		b := resp.Blocks[i]
 		if b.Header.Height != e.chain.Height()+1 {
@@ -580,9 +682,14 @@ func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncR
 		if err := e.cfg.App.Commit(&b); err != nil {
 			break
 		}
+		acts = append(acts, consensus.CommitBlock{Block: &b, Applied: true})
+	}
+	// Keep a live inner instance aligned with the new head: sync can
+	// race normal consensus when this node lags inside its own era.
+	if e.inner != nil && !e.switching && e.chain.Era() == e.era && e.chain.Height() >= e.inner.NextSeq() {
+		acts = append(acts, e.filterInner(e.inner.AdvanceTo(now, e.chain.Height()))...)
 	}
 	e.syncInFlight = false
-	var acts []consensus.Action
 	if e.chain.Height() < e.syncTarget {
 		// Partial response: keep pulling.
 		e.syncInFlight = true
@@ -591,6 +698,17 @@ func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncR
 		return acts
 	}
 	return append(acts, e.maybeJoin(now)...)
+}
+
+// rotateWAL discards the finished era's consensus records. Best
+// effort: if the rotation fails the stale records stay on disk, but
+// recovery filters by era, so they are simply ignored after a crash.
+func (e *Engine) rotateWAL() {
+	if e.cfg.WAL != nil {
+		_ = e.cfg.WAL.Rotate(e.era)
+	}
+	// Any not-yet-consumed recovered state belongs to a finished era.
+	e.pendingDurable = nil
 }
 
 // maybeJoin starts participation when the chain says this node is an
@@ -610,6 +728,7 @@ func (e *Engine) maybeJoin(now consensus.Time) []consensus.Action {
 		return nil
 	}
 	e.era = chainEra
+	e.rotateWAL()
 	var acts []consensus.Action
 	acts = e.buildInstance(now, acts)
 	acts = e.armEraTimer(acts)

@@ -8,6 +8,7 @@ import (
 	"gpbft/internal/consensus"
 	"gpbft/internal/core"
 	"gpbft/internal/gcrypto"
+	"gpbft/internal/pbft"
 )
 
 // syncActions extracts the (to, kind) pairs of Send actions.
@@ -95,6 +96,49 @@ func TestAnnounceTriggersSingleSync(t *testing.T) {
 	}
 }
 
+// TestLaggingCommitTriggersSync: an endorser that overhears a commit
+// vote for a height beyond its own head has provably missed blocks
+// (a node restarted mid-era sees exactly this) and must pull them
+// right away instead of waiting for the next era announcement.
+func TestLaggingCommitTriggersSync(t *testing.T) {
+	c := grownCluster(t, 4)
+	endorser := c.CoreEngine(0)
+	peer := c.Node(1).Key
+	h := c.Node(0).App.Chain().Height()
+
+	syncReqs := func(acts []consensus.Action) int {
+		n := 0
+		for _, k := range sendKinds(acts) {
+			if k == consensus.KindBlockSync {
+				n++
+			}
+		}
+		return n
+	}
+	commitAt := func(seq uint64) []consensus.Action {
+		m := &pbft.Commit{Era: 0, View: 0, Seq: seq, Digest: gcrypto.Hash{0xab}}
+		return endorser.OnEnvelope(0, consensus.Seal(peer, m))
+	}
+
+	// A commit for the very next height is normal consensus traffic.
+	if n := syncReqs(commitAt(h + 1)); n != 0 {
+		t.Fatalf("commit for next height spawned %d sync requests", n)
+	}
+	// A commit beyond head+1 reveals the gap: exactly one pull.
+	if n := syncReqs(commitAt(h + 3)); n != 1 {
+		t.Fatalf("lagging commit spawned %d sync requests, want 1", n)
+	}
+	// While that pull is in flight, an equal-or-lower commit is quiet.
+	if n := syncReqs(commitAt(h + 3)); n != 0 {
+		t.Fatalf("duplicate lagging commit spawned %d requests", n)
+	}
+	// The head moving past the target re-arms the sync (covers a lost
+	// response: the next commit re-requests).
+	if n := syncReqs(commitAt(h + 6)); n != 1 {
+		t.Fatalf("higher lagging commit spawned %d requests, want 1", n)
+	}
+}
+
 // TestSyncResponseRejectsUncertifiedBlocks: a sync response whose
 // blocks lack commit certificates must not advance the observer chain.
 func TestSyncResponseRejectsUncertifiedBlocks(t *testing.T) {
@@ -129,6 +173,41 @@ func TestSyncResponseRejectsUncertifiedBlocks(t *testing.T) {
 	observer.OnEnvelope(0, consensus.Seal(endorserKey, &good))
 	if got := c.Node(4).App.Chain().Height(); got != chain0.Height() {
 		t.Fatalf("observer height %d after certified sync, want %d", got, chain0.Height())
+	}
+}
+
+// TestSyncAppliedBlocksReachRuntime: every block the sync path applies
+// must also be surfaced as an Applied CommitBlock action — that is how
+// the runtime persists it to the block log. A silent in-engine apply
+// would commit blocks that vanish at the next restart.
+func TestSyncAppliedBlocksReachRuntime(t *testing.T) {
+	c := grownCluster(t, 4)
+	observer := c.CoreEngine(4)
+	endorserKey := c.Node(0).Key
+	chain0 := c.Node(0).App.Chain()
+
+	var resp core.SyncResponse
+	for h := uint64(1); h <= chain0.Height(); h++ {
+		b, _ := chain0.BlockAt(h)
+		resp.Blocks = append(resp.Blocks, *b)
+	}
+	acts := observer.OnEnvelope(0, consensus.Seal(endorserKey, &resp))
+	var applied []uint64
+	for _, a := range acts {
+		if cb, ok := a.(consensus.CommitBlock); ok {
+			if !cb.Applied {
+				t.Fatal("sync-path CommitBlock must carry Applied (the engine already applied it)")
+			}
+			applied = append(applied, cb.Block.Header.Height)
+		}
+	}
+	if uint64(len(applied)) != chain0.Height() {
+		t.Fatalf("surfaced %d applied blocks, want %d", len(applied), chain0.Height())
+	}
+	for i, h := range applied {
+		if h != uint64(i+1) {
+			t.Fatalf("applied heights out of order: %v", applied)
+		}
 	}
 }
 

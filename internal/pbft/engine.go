@@ -7,6 +7,7 @@ import (
 
 	"gpbft/internal/consensus"
 	"gpbft/internal/gcrypto"
+	"gpbft/internal/store"
 	"gpbft/internal/types"
 )
 
@@ -48,6 +49,14 @@ type Config struct {
 	CheckpointInterval uint64
 	// ViewChangeTimeout is the progress timeout; zero selects default.
 	ViewChangeTimeout time.Duration
+	// WAL, when set, receives every vote before it is sent
+	// (persist-before-send); nil disables durability (tests, or
+	// explicitly accepting equivocation risk across restarts).
+	WAL WAL
+	// Durable, when set, is the state recovered from the WAL of a
+	// previous incarnation; the engine starts from it and refuses to
+	// contradict any vote recorded there.
+	Durable *DurableState
 }
 
 func (c *Config) fill() {
@@ -112,10 +121,24 @@ type Engine struct {
 	vcTarget     uint64 // view we are trying to reach while inViewChange
 	halted       bool
 
+	// newViewEnv is the NewView certificate that established the
+	// current view (nil while still in view 0 or after WAL recovery).
+	// It is retransmitted to replicas petitioning for stale views so a
+	// restarted node can verify the jump to the committee's view.
+	newViewEnv *consensus.Envelope
+
 	timers       map[consensus.TimerID]timerPurpose
 	progressTID  consensus.TimerID
 	vcTID        consensus.TimerID
 	vcRetryDelay time.Duration
+
+	// Durable vote ledgers: every vote this incarnation (or, after
+	// recovery, any previous incarnation) may have sent, keyed by
+	// (view, seq). Consulted before sending; backed by wal when set.
+	wal             WAL
+	sentPrePrepares map[voteKey]gcrypto.Hash
+	sentPrepares    map[voteKey]gcrypto.Hash
+	sentCommits     map[voteKey]gcrypto.Hash
 
 	// stats
 	executedBlocks uint64
@@ -143,18 +166,23 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("pbft: self %s not in committee", cfg.Key.Address().Short())
 	}
 	e := &Engine{
-		cfg:          cfg,
-		self:         cfg.Key.Address(),
-		com:          cfg.Committee,
-		lowWater:     cfg.StartHeight - 1,
-		execNext:     cfg.StartHeight,
-		insts:        make(map[uint64]*instance),
-		ownDigests:   make(map[uint64]gcrypto.Hash),
-		checkpoints:  make(map[uint64]map[gcrypto.Address]gcrypto.Hash),
-		viewChanges:  make(map[uint64]map[gcrypto.Address]*vcRecord),
-		timers:       make(map[consensus.TimerID]timerPurpose),
-		vcRetryDelay: cfg.ViewChangeTimeout,
+		cfg:             cfg,
+		self:            cfg.Key.Address(),
+		com:             cfg.Committee,
+		lowWater:        cfg.StartHeight - 1,
+		execNext:        cfg.StartHeight,
+		insts:           make(map[uint64]*instance),
+		ownDigests:      make(map[uint64]gcrypto.Hash),
+		checkpoints:     make(map[uint64]map[gcrypto.Address]gcrypto.Hash),
+		viewChanges:     make(map[uint64]map[gcrypto.Address]*vcRecord),
+		timers:          make(map[consensus.TimerID]timerPurpose),
+		vcRetryDelay:    cfg.ViewChangeTimeout,
+		wal:             cfg.WAL,
+		sentPrePrepares: make(map[voteKey]gcrypto.Hash),
+		sentPrepares:    make(map[voteKey]gcrypto.Hash),
+		sentCommits:     make(map[voteKey]gcrypto.Hash),
 	}
+	e.restoreDurable(cfg.Durable)
 	return e, nil
 }
 
@@ -206,12 +234,15 @@ func (e *Engine) highWater() uint64 {
 
 // --- lifecycle ---
 
-// Init arms the initial proposal attempt.
+// Init arms the initial proposal attempt. A recovered engine first
+// re-sends the commit votes it owes for instances that were prepared
+// when it crashed.
 func (e *Engine) Init(now consensus.Time) []consensus.Action {
 	if e.halted {
 		return nil
 	}
 	var acts []consensus.Action
+	acts = e.resendRecoveredVotes(acts)
 	acts = e.maybePropose(now, acts)
 	acts = e.ensureProgressTimer(acts)
 	return acts
@@ -230,6 +261,7 @@ func (e *Engine) AdvanceTo(now consensus.Time, seq uint64) []consensus.Action {
 	e.execNext = seq + 1
 	if seq > e.lowWater {
 		e.lowWater = seq
+		e.pruneSentVotes(seq)
 	}
 	var acts []consensus.Action
 	acts = e.maybePropose(now, acts)
@@ -384,6 +416,13 @@ func (e *Engine) maybePropose(now consensus.Time, acts []consensus.Action) []con
 	if block == nil {
 		return acts
 	}
+	// Persist-before-send. A restarted primary that already proposed a
+	// DIFFERENT block at this (view, seq) must stay silent rather than
+	// equivocate — liveness then comes from the other replicas' view
+	// change, not from a second conflicting proposal.
+	if !e.recordVote(store.WALPrePrepare, e.sentPrePrepares, e.view, seq, block.Hash(), nil) {
+		return acts
+	}
 	pp := &PrePrepare{
 		Era:    e.cfg.Era,
 		View:   e.view,
@@ -431,6 +470,13 @@ func (e *Engine) onPrePrepare(now consensus.Time, env *consensus.Envelope) []con
 		return nil
 	}
 	if err := e.cfg.App.ValidateBlock(&pp.Block); err != nil {
+		return nil
+	}
+	// Persist-before-send: if a previous incarnation already prepared a
+	// different digest at this (view, seq), refuse the whole proposal —
+	// accepting it would walk this replica into contradicting a prepare
+	// that may already be on the wire.
+	if !e.recordVote(store.WALPrepare, e.sentPrepares, pp.View, pp.Seq, pp.Digest, nil) {
 		return nil
 	}
 	var acts []consensus.Action
@@ -517,7 +563,16 @@ func (e *Engine) maybePrepared(now consensus.Time, seq uint64, acts []consensus.
 	if matching < e.com.Quorum()-1 {
 		return acts
 	}
+	// Make the prepared certificate durable first (a replica that
+	// forgets a prepared value breaks view-change safety), then log the
+	// commit vote. Either append failing suppresses the commit.
+	if !e.persistPrepared(seq, inst) {
+		return acts
+	}
 	inst.prepared = true
+	if !e.recordVote(store.WALCommit, e.sentCommits, inst.view, seq, inst.digest, nil) {
+		return acts
+	}
 	certSig := e.cfg.Key.Sign(types.VoteDigest(inst.digest, e.cfg.Era, inst.view))
 	c := &Commit{Era: e.cfg.Era, View: inst.view, Seq: seq, Digest: inst.digest, CertSig: certSig}
 	cenv := consensus.Seal(e.cfg.Key, c)
@@ -693,6 +748,7 @@ func (e *Engine) stabilizeCheckpoint(seq uint64) {
 			delete(e.ownDigests, s)
 		}
 	}
+	e.pruneSentVotes(seq)
 }
 
 // --- progress timer ---

@@ -456,6 +456,62 @@ func TestBackupAdoptsNewView(t *testing.T) {
 	}
 }
 
+// TestStaleViewChangeGetsNewViewCert covers the crash-restart rejoin
+// path: a replica that restarts at view 0 while the committee moved on
+// petitions for views everyone else has already left, and those
+// petitions are silently stale. The fix is that any replica holding
+// the NewView certificate of its current view retransmits it in reply
+// — the revenant verifies the 2f+1 certificate and jumps straight to
+// the committee's view.
+func TestStaleViewChangeGetsNewViewCert(t *testing.T) {
+	probe := newUnitRig(t, 0)
+	v1prim := probe.com.IndexOf(probe.com.Primary(1))
+	r := newUnitRig(t, v1prim)
+	r.eng.Init(0)
+
+	// Drive the engine into view 1 as its primary via 2f+1 view changes.
+	for i := 0; i < 4; i++ {
+		if i == v1prim {
+			continue
+		}
+		vc := consensus.Seal(r.keys[i], &pbft.ViewChange{Era: 0, NewView: 1, LastStable: 0})
+		r.eng.OnEnvelope(0, vc)
+	}
+	if r.eng.View() != 1 {
+		t.Fatalf("setup: view=%d, want 1", r.eng.View())
+	}
+
+	// A revenant still at view 0 petitions for view 1 again — stale from
+	// this replica's perspective. The reply must be the NewView cert,
+	// addressed to the petitioner.
+	reven := (v1prim + 1) % 4
+	stale := consensus.Seal(r.keys[reven], &pbft.ViewChange{Era: 0, NewView: 1, LastStable: 0})
+	var cert *consensus.Envelope
+	for _, a := range r.eng.OnEnvelope(time.Second, stale) {
+		if s, ok := a.(consensus.Send); ok && s.Env.MsgKind == consensus.KindNewView && s.To == r.keys[reven].Address() {
+			cert = s.Env
+		}
+	}
+	if cert == nil {
+		t.Fatal("stale view change must be answered with the current NewView certificate")
+	}
+
+	// The revenant verifies the certificate and joins view 1 directly.
+	rv := newUnitRig(t, reven)
+	rv.eng.Init(0)
+	rv.eng.OnEnvelope(time.Second, cert)
+	if rv.eng.View() != 1 {
+		t.Fatalf("revenant view=%d after certificate, want 1", rv.eng.View())
+	}
+
+	// A backup that adopted the view through the certificate serves it
+	// onward too — rejoin does not depend on reaching the primary.
+	stale2 := consensus.Seal(rv.keys[v1prim], &pbft.ViewChange{Era: 0, NewView: 1, LastStable: 0})
+	if acts := rv.eng.OnEnvelope(2*time.Second, stale2); !hasKind(acts, consensus.KindNewView) {
+		t.Fatal("certificate-adopting backup must also answer stale view changes")
+	}
+}
+
 func TestJoinRuleFPlusOne(t *testing.T) {
 	// f+1 = 2 view changes for a higher view drag a quiet backup in.
 	prim := newUnitRig(t, 0).primaryPos()

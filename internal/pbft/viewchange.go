@@ -5,6 +5,7 @@ import (
 
 	"gpbft/internal/consensus"
 	"gpbft/internal/gcrypto"
+	"gpbft/internal/store"
 )
 
 // startViewChange abandons the current view and broadcasts a
@@ -32,6 +33,7 @@ func (e *Engine) startViewChange(now consensus.Time, target uint64) []consensus.
 	e.timers[e.vcTID] = timerViewChange
 	acts = append(acts, consensus.StartTimer{ID: e.vcTID, Delay: e.vcRetryDelay})
 
+	e.recordPosition(store.WALViewChange, target)
 	vc := &ViewChange{
 		Era:        e.cfg.Era,
 		NewView:    target,
@@ -54,31 +56,44 @@ func (e *Engine) preparedProofs() []PreparedProof {
 		if seq <= e.lowWater || !inst.prepared || inst.executed || inst.prePrepare == nil {
 			continue
 		}
-		proof := PreparedProof{
-			Seq:           seq,
-			View:          inst.view,
-			Digest:        inst.digest,
-			PrePrepareEnv: consensus.EncodeEnvelope(inst.prePrepare),
+		if proof := e.proofForInstance(seq, inst); proof != nil {
+			out = append(out, *proof)
 		}
-		count := 0
-		for _, penv := range inst.prepares {
-			if penv.From == e.com.Primary(inst.view) {
-				continue
-			}
-			var p Prepare
-			if consensus.Open(penv, consensus.KindPrepare, &p) != nil || p.Digest != inst.digest {
-				continue
-			}
-			proof.PrepareEnvs = append(proof.PrepareEnvs, consensus.EncodeEnvelope(penv))
-			count++
-			if count >= e.com.Quorum()-1 {
-				break
-			}
-		}
-		out = append(out, proof)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
+}
+
+// proofForInstance assembles the prepared proof for one instance: its
+// pre-prepare plus quorum-1 matching prepares from non-primary
+// replicas. It is used both for view-change messages and for the WAL's
+// prepared records.
+func (e *Engine) proofForInstance(seq uint64, inst *instance) *PreparedProof {
+	if inst.prePrepare == nil {
+		return nil
+	}
+	proof := &PreparedProof{
+		Seq:           seq,
+		View:          inst.view,
+		Digest:        inst.digest,
+		PrePrepareEnv: consensus.EncodeEnvelope(inst.prePrepare),
+	}
+	count := 0
+	for _, penv := range inst.prepares {
+		if penv.From == e.com.Primary(inst.view) {
+			continue
+		}
+		var p Prepare
+		if consensus.Open(penv, consensus.KindPrepare, &p) != nil || p.Digest != inst.digest {
+			continue
+		}
+		proof.PrepareEnvs = append(proof.PrepareEnvs, consensus.EncodeEnvelope(penv))
+		count++
+		if count >= e.com.Quorum()-1 {
+			break
+		}
+	}
+	return proof
 }
 
 // verifyPreparedProof checks a prepared proof carried in a view-change.
@@ -132,6 +147,14 @@ func (e *Engine) onViewChange(now consensus.Time, env *consensus.Envelope) []con
 		return nil
 	}
 	if vc.NewView <= e.view {
+		// A replica petitioning for a view we already left is behind —
+		// it crashed or was cut off while the committee moved on, and
+		// nobody will second a dead view. Hand it the NewView
+		// certificate of our current view so it can verify the jump
+		// and rejoin, instead of escalating through stale views alone.
+		if e.newViewEnv != nil {
+			return []consensus.Action{consensus.Send{To: env.From, Env: e.newViewEnv}}
+		}
 		return nil
 	}
 	e.noteViewChange(env.From, &vc, env)
@@ -223,6 +246,7 @@ func (e *Engine) maybeFinishViewChange(now consensus.Time, acts []consensus.Acti
 		nv.PrePrepares = append(nv.PrePrepares, consensus.EncodeEnvelope(pp))
 	}
 	env := consensus.Seal(e.cfg.Key, nv)
+	e.newViewEnv = env
 	acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: env})
 	return e.enterNewView(now, nv, acts)
 }
@@ -270,6 +294,12 @@ func (e *Engine) reissuedPrePrepares(target uint64, chosen []*vcRecord) []*conse
 		if consensus.Open(srcEnv, consensus.KindPrePrepare, &src) != nil {
 			continue
 		}
+		// A re-issued pre-prepare is still a proposal signed by this
+		// replica at (target, s): it goes through the same durable
+		// no-equivocation gate as a fresh one.
+		if !e.recordVote(store.WALPrePrepare, e.sentPrePrepares, target, s, p.Digest, nil) {
+			continue
+		}
 		block := src.Block
 		// The block header keeps its original view (it is the same
 		// value); the new pre-prepare carries the new view.
@@ -314,12 +344,14 @@ func (e *Engine) onNewView(now consensus.Time, env *consensus.Envelope) []consen
 	if valid < e.com.Quorum() {
 		return nil
 	}
+	e.newViewEnv = env
 	return e.enterNewView(now, &nv, nil)
 }
 
 // enterNewView installs the new view on this replica and processes the
 // re-issued pre-prepares.
 func (e *Engine) enterNewView(now consensus.Time, nv *NewView, acts []consensus.Action) []consensus.Action {
+	e.recordPosition(store.WALNewView, nv.View)
 	e.view = nv.View
 	e.inViewChange = false
 	e.vcTarget = 0

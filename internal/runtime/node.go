@@ -146,13 +146,15 @@ func (n *Node) applyList(now consensus.Time, acts []consensus.Action) (committed
 				n.Exec.Send(to, act.Env)
 			}
 		case consensus.CommitBlock:
-			if err := n.App.Commit(act.Block); err != nil {
-				// A block can arrive both via consensus and via block
-				// sync; the second application is a benign duplicate.
-				if !errors.Is(err, ledger.ErrDuplicateBlock) && n.CommitErr == nil {
-					n.CommitErr = err
+			if !act.Applied {
+				if err := n.App.Commit(act.Block); err != nil {
+					// A block can arrive both via consensus and via block
+					// sync; the second application is a benign duplicate.
+					if !errors.Is(err, ledger.ErrDuplicateBlock) && n.CommitErr == nil {
+						n.CommitErr = err
+					}
+					continue
 				}
-				continue
 			}
 			committed = true
 			n.ctr.committed.Add(1)

@@ -1,0 +1,87 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"gpbft/internal/consensus"
+)
+
+func TestCrashDiscardsPendingTimers(t *testing.T) {
+	n := New(Config{})
+	nodeIDs := ids(1)
+	rec := &recorder{}
+	n.AddNode(nodeIDs[0], rec)
+
+	// Arm a timer, crash before it fires, recover after its deadline:
+	// the timer lived in the dead process's memory and must never fire,
+	// even though the node is back up when the deadline passes.
+	n.SetTimer(nodeIDs[0], 1, 50*time.Millisecond)
+	n.Schedule(10*time.Millisecond, func(consensus.Time) { n.Crash(nodeIDs[0]) })
+	n.Schedule(20*time.Millisecond, func(consensus.Time) { n.Recover(nodeIDs[0]) })
+	n.RunUntilIdle(time.Second)
+
+	if len(rec.timers) != 0 {
+		t.Fatalf("timer from a crashed incarnation fired: %v", rec.timers)
+	}
+	// A timer armed AFTER recovery fires normally.
+	n.SetTimer(nodeIDs[0], 2, 10*time.Millisecond)
+	n.RunUntilIdle(2 * time.Second)
+	if len(rec.timers) != 1 || rec.timers[0] != 2 {
+		t.Fatalf("post-recovery timer: %v", rec.timers)
+	}
+}
+
+func TestRestartReplacesHandler(t *testing.T) {
+	n := New(Config{})
+	nodeIDs := ids(2)
+	old := &recorder{}
+	n.AddNode(nodeIDs[0], nil)
+	n.AddNode(nodeIDs[1], old)
+
+	n.Schedule(0, func(consensus.Time) { n.Send(nodeIDs[0], nodeIDs[1], env(0)) })
+	n.Schedule(5*time.Millisecond, func(consensus.Time) { n.Crash(nodeIDs[1]) })
+
+	fresh := &recorder{}
+	n.Schedule(10*time.Millisecond, func(consensus.Time) { n.Restart(nodeIDs[1], fresh) })
+	n.Schedule(20*time.Millisecond, func(consensus.Time) { n.Send(nodeIDs[0], nodeIDs[1], env(1)) })
+	n.RunUntilIdle(time.Second)
+
+	if len(old.msgs) != 1 {
+		t.Fatalf("pre-crash incarnation saw %d messages, want 1", len(old.msgs))
+	}
+	if len(fresh.msgs) != 1 {
+		t.Fatalf("restarted incarnation saw %d messages, want 1", len(fresh.msgs))
+	}
+}
+
+func TestTapObservesSendsIncludingLostOnes(t *testing.T) {
+	var seen []consensus.MsgKind
+	cfg := Config{
+		Tap: func(_ consensus.Time, _, _ NodeID, e *consensus.Envelope) {
+			seen = append(seen, e.MsgKind)
+		},
+	}
+	n := New(cfg)
+	nodeIDs := ids(2)
+	n.AddNode(nodeIDs[0], nil)
+	n.AddNode(nodeIDs[1], &recorder{})
+
+	// A normal send is tapped.
+	n.Schedule(0, func(consensus.Time) { n.Send(nodeIDs[0], nodeIDs[1], env(0)) })
+	// A partitioned send is tapped too: the sender committed to it.
+	n.Schedule(time.Millisecond, func(consensus.Time) {
+		n.Partition(nodeIDs[0], nodeIDs[1])
+		n.Send(nodeIDs[0], nodeIDs[1], env(1))
+	})
+	// A send from a CRASHED node is not: the process was not running.
+	n.Schedule(2*time.Millisecond, func(consensus.Time) {
+		n.Crash(nodeIDs[0])
+		n.Send(nodeIDs[0], nodeIDs[1], env(2))
+	})
+	n.RunUntilIdle(time.Second)
+
+	if len(seen) != 2 {
+		t.Fatalf("tap saw %d sends, want 2 (live sends only)", len(seen))
+	}
+}

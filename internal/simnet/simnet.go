@@ -72,6 +72,11 @@ type Config struct {
 	// WireOverhead is added to each message's metered size (frame and
 	// transport headers; 66 approximates Ethernet+IPv4+TCP).
 	WireOverhead int
+	// Tap, when set, observes every message a live sender emits —
+	// including ones later lost to drops or partitions, because the
+	// sender already committed to them. Chaos harnesses use it to
+	// detect double-signed conflicting votes in the trace.
+	Tap func(now consensus.Time, from, to NodeID, env *consensus.Envelope)
 }
 
 // DefaultWireOverhead approximates Ethernet + IPv4 + TCP headers.
@@ -193,6 +198,9 @@ func (n *Network) Send(from, to NodeID, env *consensus.Envelope) {
 	}
 	size := env.WireSize() + n.cfg.WireOverhead
 	n.traffic.Record(from, to, env.MsgKind, size)
+	if n.cfg.Tap != nil {
+		n.cfg.Tap(n.now, from, to, env)
+	}
 
 	start := n.now
 	if sender.busyUntil > start {
@@ -249,20 +257,54 @@ func (n *Network) Schedule(at consensus.Time, fn func(now consensus.Time)) {
 	n.push(&event{at: at, kind: evFunc, fn: fn})
 }
 
-// Crash makes a node silently drop everything (fail-stop).
+// Crash makes a node silently drop everything (fail-stop). Pending
+// timers die with the process: they live in the process's memory, so
+// no incarnation — recovered or restarted — ever sees them fire.
 func (n *Network) Crash(id NodeID) {
-	if nd := n.nodes[id]; nd != nil {
-		nd.crashed = true
+	nd := n.nodes[id]
+	if nd == nil {
+		return
+	}
+	nd.crashed = true
+	for tid, canceled := range nd.timers {
+		*canceled = true
+		delete(nd.timers, tid)
 	}
 }
 
-// Recover brings a crashed node back (its state is whatever the
-// handler retained).
+// Recover brings a crashed node back WITH its memory intact (the
+// handler is retained). This models a transient network outage or a
+// paused process, NOT a real crash-restart — a killed process forgets
+// its RAM. Use Restart for the amnesia case.
 func (n *Network) Recover(id NodeID) {
 	if nd := n.nodes[id]; nd != nil {
 		nd.crashed = false
 	}
 }
+
+// Restart brings a crashed node back as a fresh incarnation: the old
+// handler (and with it every in-memory structure — vote tables,
+// mempool, timers) is discarded and replaced by h, which the caller
+// must have rebuilt from durable state only. This is the dangerous
+// amnesia-restart case the consensus WAL exists for.
+func (n *Network) Restart(id NodeID, h Handler) {
+	nd := n.nodes[id]
+	if nd == nil {
+		return
+	}
+	for tid, canceled := range nd.timers {
+		*canceled = true
+		delete(nd.timers, tid)
+	}
+	nd.handler = h
+	nd.crashed = false
+	nd.busyUntil = n.now
+}
+
+// SetDropRate changes the background message-loss probability at the
+// current virtual time. Chaos schedules use it to run the fault phase
+// under lossy conditions and the recovery phase on a clean network.
+func (n *Network) SetDropRate(p float64) { n.cfg.DropRate = p }
 
 // Partition blocks traffic between two nodes (both directions).
 func (n *Network) Partition(a, b NodeID) { n.blocked[[2]NodeID{a, b}] = true }

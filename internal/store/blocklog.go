@@ -6,7 +6,6 @@
 package store
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -55,9 +54,10 @@ type Options struct {
 
 // Open opens (or creates) the log at path, scanning existing frames
 // and truncating a torn tail. It returns the log and the blocks
-// recovered, in order.
+// recovered, in order. Creating the log fsyncs the parent directory so
+// the file itself survives power loss.
 func Open(path string, opts Options) (*BlockLog, []*types.Block, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := openLogFile(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
@@ -83,46 +83,31 @@ func Open(path string, opts Options) (*BlockLog, []*types.Block, error) {
 	return log, blocks, nil
 }
 
-// scan reads frames until EOF or a torn/corrupt tail; it returns the
-// decoded blocks and the byte offset of the last valid frame end.
+// scan reads frames until EOF or a torn tail; it returns the decoded
+// blocks and the byte offset of the last valid frame end. A damaged
+// frame followed by valid frames is ErrCorruptFrame — truncating there
+// would silently lose committed blocks.
 func scan(f *os.File) ([]*types.Block, int64, error) {
-	var (
-		blocks   []*types.Block
-		validEnd int64
-		hdr      [frameHeaderSize]byte
-	)
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, err
 	}
-	for {
-		if _, err := io.ReadFull(f, hdr[:]); err != nil {
-			// EOF or partial header: tail ends here.
-			return blocks, validEnd, nil
-		}
-		n := binary.BigEndian.Uint32(hdr[:])
-		if n == 0 || n > MaxBlockFrame {
-			// Unreadable length: treat as torn tail.
-			return blocks, validEnd, nil
-		}
-		payload := make([]byte, n+frameTrailerSize)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return blocks, validEnd, nil // torn frame
-		}
-		body := payload[:n]
-		wantCRC := binary.BigEndian.Uint32(payload[n:])
-		if crc32.Checksum(body, castagnoli) != wantCRC {
-			// A checksum mismatch in the FINAL frame is a torn write;
-			// for safety we stop replay here either way — the chain
-			// validates linkage when the blocks are applied.
-			return blocks, validEnd, nil
-		}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read log: %w", err)
+	}
+	var blocks []*types.Block
+	validEnd, err := scanFrames(data, MaxBlockFrame, func(body []byte) error {
 		b, err := types.DecodeBlock(body)
 		if err != nil {
-			return blocks, validEnd, nil
+			return err
 		}
 		blocks = append(blocks, b)
-		validEnd += int64(frameHeaderSize + len(payload))
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
+	return blocks, validEnd, nil
 }
 
 // Append persists a block. Blocks must be appended in height order
@@ -138,11 +123,7 @@ func (l *BlockLog) Append(b *types.Block) error {
 	if len(body) > MaxBlockFrame {
 		return fmt.Errorf("store: block frame %d exceeds limit", len(body))
 	}
-	frame := make([]byte, frameHeaderSize+len(body)+frameTrailerSize)
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
-	copy(frame[4:], body)
-	binary.BigEndian.PutUint32(frame[4+len(body):], crc32.Checksum(body, castagnoli))
-	if _, err := l.f.Write(frame); err != nil {
+	if _, err := l.f.Write(encodeFrame(body)); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
 	if l.sync {

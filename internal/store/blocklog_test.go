@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -167,6 +168,27 @@ func TestCorruptTailStopsReplay(t *testing.T) {
 	}
 	if len(recovered) != 2 {
 		t.Fatalf("recovered %d, want 2 (corrupt tail dropped)", len(recovered))
+	}
+}
+
+func TestMidLogCorruptionRejected(t *testing.T) {
+	_, blocks := buildChain(t, 3)
+	path := filepath.Join(t.TempDir(), "chain.log")
+	log, _, _ := Open(path, Options{})
+	for _, b := range blocks {
+		log.Append(b)
+	}
+	log.Close()
+
+	// Flip a byte in the FIRST frame's payload. Valid frames follow, so
+	// this is mid-log damage: open must refuse rather than truncate away
+	// two committed blocks.
+	data, _ := os.ReadFile(path)
+	data[frameHeaderSize+8] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	if _, _, err := Open(path, Options{}); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("want ErrCorruptFrame, got %v", err)
 	}
 }
 

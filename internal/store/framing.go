@@ -1,0 +1,143 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// encodeFrame wraps body in the shared frame layout used by every log
+// in this package: 4-byte big-endian length, body, 4-byte CRC32
+// (Castagnoli) of the body.
+func encodeFrame(body []byte) []byte {
+	frame := make([]byte, frameHeaderSize+len(body)+frameTrailerSize)
+	binary.BigEndian.PutUint32(frame[:frameHeaderSize], uint32(len(body)))
+	copy(frame[frameHeaderSize:], body)
+	binary.BigEndian.PutUint32(frame[frameHeaderSize+len(body):], crc32.Checksum(body, castagnoli))
+	return frame
+}
+
+// validFrameAt reports whether a structurally valid frame (plausible
+// length, complete, matching CRC) starts at the head of data.
+func validFrameAt(data []byte, maxFrame int) bool {
+	if len(data) < frameHeaderSize+frameTrailerSize {
+		return false
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	if n <= 0 || n > maxFrame {
+		return false
+	}
+	end := frameHeaderSize + n + frameTrailerSize
+	if end > len(data) {
+		return false
+	}
+	body := data[frameHeaderSize : frameHeaderSize+n]
+	want := binary.BigEndian.Uint32(data[frameHeaderSize+n : end])
+	return crc32.Checksum(body, castagnoli) == want
+}
+
+// laterFrameSearchWindow bounds how far past a damaged frame the
+// scanner looks for a subsequent valid frame. Torn tails are at most
+// one partial write long, so a window this large is only ever crossed
+// by genuine mid-log corruption.
+const laterFrameSearchWindow = 1 << 20
+
+// hasLaterValidFrame scans forward from data for any offset at which a
+// structurally valid frame begins. It is how the scanner distinguishes
+// a torn final write (nothing readable follows — truncate) from
+// mid-log corruption (valid frames follow — the log is damaged and
+// replaying a prefix would silently lose committed state).
+func hasLaterValidFrame(data []byte, maxFrame int) bool {
+	limit := len(data)
+	if limit > laterFrameSearchWindow {
+		limit = laterFrameSearchWindow
+	}
+	for off := 0; off < limit; off++ {
+		if validFrameAt(data[off:], maxFrame) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanFrames walks data frame by frame, calling visit with each valid
+// body. It returns the byte offset just past the last valid frame. A
+// genuinely final torn frame (power loss mid-write) is tolerated — the
+// caller truncates at the returned offset. A damaged frame that has
+// valid frames after it returns ErrCorruptFrame: truncating there
+// would drop durable records that demonstrably survived.
+func scanFrames(data []byte, maxFrame int, visit func(body []byte) error) (int64, error) {
+	off := 0
+	for {
+		if len(data)-off < frameHeaderSize {
+			return int64(off), nil // EOF or partial header: torn tail
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		if n <= 0 || n > maxFrame {
+			// A valid writer never produces this length, so the header
+			// bytes themselves are damaged. We cannot locate the frame
+			// boundary, but we can still tell tail garbage from mid-log
+			// corruption by whether anything valid follows.
+			if hasLaterValidFrame(data[off+frameHeaderSize:], maxFrame) {
+				return int64(off), fmt.Errorf("%w: invalid frame length %d at offset %d", ErrCorruptFrame, n, off)
+			}
+			return int64(off), nil
+		}
+		end := off + frameHeaderSize + n + frameTrailerSize
+		if end > len(data) {
+			return int64(off), nil // torn frame
+		}
+		body := data[off+frameHeaderSize : off+frameHeaderSize+n]
+		want := binary.BigEndian.Uint32(data[off+frameHeaderSize+n : end])
+		if crc32.Checksum(body, castagnoli) != want {
+			if hasLaterValidFrame(data[end:], maxFrame) {
+				return int64(off), fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorruptFrame, off)
+			}
+			return int64(off), nil
+		}
+		if visit != nil {
+			if err := visit(body); err != nil {
+				// The frame is intact but its payload does not decode:
+				// same torn-versus-corrupt split as a checksum failure.
+				if hasLaterValidFrame(data[end:], maxFrame) {
+					return int64(off), fmt.Errorf("%w: undecodable payload at offset %d: %v", ErrCorruptFrame, off, err)
+				}
+				return int64(off), nil
+			}
+		}
+		off = end
+	}
+}
+
+// syncDir fsyncs the directory containing path, making a freshly
+// created file durable: without it the file's directory entry can
+// vanish entirely after power loss even though the data blocks were
+// written.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// openLogFile opens (or creates) a log file, fsyncing the parent
+// directory when the file is new.
+func openLogFile(path string) (*os.File, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if created {
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: sync dir for %s: %w", path, err)
+		}
+	}
+	return f, nil
+}

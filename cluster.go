@@ -158,6 +158,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 			eng = &byzantine.Equivocator{Inner: eng, Key: kp}
 		case FaultWithholdVotes:
 			eng = &byzantine.VoteWithholder{Inner: eng}
+		case FaultDoubleVote:
+			eng = &byzantine.DoubleVoter{Inner: eng, Key: kp}
 		}
 		node := &runtime.Node{
 			ID: kp.Address(), Key: kp, App: app, Engine: eng,

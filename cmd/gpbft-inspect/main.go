@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"gpbft/internal/evidence"
 	"gpbft/internal/gcrypto"
 	"gpbft/internal/geo"
 	"gpbft/internal/ledger"
@@ -99,6 +100,13 @@ func main() {
 				fmt.Printf("    tx %s  %-15s  from %s  fee %d  at %s\n",
 					tx.ID().Short(), tx.Type, tx.Sender.Short(), tx.Fee, tx.Geo.Location)
 			}
+			if tx.Type == types.TxEvidence {
+				// Always surface committed accusations, even without -txs:
+				// they are the chain's security events.
+				if rec, err := evidence.Decode(tx.Payload); err == nil {
+					fmt.Printf("    !! EVIDENCE %s (submitted by %s)\n", rec.Describe(), tx.Sender.Short())
+				}
+			}
 		}
 	}
 
@@ -106,12 +114,18 @@ func main() {
 		chain.Height(), chain.Era(), len(chain.Endorsers()),
 		chain.Table().Len(), chain.Witnesses().Len())
 	fmt.Printf("tx mix:  ")
-	for _, k := range []types.TxType{types.TxNormal, types.TxConfig, types.TxLocationReport, types.TxWitness} {
+	for _, k := range []types.TxType{types.TxNormal, types.TxConfig, types.TxLocationReport, types.TxWitness, types.TxEvidence} {
 		fmt.Printf("%s=%d  ", k, kinds[k])
 	}
 	fmt.Println()
 	if forks := chain.Forks(); len(forks) > 0 {
-		fmt.Printf("FORK EVIDENCE: %d conflicting proposals recorded\n", len(forks))
+		fmt.Printf("FORK EVIDENCE: %d conflicting proposals recorded (%d total observed)\n", len(forks), chain.ForkCount())
+	}
+	if banned := chain.Banned(); len(banned) > 0 {
+		fmt.Printf("\ndynamic blacklist (%d committed evidence records):\n", chain.EvidenceCount())
+		for _, e := range banned {
+			fmt.Printf("  %s  convicted by evidence %s\n", e.Address.Short(), e.Evidence.Short())
+		}
 	}
 	if *rewards {
 		fmt.Println("\nreward balances:")

@@ -242,6 +242,9 @@ func run() error {
 			fmt.Fprintf(w, "# TYPE gpbft_node_txs_rejected_total counter\ngpbft_node_txs_rejected_total %d\n", c.Rejected)
 			fmt.Fprintf(w, "# TYPE gpbft_node_blocks_committed_total counter\ngpbft_node_blocks_committed_total %d\n", c.Committed)
 			fmt.Fprintf(w, "# TYPE gpbft_node_height gauge\ngpbft_node_height %d\n", c.LastHeight)
+			fmt.Fprintf(w, "# TYPE gpbft_node_forks_total counter\ngpbft_node_forks_total %d\n", chain.ForkCount())
+			fmt.Fprintf(w, "# TYPE gpbft_node_evidence_total counter\ngpbft_node_evidence_total %d\n", chain.EvidenceCount())
+			fmt.Fprintf(w, "# TYPE gpbft_node_banned gauge\ngpbft_node_banned %d\n", len(chain.Banned()))
 		})
 		msrv := &http.Server{Addr: *metrics, Handler: mux}
 		go func() {

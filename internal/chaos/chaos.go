@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"gpbft/internal/byzantine"
 	"gpbft/internal/consensus"
 	"gpbft/internal/core"
 	"gpbft/internal/gcrypto"
@@ -33,6 +34,16 @@ type Options struct {
 	// EnableEraSwitch runs forced era switches underneath the chaos,
 	// exercising WAL rotation and era rejoin.
 	EnableEraSwitch bool
+	// DoubleVoters lists node indices that intentionally double-sign
+	// every prepare and commit vote (byzantine.DoubleVoter). They are
+	// exempted from the trace equivocation invariant — the property
+	// under test becomes that the honest majority stays safe and
+	// convicts them. Keep the count within f = ⌊(n−1)/3⌋.
+	DoubleVoters []int
+	// DisableExpulsion sets the genesis ablation knob: committed
+	// evidence still accumulates, but offenders are never removed from
+	// (or refused entry to) the committee.
+	DisableExpulsion bool
 }
 
 // slot is one node's durable storage: what survives a crash. The WAL
@@ -115,6 +126,7 @@ func New(opts Options) (*Cluster, error) {
 	}
 	g.Policy.EraPeriod = time.Second
 	g.Policy.SwitchPeriod = 50 * time.Millisecond
+	g.Policy.DisableExpulsion = opts.DisableExpulsion
 	for i := 0; i < opts.Nodes; i++ {
 		g.Endorsers = append(g.Endorsers, types.EndorserInfo{
 			Address: c.keys[i].Address(),
@@ -126,6 +138,13 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.genesis = g
+
+	for _, dv := range opts.DoubleVoters {
+		if dv < 0 || dv >= opts.Nodes {
+			return nil, fmt.Errorf("chaos: DoubleVoters index %d out of range", dv)
+		}
+		c.checker.Allow(c.keys[dv].Address())
+	}
 
 	for i := 0; i < opts.Nodes; i++ {
 		c.slots[i] = &slot{wal: &store.MemWAL{}}
@@ -199,8 +218,17 @@ func (c *Cluster) boot(i int, amnesia bool) error {
 	if err != nil {
 		return err
 	}
+	var engine consensus.Engine = eng
+	for _, dv := range c.opts.DoubleVoters {
+		if dv == i {
+			// The wrapper survives restarts: a rebooted double-voter
+			// comes back just as malicious.
+			engine = &byzantine.DoubleVoter{Inner: eng, Key: kp}
+			break
+		}
+	}
 	node := &runtime.Node{
-		ID: kp.Address(), Key: kp, App: app, Engine: eng,
+		ID: kp.Address(), Key: kp, App: app, Engine: engine,
 		Exec: c.net.Executor(kp.Address()),
 	}
 	node.OnCommit = func(_ consensus.Time, b *types.Block) {
@@ -283,6 +311,35 @@ func (c *Cluster) Submit(i int, payload []byte) {
 	_ = c.nodes[i].Submit(c.net.Now(), tx)
 }
 
+// SubmitReport injects node i's own periodic location report, feeding
+// the election table so the node keeps re-qualifying across era
+// switches.
+func (c *Cluster) SubmitReport(i int) {
+	if c.crashed[i] {
+		return
+	}
+	c.nonces[i]++
+	tx := &types.Transaction{
+		Type:  types.TxLocationReport,
+		Nonce: c.nonces[i],
+		Geo: types.GeoInfo{
+			Location:  c.positions[i],
+			Timestamp: c.epoch.Add(c.net.Now()),
+		},
+	}
+	tx.Sign(c.keys[i])
+	_ = c.nodes[i].Submit(c.net.Now(), tx)
+}
+
+// SubmitRawTx injects a pre-signed transaction through live node i —
+// how external identities (Sybil pairs, spoofers) reach the committee.
+func (c *Cluster) SubmitRawTx(i int, tx *types.Transaction) {
+	if c.crashed[i] {
+		return
+	}
+	_ = c.nodes[i].Submit(c.net.Now(), tx)
+}
+
 // RunFor advances virtual time by d, processing events.
 func (c *Cluster) RunFor(d time.Duration) {
 	c.net.Run(c.net.Now() + d)
@@ -309,6 +366,18 @@ func (c *Cluster) MinHeight() uint64 {
 	}
 	return min
 }
+
+// Chain returns node i's ledger (evidence, blacklist, committee state).
+func (c *Cluster) Chain(i int) *ledger.Chain { return c.nodes[i].App.Chain() }
+
+// Address returns node i's chain address.
+func (c *Cluster) Address(i int) gcrypto.Address { return c.addr(i) }
+
+// Epoch returns the wall-clock anchor of virtual time 0.
+func (c *Cluster) Epoch() time.Time { return c.epoch }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.net.Now() }
 
 // Checker exposes the trace equivocation checker.
 func (c *Cluster) Checker() *Checker { return c.checker }

@@ -34,6 +34,7 @@ var (
 	ErrShortBuffer = errors.New("codec: short buffer")
 	ErrOversize    = errors.New("codec: length prefix exceeds limit")
 	ErrTrailing    = errors.New("codec: trailing bytes after decode")
+	ErrNonMinimal  = errors.New("codec: non-minimal varint encoding")
 )
 
 // Writer accumulates a canonical encoding. The zero value is ready to
@@ -219,6 +220,14 @@ func (r *Reader) uvarint() uint64 {
 	v, n := binary.Uvarint(r.buf[r.off:])
 	if n <= 0 {
 		r.fail(ErrShortBuffer)
+		return 0
+	}
+	// Reject padded encodings (a trailing zero continuation byte): every
+	// value must have exactly one accepted byte form, or two replicas
+	// could read identical structures from different wire bytes and
+	// disagree on digests over re-encodings.
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		r.fail(ErrNonMinimal)
 		return 0
 	}
 	r.off += n

@@ -96,6 +96,14 @@ func RunElection(chain *ledger.Chain, asOf time.Time) ElectionResult {
 	authSince := asOf.Add(-policy.EraPeriod)
 	for _, v := range endorsers {
 		addr := v.Address
+		// Committed evidence outranks the whitelist: a proof of
+		// misbehavior is a consensus decision, while the whitelist is
+		// only a genesis presumption of honesty.
+		if !policy.DisableExpulsion && chain.IsBanned(addr) {
+			res.Rejected[addr] = "expelled by committed evidence"
+			res.Invalid = append(res.Invalid, addr)
+			continue
+		}
 		if policy.Whitelisted(addr) {
 			continue // whitelisted endorsers stay without qualification
 		}
@@ -126,6 +134,11 @@ func RunElection(chain *ledger.Chain, asOf time.Time) ElectionResult {
 			}
 			if policy.Blacklisted(addr) {
 				res.Rejected[addr] = "blacklisted"
+				continue
+			}
+			if !policy.DisableExpulsion && chain.IsBanned(addr) {
+				// Readmission refused: conviction is permanent.
+				res.Rejected[addr] = "expelled by committed evidence"
 				continue
 			}
 			pub := chain.AccountKey(addr)

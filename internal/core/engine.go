@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gpbft/internal/consensus"
+	"gpbft/internal/evidence"
 	"gpbft/internal/gcrypto"
 	"gpbft/internal/geo"
 	"gpbft/internal/ledger"
@@ -67,6 +68,12 @@ type Config struct {
 	// every T seconds in our system") and produces the switch-period
 	// latency outliers of Figure 3b.
 	ForceEraSwitch bool
+	// DisableEvidence stops this node from detecting misbehavior and
+	// submitting evidence transactions (ablation knob, per-node). It
+	// does NOT stop the node from validating and enforcing evidence
+	// others commit — that is consensus state; the consensus-wide
+	// enforcement ablation is Policy.DisableExpulsion in genesis.
+	DisableEvidence bool
 }
 
 // ConsensusWAL is the durable log the era layer threads into its inner
@@ -122,6 +129,15 @@ type Engine struct {
 
 	nonce uint64
 
+	// Accountability: proofs handed over by the inner engine's
+	// detector awaiting submission, the IDs this node has already
+	// submitted, the chain-detected-evidence cursor, and the
+	// re-entrancy guard for flushEvidence.
+	evQueue     []*evidence.Record
+	evSubmitted map[gcrypto.Hash]bool
+	evCursor    int
+	flushing    bool
+
 	// stats
 	eraSwitches  uint64
 	switchPauses time.Duration
@@ -143,11 +159,12 @@ func New(cfg Config) (*Engine, error) {
 		cfg.SwitchPeriod = policy.SwitchPeriod
 	}
 	return &Engine{
-		cfg:    cfg,
-		self:   cfg.Key.Address(),
-		chain:  cfg.Chain,
-		policy: policy,
-		timers: make(map[consensus.TimerID]tpurpose),
+		cfg:         cfg,
+		self:        cfg.Key.Address(),
+		chain:       cfg.Chain,
+		policy:      policy,
+		timers:      make(map[consensus.TimerID]tpurpose),
+		evSubmitted: make(map[gcrypto.Hash]bool),
 	}, nil
 }
 
@@ -236,7 +253,7 @@ func (e *Engine) buildInstance(now consensus.Time, acts []consensus.Action) []co
 	}
 	durable := e.pendingDurable
 	e.pendingDurable = nil
-	inner, err := pbft.New(pbft.Config{
+	icfg := pbft.Config{
 		Era:                e.era,
 		Committee:          com,
 		Key:                e.cfg.Key,
@@ -247,12 +264,18 @@ func (e *Engine) buildInstance(now consensus.Time, acts []consensus.Action) []co
 		ViewChangeTimeout:  e.cfg.ViewChangeTimeout,
 		WAL:                e.cfg.WAL,
 		Durable:            durable,
-	})
+	}
+	if !e.cfg.DisableEvidence {
+		icfg.EvidenceSink = func(rec *evidence.Record) {
+			e.evQueue = append(e.evQueue, rec)
+		}
+	}
+	inner, err := pbft.New(icfg)
 	if err != nil {
 		return acts
 	}
 	e.inner = inner
-	acts = append(acts, e.filterInner(inner.Init(now))...)
+	acts = append(acts, e.filterInner(now, inner.Init(now))...)
 	return acts
 }
 
@@ -273,7 +296,7 @@ func (e *Engine) OnTimer(now consensus.Time, id consensus.TimerID) []consensus.A
 	purpose, mine := e.timers[id]
 	if !mine {
 		if e.inner != nil && !e.switching {
-			return e.filterInner(e.inner.OnTimer(now, id))
+			return e.filterInner(now, e.inner.OnTimer(now, id))
 		}
 		return nil
 	}
@@ -293,7 +316,7 @@ func (e *Engine) OnCommitApplied(now consensus.Time) []consensus.Action {
 	if e.switching || e.inner == nil {
 		return nil
 	}
-	return e.filterInner(e.inner.OnCommitApplied(now))
+	return e.filterInner(now, e.inner.OnCommitApplied(now))
 }
 
 // OnRequest implements consensus.Engine. During a switch the system
@@ -303,7 +326,7 @@ func (e *Engine) OnRequest(now consensus.Time, tx *types.Transaction) []consensu
 		return nil
 	}
 	if e.inner != nil {
-		return e.filterInner(e.inner.OnRequest(now, tx))
+		return e.filterInner(now, e.inner.OnRequest(now, tx))
 	}
 	// Observer: relay to the first known endorser.
 	if e.committee == nil {
@@ -334,7 +357,7 @@ func (e *Engine) OnEnvelope(now consensus.Time, env *consensus.Envelope) []conse
 		if e.switching || e.inner == nil {
 			return nil
 		}
-		return e.filterInner(e.inner.OnEnvelope(now, env))
+		return e.filterInner(now, e.inner.OnEnvelope(now, env))
 	default:
 		// Intra-era consensus traffic.
 		msgEra, ok := peekEra(env)
@@ -353,7 +376,7 @@ func (e *Engine) OnEnvelope(now consensus.Time, env *consensus.Envelope) []conse
 			return nil
 		}
 		acts := e.maybeLagSync(env)
-		return append(acts, e.filterInner(e.inner.OnEnvelope(now, env))...)
+		return append(acts, e.filterInner(now, e.inner.OnEnvelope(now, env))...)
 	}
 }
 
@@ -414,32 +437,108 @@ func peekSeq(env *consensus.Envelope) (uint64, bool) {
 }
 
 // filterInner passes inner-engine actions through, watching committed
-// blocks for the era-switch configuration transaction.
-func (e *Engine) filterInner(acts []consensus.Action) []consensus.Action {
-	if len(acts) == 0 {
+// blocks for the era-switch configuration transaction, then flushes
+// any misbehavior evidence awaiting submission (detection may have
+// fired during the very events that produced these actions).
+func (e *Engine) filterInner(now consensus.Time, acts []consensus.Action) []consensus.Action {
+	out := acts
+	if len(acts) > 0 {
+		out = make([]consensus.Action, 0, len(acts)+2)
+		for _, a := range acts {
+			out = append(out, a)
+			cb, ok := a.(consensus.CommitBlock)
+			if !ok || e.switching {
+				continue
+			}
+			for i := range cb.Block.Txs {
+				tx := &cb.Block.Txs[i]
+				if tx.Type != types.TxConfig {
+					continue
+				}
+				change, err := types.DecodeConfigChange(tx.Payload)
+				if err != nil || change.NewEra != e.era+1 {
+					continue
+				}
+				out = e.beginSwitch(change, out)
+				break
+			}
+		}
+	}
+	return e.flushEvidence(now, out)
+}
+
+// flushEvidence turns pending misbehavior proofs — handed over by the
+// inner engine's double-sign detector or derived by the chain from
+// committed data — into evidence transactions and disseminates them
+// like any client request. Submission is skipped for records already
+// on-chain and offenders already convicted, so the steady state is
+// quiet; the flushing guard stops the OnRequest re-entry into
+// filterInner from recursing.
+func (e *Engine) flushEvidence(now consensus.Time, acts []consensus.Action) []consensus.Action {
+	if e.cfg.DisableEvidence || e.flushing || e.switching || e.inner == nil {
 		return acts
 	}
-	out := make([]consensus.Action, 0, len(acts)+2)
-	for _, a := range acts {
-		out = append(out, a)
-		cb, ok := a.(consensus.CommitBlock)
-		if !ok || e.switching {
+	recs, cur := e.chain.DetectedEvidence(e.evCursor)
+	e.evCursor = cur
+	if len(recs) == 0 && len(e.evQueue) == 0 {
+		return acts
+	}
+	pending := append(e.evQueue, recs...)
+	e.evQueue = nil
+	e.flushing = true
+	defer func() { e.flushing = false }()
+	for _, rec := range pending {
+		id := rec.ID()
+		if e.evSubmitted[id] || e.chain.HasEvidence(id) {
 			continue
 		}
-		for i := range cb.Block.Txs {
-			tx := &cb.Block.Txs[i]
-			if tx.Type != types.TxConfig {
-				continue
+		convicted := true
+		for _, a := range rec.Offenders {
+			if !e.chain.IsBanned(a) {
+				convicted = false
+				break
 			}
-			change, err := types.DecodeConfigChange(tx.Payload)
-			if err != nil || change.NewEra != e.era+1 {
-				continue
+		}
+		if convicted {
+			continue // some other record already bans every offender
+		}
+		e.evSubmitted[id] = true
+		tx := e.evidenceTx(now, rec)
+		if e.cfg.App.SubmitTx(tx) != nil {
+			continue
+		}
+		acts = append(acts, e.filterInner(now, e.inner.OnRequest(now, tx))...)
+	}
+	return acts
+}
+
+// evidenceTx wraps an evidence record into a signed transaction.
+func (e *Engine) evidenceTx(now consensus.Time, rec *evidence.Record) *types.Transaction {
+	e.nonce++
+	tx := &types.Transaction{
+		Type:    types.TxEvidence,
+		Nonce:   (e.chain.Height()+1)<<16 | e.nonce,
+		Payload: evidence.Encode(rec),
+		Geo: types.GeoInfo{
+			Location:  e.ownLocation(),
+			Timestamp: e.cfg.Epoch.Add(now),
+		},
+	}
+	tx.Sign(e.cfg.Key)
+	return tx
+}
+
+// ownLocation resolves this node's authenticated cell centre from the
+// committee record (zero point when unknown).
+func (e *Engine) ownLocation() geo.Point {
+	if e.committee != nil {
+		if i := e.committee.IndexOf(e.self); i >= 0 {
+			if pt, err := geo.Decode(e.committee.Member(i).Geohash); err == nil {
+				return pt
 			}
-			out = e.beginSwitch(change, out)
-			break
 		}
 	}
-	return out
+	return geo.Point{}
 }
 
 // beginSwitch halts the old consensus and schedules the resume after
@@ -505,7 +604,7 @@ func (e *Engine) onResume(now consensus.Time) []consensus.Action {
 		e.buffered = nil
 		for _, env := range pending {
 			if msgEra, ok := peekEra(env); ok && msgEra == e.era {
-				acts = append(acts, e.filterInner(e.inner.OnEnvelope(now, env))...)
+				acts = append(acts, e.filterInner(now, e.inner.OnEnvelope(now, env))...)
 			}
 		}
 	} else {
@@ -526,7 +625,7 @@ func (e *Engine) redisseminatePending(now consensus.Time, acts []consensus.Actio
 	const resendCap = 128
 	for _, tx := range e.cfg.App.PendingList(resendCap) {
 		tx := tx
-		acts = append(acts, e.filterInner(e.inner.OnRequest(now, &tx))...)
+		acts = append(acts, e.filterInner(now, e.inner.OnRequest(now, &tx))...)
 	}
 	return acts
 }
@@ -555,7 +654,7 @@ func (e *Engine) onEraTick(now consensus.Time) []consensus.Action {
 	if due && e.inner.Primary() == e.self && !e.inner.InViewChange() {
 		tx := e.configTx(now, res.Change(e.era+1))
 		if e.cfg.App.SubmitTx(tx) == nil {
-			acts = append(acts, e.filterInner(e.inner.OnRequest(now, tx))...)
+			acts = append(acts, e.filterInner(now, e.inner.OnRequest(now, tx))...)
 		}
 	}
 	return e.armEraTimer(acts)
@@ -565,20 +664,12 @@ func (e *Engine) onEraTick(now consensus.Time) []consensus.Action {
 // election outcome.
 func (e *Engine) configTx(now consensus.Time, change *types.ConfigChange) *types.Transaction {
 	e.nonce++
-	loc := geo.Point{}
-	if e.committee != nil {
-		if i := e.committee.IndexOf(e.self); i >= 0 {
-			if pt, err := geo.Decode(e.committee.Member(i).Geohash); err == nil {
-				loc = pt
-			}
-		}
-	}
 	tx := &types.Transaction{
 		Type:    types.TxConfig,
 		Nonce:   (e.chain.Height()+1)<<16 | e.nonce,
 		Payload: types.EncodeConfigChange(change),
 		Geo: types.GeoInfo{
-			Location:  loc,
+			Location:  e.ownLocation(),
 			Timestamp: e.cfg.Epoch.Add(now),
 		},
 	}
@@ -687,7 +778,7 @@ func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncR
 	// Keep a live inner instance aligned with the new head: sync can
 	// race normal consensus when this node lags inside its own era.
 	if e.inner != nil && !e.switching && e.chain.Era() == e.era && e.chain.Height() >= e.inner.NextSeq() {
-		acts = append(acts, e.filterInner(e.inner.AdvanceTo(now, e.chain.Height()))...)
+		acts = append(acts, e.filterInner(now, e.inner.AdvanceTo(now, e.chain.Height()))...)
 	}
 	e.syncInFlight = false
 	if e.chain.Height() < e.syncTarget {
@@ -741,7 +832,7 @@ func (e *Engine) maybeJoin(now consensus.Time) []consensus.Action {
 		e.buffered = nil
 		for _, env := range pending {
 			if msgEra, ok := peekEra(env); ok && msgEra == e.era {
-				acts = append(acts, e.filterInner(e.inner.OnEnvelope(now, env))...)
+				acts = append(acts, e.filterInner(now, e.inner.OnEnvelope(now, env))...)
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gpbft/internal/evidence"
 	"gpbft/internal/gcrypto"
 	"gpbft/internal/types"
 )
@@ -49,13 +50,29 @@ type Chain struct {
 	// accounts records the public key of every address that has sent a
 	// committed transaction, so election can mint EndorserInfo for
 	// candidates.
-	accounts map[gcrypto.Address][]byte
-	forks    []ForkEvidence
+	accounts  map[gcrypto.Address][]byte
+	forks     []ForkEvidence
+	forkCount uint64
 
 	table     *ElectionTable
 	rewards   *RewardLedger
 	witnesses *WitnessIndex
 	txIndex   map[gcrypto.Hash]TxLocation
+
+	// Accountability state (see accountability.go): the dynamic
+	// blacklist from committed evidence, the committed-evidence dedup
+	// set, chain-detected records awaiting submission, and the geo
+	// indexes Sybil/spoof detection runs on. everEndorsers grows
+	// monotonically so witness credibility can never be revoked.
+	banned        map[gcrypto.Address]gcrypto.Hash
+	evidenceSeen  map[gcrypto.Hash]bool
+	evidenceCnt   uint64
+	detected      []*evidence.Record
+	detectedIDs   map[gcrypto.Hash]bool
+	flagged       map[gcrypto.Address]bool
+	lastGeo       map[gcrypto.Address]geoEntry
+	cellSeen      map[string]map[gcrypto.Address]geoEntry
+	everEndorsers map[gcrypto.Address]bool
 }
 
 // NewChain initialises a chain from genesis.
@@ -64,14 +81,21 @@ func NewChain(g *Genesis) (*Chain, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadGenesis, err)
 	}
 	c := &Chain{
-		genesis:   g,
-		byHash:    make(map[gcrypto.Hash]*types.Block),
-		endorsers: make(map[gcrypto.Address]types.EndorserInfo, len(g.Endorsers)),
-		accounts:  make(map[gcrypto.Address][]byte),
-		table:     NewElectionTable(),
-		rewards:   NewRewardLedger(),
-		witnesses: NewWitnessIndex(),
-		txIndex:   make(map[gcrypto.Hash]TxLocation),
+		genesis:       g,
+		byHash:        make(map[gcrypto.Hash]*types.Block),
+		endorsers:     make(map[gcrypto.Address]types.EndorserInfo, len(g.Endorsers)),
+		accounts:      make(map[gcrypto.Address][]byte),
+		table:         NewElectionTable(),
+		rewards:       NewRewardLedger(),
+		witnesses:     NewWitnessIndex(),
+		txIndex:       make(map[gcrypto.Hash]TxLocation),
+		banned:        make(map[gcrypto.Address]gcrypto.Hash),
+		evidenceSeen:  make(map[gcrypto.Hash]bool),
+		detectedIDs:   make(map[gcrypto.Hash]bool),
+		flagged:       make(map[gcrypto.Address]bool),
+		lastGeo:       make(map[gcrypto.Address]geoEntry),
+		cellSeen:      make(map[string]map[gcrypto.Address]geoEntry),
+		everEndorsers: make(map[gcrypto.Address]bool, len(g.Endorsers)),
 	}
 	for _, e := range g.Endorsers {
 		c.accounts[e.Address] = e.PubKey
@@ -81,6 +105,7 @@ func NewChain(g *Genesis) (*Chain, error) {
 	c.byHash[gb.Hash()] = gb
 	for _, e := range g.Endorsers {
 		c.endorsers[e.Address] = e
+		c.everEndorsers[e.Address] = true
 	}
 	return c, nil
 }
@@ -255,6 +280,15 @@ func (c *Chain) validateLocked(b *types.Block) error {
 				return fmt.Errorf("%w: tx %d: bad config payload: %v", ErrTxInvalid, i, err)
 			}
 		}
+		if tx.Type == types.TxEvidence {
+			rec, err := evidence.Decode(tx.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: tx %d: bad evidence payload: %v", ErrTxInvalid, i, err)
+			}
+			if err := rec.Verify(c.verifyCtxLocked()); err != nil {
+				return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
+			}
+		}
 	}
 	return nil
 }
@@ -269,7 +303,7 @@ func (c *Chain) AddBlock(b *types.Block) error {
 	defer c.mu.Unlock()
 	if err := c.validateLocked(b); err != nil {
 		if errors.Is(err, ErrForkDetected) {
-			c.forks = append(c.forks, ForkEvidence{
+			c.recordForkLocked(ForkEvidence{
 				Height:    b.Header.Height,
 				Committed: c.blocks[b.Header.Height].Hash(),
 				Conflict:  b.Hash(),
@@ -292,8 +326,14 @@ func (c *Chain) AddBlock(b *types.Block) error {
 		// into the election table (Section III-B3: "Data uploaded from
 		// IoT devices to blockchains will add an entry to the election
 		// table").
-		_, _ = c.table.Record(tx.Report())
+		_, recErr := c.table.Record(tx.Report())
 		c.accounts[tx.Sender] = tx.SenderPub
+		if recErr == nil {
+			// Fresh committed claim: index it and cross-check for the
+			// same-cell Sybil pattern (stale/out-of-order reports carry
+			// no new location information).
+			c.noteGeoLocked(tx, b.Header.Height, i)
+		}
 		if tx.Type == types.TxWitness {
 			if st, err := types.DecodeWitnessStatement(tx.Payload); err == nil {
 				c.witnesses.Record(WitnessRecord{
@@ -302,7 +342,16 @@ func (c *Chain) AddBlock(b *types.Block) error {
 					Geohash:   st.Geohash,
 					Seen:      st.Seen,
 					Timestamp: tx.Geo.Timestamp,
+					Loc:       TxLocation{Height: b.Header.Height, TxIndex: i},
 				})
+				if !st.Seen {
+					c.maybeSpoofLocked(st.Subject, b.Header.Timestamp)
+				}
+			}
+		}
+		if tx.Type == types.TxEvidence {
+			if rec, err := evidence.Decode(tx.Payload); err == nil {
+				c.applyEvidenceLocked(rec)
 			}
 		}
 		if tx.Type == types.TxConfig {
@@ -343,10 +392,30 @@ func (c *Chain) applyConfigLocked(change *types.ConfigChange) {
 		if c.genesis.Policy.Blacklisted(e.Address) {
 			continue
 		}
+		if !c.genesis.Policy.DisableExpulsion {
+			if _, bad := c.banned[e.Address]; bad {
+				continue // convicted by evidence: readmission refused
+			}
+		}
 		if len(c.endorsers) >= c.genesis.Policy.MaxEndorsers {
 			break
 		}
 		c.endorsers[e.Address] = e
+		c.everEndorsers[e.Address] = true
+	}
+}
+
+// recordForkLocked counts a fork attempt and stores its evidence,
+// collapsing duplicates and capping retained records.
+func (c *Chain) recordForkLocked(fe ForkEvidence) {
+	c.forkCount++
+	for _, f := range c.forks {
+		if f.Height == fe.Height && f.Conflict == fe.Conflict && f.Proposer == fe.Proposer {
+			return
+		}
+	}
+	if len(c.forks) < maxForkRecords {
+		c.forks = append(c.forks, fe)
 	}
 }
 

@@ -40,6 +40,13 @@ const (
 	DefaultSwitchPeriod = 250 * time.Millisecond
 	// DefaultReportInterval is how often devices upload their location.
 	DefaultReportInterval = time.Second
+	// DefaultSybilWindow is how close in time two same-cell reports
+	// from distinct identities must be to count as the simultaneous
+	// occupancy Section IV-A1 forbids ("different nodes cannot report
+	// the same geographic information at the same time"): two report
+	// intervals, so one device genuinely replacing another at a
+	// location is not misread as a Sybil pair.
+	DefaultSybilWindow = 2 * DefaultReportInterval
 )
 
 // AdmittancePolicy is the genesis-block policy set of Section III-C:
@@ -78,6 +85,17 @@ type AdmittancePolicy struct {
 	// WitnessRangeMeters bounds how far a credible witness may be from
 	// the cell it attests about; zero means any distance.
 	WitnessRangeMeters float64
+	// SybilWindow, when positive, turns two committed reports from
+	// distinct identities in one CSC cell within the window into
+	// SybilSameCell evidence (and makes such evidence records valid in
+	// blocks). Zero disables Sybil evidence entirely.
+	SybilWindow time.Duration
+	// DisableExpulsion keeps committed evidence out of committee
+	// decisions: offenders stay blacklisted on paper but are neither
+	// expelled nor refused readmission. It is the ablation knob for
+	// measuring accountability, genesis-level so that every replica
+	// agrees on committee composition.
+	DisableExpulsion bool
 }
 
 // DefaultPolicy returns the paper's experiment policy.
@@ -90,6 +108,7 @@ func DefaultPolicy() AdmittancePolicy {
 		EraPeriod:           DefaultEraPeriod,
 		SwitchPeriod:        DefaultSwitchPeriod,
 		ReportInterval:      DefaultReportInterval,
+		SybilWindow:         DefaultSybilWindow,
 	}
 }
 
@@ -222,6 +241,8 @@ func (g *Genesis) MarshalCanonical(w *codec.Writer) {
 	w.Int64(int64(p.ReportInterval))
 	w.Uint32(uint32(p.MinWitnesses))
 	w.Float64(p.WitnessRangeMeters)
+	w.Int64(int64(p.SybilWindow))
+	w.Bool(p.DisableExpulsion)
 }
 
 // Hash returns the digest of the canonical genesis encoding.

@@ -15,6 +15,9 @@ type WitnessRecord struct {
 	Geohash   string
 	Seen      bool
 	Timestamp time.Time
+	// Loc is where the carrying TxWitness transaction was committed,
+	// so accountability can recover the signed original as proof.
+	Loc TxLocation
 }
 
 // WitnessIndex stores committed witness statements per subject. It is

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gpbft/internal/consensus"
+	"gpbft/internal/evidence"
 	"gpbft/internal/gcrypto"
 	"gpbft/internal/store"
 	"gpbft/internal/types"
@@ -57,6 +58,10 @@ type Config struct {
 	// previous incarnation; the engine starts from it and refuses to
 	// contradict any vote recorded there.
 	Durable *DurableState
+	// EvidenceSink, when set, receives self-verifying double-sign
+	// proofs the engine assembles from conflicting votes it observes
+	// (see accountability.go). Nil disables detection.
+	EvidenceSink func(*evidence.Record)
 }
 
 func (c *Config) fill() {
@@ -140,6 +145,12 @@ type Engine struct {
 	sentPrepares    map[voteKey]gcrypto.Hash
 	sentCommits     map[voteKey]gcrypto.Hash
 
+	// Accountability: first vote seen per (kind, view, seq, sender) and
+	// the senders already reported this era. Nil maps when detection is
+	// disabled (no EvidenceSink).
+	seenVotes map[seenSlot]seenVote
+	accused   map[gcrypto.Address]bool
+
 	// stats
 	executedBlocks uint64
 	viewChangesFin uint64
@@ -181,6 +192,10 @@ func New(cfg Config) (*Engine, error) {
 		sentPrePrepares: make(map[voteKey]gcrypto.Hash),
 		sentPrepares:    make(map[voteKey]gcrypto.Hash),
 		sentCommits:     make(map[voteKey]gcrypto.Hash),
+	}
+	if cfg.EvidenceSink != nil {
+		e.seenVotes = make(map[seenSlot]seenVote)
+		e.accused = make(map[gcrypto.Address]bool)
 	}
 	e.restoreDurable(cfg.Durable)
 	return e, nil
@@ -262,6 +277,7 @@ func (e *Engine) AdvanceTo(now consensus.Time, seq uint64) []consensus.Action {
 	if seq > e.lowWater {
 		e.lowWater = seq
 		e.pruneSentVotes(seq)
+		e.pruneSeenVotes(seq)
 	}
 	var acts []consensus.Action
 	acts = e.maybePropose(now, acts)
@@ -450,6 +466,7 @@ func (e *Engine) onPrePrepare(now consensus.Time, env *consensus.Envelope) []con
 	if pp.Seq != e.execNext || pp.Seq > e.highWater() {
 		return nil // single in-flight proposal: must be the next height
 	}
+	e.noteVote(env, pp.View, pp.Seq, pp.Digest)
 	if pp.Digest != pp.Block.Hash() {
 		return nil
 	}
@@ -528,6 +545,9 @@ func (e *Engine) onPrepare(now consensus.Time, env *consensus.Envelope) []consen
 	if p.Seq <= e.lowWater || p.Seq > e.highWater() {
 		return nil
 	}
+	// Cross-check before the conflicting/duplicate drops below: those
+	// would silently discard exactly the vote that proves a double-sign.
+	e.noteVote(env, p.View, p.Seq, p.Digest)
 	inst := e.insts[p.Seq]
 	if inst == nil || inst.view != p.View {
 		inst = newInstance(p.View)
@@ -596,6 +616,7 @@ func (e *Engine) onCommit(now consensus.Time, env *consensus.Envelope) []consens
 	if c.Seq <= e.lowWater || c.Seq > e.highWater() {
 		return nil
 	}
+	e.noteVote(env, c.View, c.Seq, c.Digest)
 	inst := e.insts[c.Seq]
 	if inst == nil || inst.view != c.View {
 		inst = newInstance(c.View)
@@ -749,6 +770,7 @@ func (e *Engine) stabilizeCheckpoint(seq uint64) {
 		}
 	}
 	e.pruneSentVotes(seq)
+	e.pruneSeenVotes(seq)
 }
 
 // --- progress timer ---

@@ -38,6 +38,10 @@ const (
 	// TxWitness carries a WitnessStatement: a peer attestation that a
 	// device is (or is not) physically present at its claimed cell.
 	TxWitness
+	// TxEvidence carries an evidence.Record: a self-verifying proof of
+	// endorser misbehavior (double-sign, Sybil pair, location spoof).
+	// Committed evidence feeds the chain's dynamic blacklist.
+	TxEvidence
 )
 
 // String names the transaction type.
@@ -51,13 +55,15 @@ func (t TxType) String() string {
 		return "location-report"
 	case TxWitness:
 		return "witness"
+	case TxEvidence:
+		return "evidence"
 	default:
 		return fmt.Sprintf("txtype(%d)", uint8(t))
 	}
 }
 
 // Valid reports whether t is a known type.
-func (t TxType) Valid() bool { return t <= TxWitness }
+func (t TxType) Valid() bool { return t <= TxEvidence }
 
 // GeoInfo is the geographic information carried "at the end of the
 // transaction body": <longitude, latitude, timestamp>.
@@ -148,6 +154,12 @@ func (tx *Transaction) Verify() error {
 		if _, err := DecodeWitnessStatement(tx.Payload); err != nil {
 			return fmt.Errorf("%w: %v", ErrTxPayload, err)
 		}
+	}
+	// TxEvidence payloads decode and verify in the ledger layer (the
+	// evidence package sits above types); here only non-emptiness is
+	// structural.
+	if tx.Type == TxEvidence && len(tx.Payload) == 0 {
+		return fmt.Errorf("%w: evidence transaction must carry a record", ErrTxPayload)
 	}
 	if len(tx.SenderPub) != ed25519.PublicKeySize {
 		return ErrTxSignature

@@ -33,6 +33,7 @@ type Metrics struct {
 	eraCount   int
 	submitted  int
 	evicted    int
+	evidence   int
 	maxPending int
 }
 
@@ -99,6 +100,9 @@ func (m *Metrics) prune() {
 func (m *Metrics) ObserveCommit(now consensus.Time, b *types.Block) {
 	m.blocks++
 	for i := range b.Txs {
+		if b.Txs[i].Type == types.TxEvidence {
+			m.evidence++
+		}
 		id := b.Txs[i].ID()
 		if _, done := m.committed[id]; done {
 			continue
@@ -142,6 +146,11 @@ func (m *Metrics) BlocksObserved() int { return m.blocks }
 
 // EraSwitches returns observed era-switch completions.
 func (m *Metrics) EraSwitches() int { return m.eraCount }
+
+// EvidenceTxCount returns how many evidence transactions were observed
+// in first-commit blocks (duplicate accusations included: each carries
+// its own transaction).
+func (m *Metrics) EvidenceTxCount() int { return m.evidence }
 
 // MeanLatency returns the mean commit latency (0 when empty).
 func (m *Metrics) MeanLatency() time.Duration {

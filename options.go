@@ -41,6 +41,15 @@ type Options struct {
 	MinWitnesses int
 	// WitnessRangeMeters bounds credible witness distance (0 = any).
 	WitnessRangeMeters float64
+	// SybilWindow enables Sybil-pair evidence: two committed reports
+	// from distinct identities in one CSC cell within the window become
+	// a SybilSameCell conviction (0 = off). Leave it off for dense
+	// deployments where honest devices legitimately share cells.
+	SybilWindow time.Duration
+	// DisableExpulsion is the accountability ablation: evidence is
+	// still detected, committed and counted, but offenders keep their
+	// committee seats and stay electable.
+	DisableExpulsion bool
 	// Region is the deployment area; devices are laid out inside it.
 	Region geo.Region
 
@@ -80,6 +89,10 @@ const (
 	FaultEquivocate
 	// FaultWithholdVotes suppresses own commit votes.
 	FaultWithholdVotes
+	// FaultDoubleVote signs conflicting prepare/commit votes and hands
+	// both to every peer — the offense the accountability pipeline
+	// detects, proves and expels.
+	FaultDoubleVote
 )
 
 // DefaultOptions returns the paper's experiment configuration for the
@@ -190,6 +203,8 @@ func (o *Options) policy() ledger.AdmittancePolicy {
 		ReportInterval:      o.ReportInterval,
 		MinWitnesses:        o.MinWitnesses,
 		WitnessRangeMeters:  o.WitnessRangeMeters,
+		SybilWindow:         o.SybilWindow,
+		DisableExpulsion:    o.DisableExpulsion,
 	}
 }
 

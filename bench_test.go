@@ -298,7 +298,7 @@ func BenchmarkAblationProposerPolicy(b *testing.B) {
 func BenchmarkAblationBatchSize(b *testing.B) {
 	for _, batch := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
-			var mean float64
+			var mean, tps float64
 			for i := 0; i < b.N; i++ {
 				o := gpbft.DefaultOptions(gpbft.GPBFT, 16)
 				o.Seed = int64(i + 1)
@@ -317,9 +317,15 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 				}
 				cl.RunUntilIdle(time.Minute)
 				mean = cl.Metrics().MeanLatency().Seconds()
+				// Committed TPS over the virtual run, so batch-size
+				// ablations are comparable with BENCH_tps.json entries.
+				if elapsed := cl.Now().Seconds(); elapsed > 0 {
+					tps = float64(cl.Metrics().CommittedCount()) / elapsed
+				}
 				gcrypto.SetVerification(prev)
 			}
 			b.ReportMetric(mean, "latency-s")
+			b.ReportMetric(tps, "committed-tps")
 		})
 	}
 }

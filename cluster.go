@@ -105,7 +105,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		app := runtime.NewApp(chain, runtime.NewMempool(0), kp.Address(), opts.Epoch, opts.BatchSize)
+		app := runtime.NewApp(chain, runtime.NewMempoolShards(opts.MempoolCap, opts.MempoolShards), kp.Address(), opts.Epoch, opts.BatchSize)
 		var eng consensus.Engine
 		switch opts.Protocol {
 		case PBFT:

@@ -1,0 +1,183 @@
+// Command gpbft-bench drives a G-PBFT cluster at a fixed offered load
+// and records committed TPS and commit latency into the repo's
+// benchmark trajectory files (BENCH_tps.json, BENCH_latency.json).
+//
+// Default run (no flags): the full suite — a deterministic simnet run
+// at committee 22 plus wall-clock TCP runs with the parallel and
+// serial verification paths — merged into the trajectory files.
+//
+//	gpbft-bench                         # full suite, update BENCH_*.json
+//	gpbft-bench -quick                  # small deterministic sim run only
+//	gpbft-bench -quick -check           # compare against baseline, no writes
+//	gpbft-bench -mode tcp -committee 22 # one explicit run
+//
+// The CI bench gate runs `gpbft-bench -quick -check -out <dir>`: fresh
+// results are written under -out and compared against the checked-in
+// baseline with -tolerance; any regression exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gpbft/internal/loadgen"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "small deterministic sim run (the CI gate workload)")
+		mode      = flag.String("mode", "", "run one explicit mode: sim | tcp (default: full suite)")
+		committee = flag.Int("committee", 22, "endorser committee size")
+		rate      = flag.Int("rate", 200, "offered load, transactions per second")
+		duration  = flag.Duration("duration", 5*time.Second, "load window")
+		batch     = flag.Int("batch", 32, "max transactions per block")
+		shards    = flag.Int("shards", 0, "mempool shard count (0 = default)")
+		poolCap   = flag.Int("pool-cap", 0, "mempool capacity (0 = default)")
+		workers   = flag.Int("workers", 0, "verification pool width (0 = all cores)")
+		serial    = flag.Bool("serial", false, "serial ablation: seed-equivalent verification path")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		name      = flag.String("name", "", "entry name (default: derived from mode/committee/path)")
+		outDir    = flag.String("out", ".", "directory for fresh BENCH_*.json")
+		baseDir   = flag.String("baseline", ".", "directory holding checked-in BENCH_*.json")
+		check     = flag.Bool("check", false, "compare fresh results against the baseline; exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.2, "relative regression tolerance for -check")
+	)
+	flag.Parse()
+
+	runs := planRuns(*quick, *mode, *committee, *rate, *duration, *batch, *shards, *poolCap, *workers, *serial, *seed, *name)
+
+	var results []loadgen.Result
+	for _, r := range runs {
+		fmt.Fprintf(os.Stderr, "running %s (%s, committee %d, %d tx/s for %s)...\n",
+			r.name, r.cfg.Mode, r.cfg.Committee, r.cfg.Rate, r.cfg.Duration)
+		res, err := loadgen.Run(r.name, r.cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpbft-bench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		results = append(results, res)
+	}
+
+	if err := writeAndCheck(results, *outDir, *baseDir, *check, *tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "gpbft-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type plannedRun struct {
+	name string
+	cfg  loadgen.Config
+}
+
+// planRuns expands the flag set into the run list.
+func planRuns(quick bool, mode string, committee, rate int, duration time.Duration,
+	batch, shards, poolCap, workers int, serial bool, seed int64, name string) []plannedRun {
+	base := loadgen.Config{
+		Committee:     committee,
+		Rate:          rate,
+		Duration:      duration,
+		BatchSize:     batch,
+		MempoolShards: shards,
+		MempoolCap:    poolCap,
+		Workers:       workers,
+		Serial:        serial,
+		Seed:          seed,
+	}
+	if quick {
+		// The CI gate: small, fast, and — because it runs on the
+		// virtual-time simulator — deterministic for a given seed.
+		cfg := base
+		cfg.Mode = "sim"
+		cfg.Committee = 7
+		cfg.Rate = 400
+		cfg.Duration = 2 * time.Second
+		n := name
+		if n == "" {
+			n = "sim-quick-c7"
+		}
+		return []plannedRun{{name: n, cfg: cfg}}
+	}
+	if mode != "" {
+		cfg := base
+		cfg.Mode = mode
+		n := name
+		if n == "" {
+			n = fmt.Sprintf("%s-c%d", mode, committee)
+			if serial {
+				n += "-serial"
+			}
+		}
+		return []plannedRun{{name: n, cfg: cfg}}
+	}
+	// Full suite: deterministic sim trajectory plus the wall-clock
+	// serial-vs-parallel A/B at the paper's committee scale.
+	sim := base
+	sim.Mode = "sim"
+	par := base
+	par.Mode = "tcp"
+	par.Serial = false
+	ser := base
+	ser.Mode = "tcp"
+	ser.Serial = true
+	return []plannedRun{
+		{name: fmt.Sprintf("sim-c%d", committee), cfg: sim},
+		{name: fmt.Sprintf("tcp-c%d-parallel", committee), cfg: par},
+		{name: fmt.Sprintf("tcp-c%d-serial", committee), cfg: ser},
+	}
+}
+
+// writeAndCheck merges results into the trajectory files under outDir
+// and, when checking, compares them against the baseline directory.
+func writeAndCheck(results []loadgen.Result, outDir, baseDir string, check bool, tolerance float64) error {
+	outTPS := filepath.Join(outDir, "BENCH_tps.json")
+	outLat := filepath.Join(outDir, "BENCH_latency.json")
+	baseTPS := filepath.Join(baseDir, "BENCH_tps.json")
+	baseLat := filepath.Join(baseDir, "BENCH_latency.json")
+
+	// Fresh reports start from the out-dir contents (merge-on-write) so
+	// repeated runs accumulate entries rather than clobbering them.
+	tps, err := loadgen.LoadReport(outTPS, loadgen.MetricTPS)
+	if err != nil {
+		return err
+	}
+	lat, err := loadgen.LoadReport(outLat, loadgen.MetricLatency)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		tps.Upsert(r.TPSEntry())
+		lat.Upsert(r.LatencyEntry())
+	}
+	if err := tps.Save(outTPS); err != nil {
+		return err
+	}
+	if err := lat.Save(outLat); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s and %s\n", outTPS, outLat)
+
+	if !check {
+		return nil
+	}
+	baseT, err := loadgen.LoadReport(baseTPS, loadgen.MetricTPS)
+	if err != nil {
+		return err
+	}
+	baseL, err := loadgen.LoadReport(baseLat, loadgen.MetricLatency)
+	if err != nil {
+		return err
+	}
+	regressions := append(loadgen.Compare(baseT, tps, tolerance), loadgen.Compare(baseL, lat, tolerance)...)
+	for _, msg := range regressions {
+		fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", msg)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s) beyond ±%.0f%% tolerance", len(regressions), tolerance*100)
+	}
+	fmt.Fprintln(os.Stderr, "bench gate passed: no regressions against baseline")
+	return nil
+}

@@ -69,6 +69,8 @@ func run() error {
 		swPeriod  = flag.Duration("switch", 250*time.Millisecond, "switch pause")
 		report    = flag.Duration("report", 5*time.Second, "own location-report period (gpbft; 0 = off)")
 		batch     = flag.Int("batch", 32, "max transactions per block")
+		poolCap   = flag.Int("mempool-cap", 0, "mempool capacity in transactions (0 = default)")
+		shards    = flag.Int("mempool-shards", 0, "mempool shard count, rounded to a power of two (0 = default)")
 		quiet     = flag.Bool("quiet", false, "suppress per-block logging")
 		dataPath  = flag.String("data", "", "block-log file for durable persistence; the vote WAL lives at <data>.wal (empty = in-memory only)")
 		fsync     = flag.Bool("fsync", false, "fsync the block log and vote WAL after every write")
@@ -149,7 +151,7 @@ func run() error {
 		}
 	}
 
-	app := runtime.NewApp(chain, runtime.NewMempool(0), self.Address(), epoch, *batch)
+	app := runtime.NewApp(chain, runtime.NewMempoolShards(*poolCap, *shards), self.Address(), epoch, *batch)
 
 	var engine consensus.Engine
 	switch *protocol {
@@ -245,6 +247,13 @@ func run() error {
 			fmt.Fprintf(w, "# TYPE gpbft_node_forks_total counter\ngpbft_node_forks_total %d\n", chain.ForkCount())
 			fmt.Fprintf(w, "# TYPE gpbft_node_evidence_total counter\ngpbft_node_evidence_total %d\n", chain.EvidenceCount())
 			fmt.Fprintf(w, "# TYPE gpbft_node_banned gauge\ngpbft_node_banned %d\n", len(chain.Banned()))
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_pending gauge\ngpbft_mempool_pending %d\n", c.Pool.Pending)
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_shards gauge\ngpbft_mempool_shards %d\n", c.Pool.Shards)
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_admitted_total counter\ngpbft_mempool_admitted_total %d\n", c.Pool.Admitted)
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_rejected_full_total counter\ngpbft_mempool_rejected_full_total %d\n", c.Pool.RejectedFull)
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_rejected_dup_total counter\ngpbft_mempool_rejected_dup_total %d\n", c.Pool.RejectedDup)
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_dropped_total counter\ngpbft_mempool_dropped_total %d\n", c.Pool.Dropped)
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_committed_total counter\ngpbft_mempool_committed_total %d\n", c.Pool.Committed)
 		})
 		msrv := &http.Server{Addr: *metrics, Handler: mux}
 		go func() {

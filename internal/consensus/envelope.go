@@ -15,6 +15,7 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"gpbft/internal/codec"
 	"gpbft/internal/gcrypto"
@@ -82,6 +83,18 @@ type Envelope struct {
 	// wireSize caches the serialized size (an envelope is immutable
 	// once sealed; broadcasts meter it once per recipient).
 	wireSize int
+
+	// verifiedSum memoizes a successful signature check: it is the
+	// digest of every field the check covered, recorded at the moment
+	// the ed25519 verification passed. The engines re-Open stored vote
+	// envelopes on every quorum recount (O(n²) per slot at committee
+	// scale); the memo collapses each recount to one cheap hash
+	// comparison. Binding the memo to the content digest (rather than a
+	// bare flag) means any mutation after the fact — even of an
+	// in-memory struct — invalidates it, and only success is cached, so
+	// accept/reject semantics stay byte-exact with the serial path.
+	verified    bool
+	verifiedSum gcrypto.Hash
 }
 
 // Errors returned by envelope operations.
@@ -99,7 +112,8 @@ func envelopeDigest(kind MsgKind, from gcrypto.Address, body []byte) []byte {
 	return w.Bytes()
 }
 
-// Seal encodes and signs a payload into an envelope.
+// Seal encodes and signs a payload into an envelope. A locally sealed
+// envelope is verified by construction.
 func Seal(kp *gcrypto.KeyPair, p Payload) *Envelope {
 	body := codec.Encode(p)
 	e := &Envelope{
@@ -109,17 +123,54 @@ func Seal(kp *gcrypto.KeyPair, p Payload) *Envelope {
 		Body:    body,
 	}
 	e.Signature = kp.Sign(envelopeDigest(e.MsgKind, e.From, body))
+	e.markVerified()
 	return e
 }
 
-// Verify checks the envelope signature and sender binding.
+// verifySum digests every field Verify covers (including the public
+// key and signature, which envelopeDigest omits), so a memoized
+// verdict can be tied to the exact bytes that were checked.
+func (e *Envelope) verifySum() gcrypto.Hash {
+	w := codec.NewWriter(96 + len(e.Body))
+	w.Uint8(uint8(e.MsgKind))
+	w.Raw(e.From[:])
+	w.WriteBytes(e.FromPub)
+	w.WriteBytes(e.Body)
+	w.WriteBytes(e.Signature)
+	return gcrypto.HashBytes(w.Bytes())
+}
+
+func (e *Envelope) markVerified() {
+	e.verifiedSum = e.verifySum()
+	e.verified = true
+}
+
+// verifyMemo gates the success memo; the serial ablation baseline in
+// gpbft-bench turns it off to reproduce seed behaviour.
+var verifyMemo atomic.Bool
+
+func init() { verifyMemo.Store(true) }
+
+// SetVerifyMemo toggles envelope-verification memoization; returns the
+// previous setting. Memoization is semantics-preserving (only success
+// over immutable bytes is cached); the switch exists so benchmarks can
+// measure the serial path.
+func SetVerifyMemo(on bool) bool { return verifyMemo.Swap(on) }
+
+// Verify checks the envelope signature and sender binding. A
+// successful check is memoized: envelopes are immutable once sealed,
+// and the single event loop that owns an envelope is the only writer.
 func (e *Envelope) Verify() error {
+	if e.verified && verifyMemo.Load() && e.verifiedSum == e.verifySum() {
+		return nil
+	}
 	if len(e.FromPub) != ed25519.PublicKeySize {
 		return ErrEnvelopeSig
 	}
 	if err := gcrypto.Verify(e.FromPub, e.From, envelopeDigest(e.MsgKind, e.From, e.Body), e.Signature); err != nil {
 		return fmt.Errorf("%w: %v", ErrEnvelopeSig, err)
 	}
+	e.markVerified()
 	return nil
 }
 

@@ -762,6 +762,12 @@ func (e *Engine) serveSync(to gcrypto.Address, from uint64) []consensus.Action {
 // in memory and vanish at the next restart.
 func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncResponse) []consensus.Action {
 	var acts []consensus.Action
+	// Warm the signature cache across the whole response in one parallel
+	// batch before the serial per-block Commit loop: each ValidateBlock
+	// then finds its transactions' signatures already accepted.
+	for i := range resp.Blocks {
+		types.PrewarmTxs(resp.Blocks[i].Txs)
+	}
 	for i := range resp.Blocks {
 		b := resp.Blocks[i]
 		if b.Header.Height != e.chain.Height()+1 {

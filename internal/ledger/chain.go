@@ -264,11 +264,15 @@ func (c *Chain) validateLocked(b *types.Block) error {
 		}
 	}
 	policy := &c.genesis.Policy
+	// Signature checks dominate block validation cost; fan them out over
+	// the verification pool (with memoization of previously accepted
+	// signatures) and report the lowest failing index — exactly where
+	// the serial per-tx loop would have stopped.
+	if i, err := gcrypto.FirstBatchError(types.VerifyTxs(b.Txs)); err != nil {
+		return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
+	}
 	for i := range b.Txs {
 		tx := &b.Txs[i]
-		if err := tx.Verify(); err != nil {
-			return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
-		}
 		if !policy.InRegion(tx.Geo.Location) {
 			return fmt.Errorf("%w: tx %d outside deployment region", ErrTxInvalid, i)
 		}

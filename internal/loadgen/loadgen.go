@@ -1,0 +1,145 @@
+// Package loadgen drives a G-PBFT cluster — the deterministic simnet
+// or a real in-process TCP deployment — at a fixed offered load and
+// measures committed throughput and commit latency. It is the engine
+// behind cmd/gpbft-bench and the source of the repo's recorded perf
+// trajectory (BENCH_tps.json / BENCH_latency.json).
+package loadgen
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/transport"
+	"gpbft/internal/types"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Mode selects the cluster substrate: "sim" (deterministic
+	// discrete-event simulator, virtual time) or "tcp" (in-process TCP
+	// cluster, wall-clock time).
+	Mode string
+	// Committee is the endorser committee size (= node count here; the
+	// bench exercises the consensus hot path, not candidate gossip).
+	Committee int
+	// Rate is the offered load in transactions per second.
+	Rate int
+	// Duration is the load window (virtual in sim mode, wall in tcp).
+	Duration time.Duration
+	// BatchSize caps transactions per block (0 = 32).
+	BatchSize int
+	// MempoolShards / MempoolCap configure each node's pool (0 = defaults).
+	MempoolShards int
+	MempoolCap    int
+	// Workers overrides the verification pool width for the run
+	// (0 = GOMAXPROCS). Ignored when Serial is set.
+	Workers int
+	// Serial selects the ablation baseline: serial verification, no
+	// signature/envelope memoization, no pipelined pre-verification —
+	// the seed's behaviour.
+	Serial bool
+	// Seed drives deterministic choices (sim mode scheduling, keys).
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Mode == "" {
+		out.Mode = "sim"
+	}
+	if out.Committee <= 0 {
+		out.Committee = 4
+	}
+	if out.Rate <= 0 {
+		out.Rate = 200
+	}
+	if out.Duration <= 0 {
+		out.Duration = 5 * time.Second
+	}
+	if out.BatchSize <= 0 {
+		out.BatchSize = 32
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// Result is the outcome of one load run.
+type Result struct {
+	Name      string  `json:"name"`
+	Mode      string  `json:"mode"`
+	Committee int     `json:"committee"`
+	Serial    bool    `json:"serial"`
+	Workers   int     `json:"workers"`
+	Cores     int     `json:"cores"`
+	RateTPS   int     `json:"rate_tps"`
+	Offered   int     `json:"offered"`
+	Committed int     `json:"committed"`
+	Elapsed   float64 `json:"elapsed_s"`
+	TPS       float64 `json:"tps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+func (r Result) String() string {
+	mode := "parallel"
+	if r.Serial {
+		mode = "serial"
+	}
+	return fmt.Sprintf("%s [%s/%s c=%d cores=%d] offered=%d committed=%d tps=%.1f p50=%.1fms p99=%.1fms",
+		r.Name, r.Mode, mode, r.Committee, r.Cores, r.Offered, r.Committed, r.TPS, r.P50Ms, r.P99Ms)
+}
+
+// engineMode flips every serial-vs-parallel knob as a set and returns
+// a restore function. Serial reproduces the seed's hot path: one-at-a-
+// time signature checks on the consensus goroutine with no caching.
+func engineMode(serial bool, workers int) (restore func()) {
+	if serial {
+		workers = 1
+	}
+	prevW := gcrypto.SetBatchWorkers(workers)
+	prevC := types.SetSigCache(!serial)
+	prevM := consensus.SetVerifyMemo(!serial)
+	prevP := transport.SetPreVerify(!serial)
+	return func() {
+		gcrypto.SetBatchWorkers(prevW)
+		types.SetSigCache(prevC)
+		consensus.SetVerifyMemo(prevM)
+		transport.SetPreVerify(prevP)
+	}
+}
+
+// Run executes one load run per the config.
+func Run(name string, cfg Config) (Result, error) {
+	c := cfg.withDefaults()
+	restore := engineMode(c.Serial, c.Workers)
+	defer restore()
+
+	var (
+		res Result
+		err error
+	)
+	switch c.Mode {
+	case "sim":
+		res, err = runSim(c)
+	case "tcp":
+		res, err = runTCP(c)
+	default:
+		return Result{}, fmt.Errorf("loadgen: unknown mode %q", c.Mode)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Name = name
+	res.Mode = c.Mode
+	res.Committee = c.Committee
+	res.Serial = c.Serial
+	res.Cores = runtime.NumCPU()
+	res.Workers = gcrypto.BatchWorkers()
+	res.RateTPS = c.Rate
+	return res, nil
+}

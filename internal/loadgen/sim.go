@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"gpbft"
+)
+
+// runSim drives a simulated G-PBFT cluster at the offered rate in
+// virtual time. Results are fully deterministic for a given config and
+// seed, which is what makes the CI bench gate stable: virtual-time TPS
+// captures protocol and batching behaviour (blocks per round trip,
+// mempool admission), independent of the runner's real CPU.
+func runSim(c Config) (Result, error) {
+	o := gpbft.DefaultOptions(gpbft.GPBFT, c.Committee)
+	o.Seed = c.Seed
+	o.BatchSize = c.BatchSize
+	o.MempoolShards = c.MempoolShards
+	o.MempoolCap = c.MempoolCap
+	// Freeze the committee: the bench measures the commit hot path, not
+	// era churn (chaos and harness experiments cover that).
+	o.DisableEraSwitch = true
+	cl, err := gpbft.NewCluster(o)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Offered load: Rate tx/s for Duration, round-robin over nodes.
+	total := int(float64(c.Rate) * c.Duration.Seconds())
+	interval := c.Duration / time.Duration(total)
+	start := 10 * time.Millisecond
+	for k := 0; k < total; k++ {
+		at := start + time.Duration(k)*interval
+		cl.SubmitNodeTx(at, k%c.Committee, []byte{byte(k), byte(k >> 8), byte(k >> 16)}, 1)
+	}
+	cl.RunUntilIdle(c.Duration + 5*time.Minute)
+
+	m := cl.Metrics()
+	committed := m.CommittedCount()
+	if committed == 0 {
+		return Result{}, fmt.Errorf("loadgen: sim run committed nothing (offered %d)", total)
+	}
+	elapsed := (cl.Now() - start).Seconds()
+	return Result{
+		Offered:   total,
+		Committed: committed,
+		Elapsed:   elapsed,
+		TPS:       float64(committed) / elapsed,
+		P50Ms:     float64(m.Quantile(0.50)) / float64(time.Millisecond),
+		P99Ms:     float64(m.Quantile(0.99)) / float64(time.Millisecond),
+	}, nil
+}

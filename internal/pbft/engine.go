@@ -394,7 +394,10 @@ func (e *Engine) onRequestEnv(now consensus.Time, env *consensus.Envelope) []con
 	if err := consensus.Open(env, consensus.KindRequest, &req); err != nil {
 		return nil
 	}
-	if err := req.Tx.Verify(); err != nil {
+	// VerifyCached: a relayed transaction has usually already been
+	// verified once on this node (local submission or an earlier relay),
+	// so the ed25519 check is memoized.
+	if err := req.Tx.VerifyCached(); err != nil {
 		return nil
 	}
 	if err := e.cfg.App.SubmitTx(&req.Tx); err != nil {

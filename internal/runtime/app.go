@@ -72,7 +72,9 @@ func (a *App) ValidateBlock(b *types.Block) error {
 
 // SubmitTx implements pbft.Application: verify, dedup, enqueue.
 func (a *App) SubmitTx(tx *types.Transaction) error {
-	if err := tx.Verify(); err != nil {
+	// VerifyCached: submission, relay, and block validation all check
+	// the same signature; the first accept is memoized for the rest.
+	if err := tx.VerifyCached(); err != nil {
 		return err
 	}
 	err := a.pool.Add(tx)

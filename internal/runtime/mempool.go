@@ -8,6 +8,7 @@ package runtime
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"gpbft/internal/gcrypto"
 	"gpbft/internal/types"
@@ -16,133 +17,270 @@ import (
 // DefaultMempoolCap bounds the pending pool.
 const DefaultMempoolCap = 100000
 
+// DefaultMempoolShards is the lock-stripe count: submission arrives
+// concurrently from every peer connection, and a single mutex became
+// the hot path's first serialization point. Must be a power of two no
+// greater than 256 (the shard index is one masked byte of the tx ID).
+const DefaultMempoolShards = 16
+
 // Errors returned by the mempool.
 var (
 	ErrPoolFull    = errors.New("runtime: mempool full")
 	ErrTxDuplicate = errors.New("runtime: transaction already pending or committed")
 )
 
-// Mempool is a FIFO transaction pool with duplicate suppression, safe
-// for concurrent use.
-type Mempool struct {
+// PoolStats is a snapshot of mempool backpressure counters; all are
+// cumulative since pool creation except Pending.
+type PoolStats struct {
+	Pending      int    // transactions currently admitted and unreaped
+	Shards       int    // configured shard count
+	Admitted     uint64 // successful Add calls
+	RejectedFull uint64 // Add rejections due to the size bound
+	RejectedDup  uint64 // Add rejections due to duplicate suppression
+	Dropped      uint64 // admitted txs removed via Drop (stale proposals)
+	Committed    uint64 // admitted txs removed because they committed
+}
+
+// poolEntry is one admitted transaction with its global admission
+// ticket; tickets order the merged FIFO view across shards.
+type poolEntry struct {
+	id  gcrypto.Hash
+	seq uint64
+	tx  *types.Transaction
+}
+
+// poolShard owns the transactions whose ID hashes into it. The queue
+// is kept in admission order: tickets are taken under the shard lock,
+// so each shard's queue is sorted by seq even though tickets are
+// issued from a global counter.
+type poolShard struct {
 	mu        sync.Mutex
-	queue     []*types.Transaction
+	queue     []poolEntry
 	pending   map[gcrypto.Hash]bool
 	committed map[gcrypto.Hash]bool
 	oldGen    map[gcrypto.Hash]bool // previous committed generation
-	cap       int
 	genLimit  int
 }
 
-// NewMempool creates a pool with the given capacity (0 = default).
+func (s *poolShard) removeQueued(id gcrypto.Hash) {
+	filtered := s.queue[:0]
+	for _, e := range s.queue {
+		if e.id != id {
+			filtered = append(filtered, e)
+		}
+	}
+	s.queue = filtered
+}
+
+// Mempool is a sharded FIFO transaction pool with duplicate
+// suppression, an exact global size bound, and backpressure counters;
+// safe for concurrent use. Transactions are striped over shards by ID
+// so concurrent submitters rarely contend on a lock, while a global
+// admission ticket preserves the pool-wide FIFO order Peek returns.
+type Mempool struct {
+	shards []poolShard
+	mask   uint32
+	cap    int
+
+	size atomic.Int64  // admitted and unreaped, pool-wide (exact)
+	seq  atomic.Uint64 // global admission ticket
+
+	admitted     atomic.Uint64
+	rejectedFull atomic.Uint64
+	rejectedDup  atomic.Uint64
+	dropped      atomic.Uint64
+	committedCnt atomic.Uint64
+}
+
+// NewMempool creates a pool with the given capacity (0 = default) and
+// the default shard count.
 func NewMempool(capacity int) *Mempool {
+	return NewMempoolShards(capacity, 0)
+}
+
+// NewMempoolShards creates a pool with explicit capacity and shard
+// count (0 = defaults). The shard count is clamped to [1, 256] and
+// rounded up to a power of two.
+func NewMempoolShards(capacity, shards int) *Mempool {
 	if capacity <= 0 {
 		capacity = DefaultMempoolCap
 	}
-	return &Mempool{
-		pending:   make(map[gcrypto.Hash]bool),
-		committed: make(map[gcrypto.Hash]bool),
-		oldGen:    make(map[gcrypto.Hash]bool),
-		cap:       capacity,
-		genLimit:  4 * capacity,
+	if shards <= 0 {
+		shards = DefaultMempoolShards
 	}
+	if shards > 256 {
+		shards = 256
+	}
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	genLimit := 4 * capacity / n
+	if genLimit < 1 {
+		genLimit = 1
+	}
+	m := &Mempool{
+		shards: make([]poolShard, n),
+		mask:   uint32(n - 1),
+		cap:    capacity,
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.pending = make(map[gcrypto.Hash]bool)
+		s.committed = make(map[gcrypto.Hash]bool)
+		s.oldGen = make(map[gcrypto.Hash]bool)
+		s.genLimit = genLimit
+	}
+	return m
 }
 
-// Add inserts a transaction unless it is already pending or was
-// committed recently.
+func (m *Mempool) shard(id gcrypto.Hash) *poolShard {
+	return &m.shards[uint32(id[0])&m.mask]
+}
+
+// Add inserts a transaction unless it is already pending, was
+// committed recently, or the pool is at capacity.
 func (m *Mempool) Add(tx *types.Transaction) error {
 	id := tx.ID()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.pending[id] || m.committed[id] || m.oldGen[id] {
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending[id] || s.committed[id] || s.oldGen[id] {
+		m.rejectedDup.Add(1)
 		return ErrTxDuplicate
 	}
-	if len(m.queue) >= m.cap {
+	// The size bound is enforced with a reserve-then-rollback on the
+	// global counter: concurrent adds across shards may transiently
+	// overshoot the counter but never the admitted population.
+	if m.size.Add(1) > int64(m.cap) {
+		m.size.Add(-1)
+		m.rejectedFull.Add(1)
 		return ErrPoolFull
 	}
-	m.pending[id] = true
-	m.queue = append(m.queue, tx)
+	s.pending[id] = true
+	s.queue = append(s.queue, poolEntry{id: id, seq: m.seq.Add(1), tx: tx})
+	m.admitted.Add(1)
 	return nil
 }
 
-// Peek returns up to n transactions in FIFO order without removing
-// them.
+// Peek returns up to n transactions in pool-wide FIFO (admission)
+// order without removing them: a k-way merge of the per-shard queues
+// by admission ticket.
 func (m *Mempool) Peek(n int) []types.Transaction {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if n > len(m.queue) {
-		n = len(m.queue)
+	if n <= 0 {
+		return nil
 	}
-	out := make([]types.Transaction, n)
-	for i := 0; i < n; i++ {
-		out[i] = *m.queue[i]
+	type cursor struct {
+		entries []poolEntry
+		i       int
+	}
+	cursors := make([]cursor, 0, len(m.shards))
+	for si := range m.shards {
+		s := &m.shards[si]
+		s.mu.Lock()
+		k := len(s.queue)
+		if k > n {
+			k = n // a shard can contribute at most n of the first n
+		}
+		if k > 0 {
+			snap := make([]poolEntry, k)
+			copy(snap, s.queue[:k])
+			cursors = append(cursors, cursor{entries: snap})
+		}
+		s.mu.Unlock()
+	}
+	out := make([]types.Transaction, 0, n)
+	for len(out) < n {
+		best := -1
+		for ci := range cursors {
+			c := &cursors[ci]
+			if c.i >= len(c.entries) {
+				continue
+			}
+			if best < 0 || c.entries[c.i].seq < cursors[best].entries[cursors[best].i].seq {
+				best = ci
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, *cursors[best].entries[cursors[best].i].tx)
+		cursors[best].i++
 	}
 	return out
 }
 
 // MarkCommitted removes the given transactions from the pool and
-// remembers their IDs so re-submissions are suppressed.
-func (m *Mempool) MarkCommitted(txs []types.Transaction) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ids := make(map[gcrypto.Hash]bool, len(txs))
+// remembers their IDs so re-submissions are suppressed; it returns how
+// many of them were actually pending (and are now accounted under the
+// Committed counter).
+func (m *Mempool) MarkCommitted(txs []types.Transaction) int {
+	removed := 0
 	for i := range txs {
 		id := txs[i].ID()
-		ids[id] = true
-		delete(m.pending, id)
-		m.committed[id] = true
-	}
-	if len(ids) > 0 {
-		filtered := m.queue[:0]
-		for _, tx := range m.queue {
-			if !ids[tx.ID()] {
-				filtered = append(filtered, tx)
-			}
+		s := m.shard(id)
+		s.mu.Lock()
+		if s.pending[id] {
+			delete(s.pending, id)
+			s.removeQueued(id)
+			m.size.Add(-1)
+			removed++
 		}
-		m.queue = filtered
+		s.committed[id] = true
+		// Rotate committed generations to bound memory.
+		if len(s.committed) > s.genLimit {
+			s.oldGen = s.committed
+			s.committed = make(map[gcrypto.Hash]bool)
+		}
+		s.mu.Unlock()
 	}
-	// Rotate committed generations to bound memory.
-	if len(m.committed) > m.genLimit {
-		m.oldGen = m.committed
-		m.committed = make(map[gcrypto.Hash]bool)
-	}
+	m.committedCnt.Add(uint64(removed))
+	return removed
 }
 
 // Drop removes a pending transaction without remembering it as
 // committed (stale era-switch proposals are discarded this way).
 func (m *Mempool) Drop(id gcrypto.Hash) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.pending[id] {
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pending[id] {
 		return
 	}
-	delete(m.pending, id)
-	filtered := m.queue[:0]
-	for _, tx := range m.queue {
-		if tx.ID() != id {
-			filtered = append(filtered, tx)
-		}
-	}
-	m.queue = filtered
+	delete(s.pending, id)
+	s.removeQueued(id)
+	m.size.Add(-1)
+	m.dropped.Add(1)
 }
 
 // Len returns the number of pending transactions.
-func (m *Mempool) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.queue)
-}
+func (m *Mempool) Len() int { return int(m.size.Load()) }
 
 // Contains reports whether a transaction is pending.
 func (m *Mempool) Contains(id gcrypto.Hash) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.pending[id]
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending[id]
 }
 
 // WasCommitted reports whether the pool remembers the tx as committed.
 func (m *Mempool) WasCommitted(id gcrypto.Hash) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.committed[id] || m.oldGen[id]
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.committed[id] || s.oldGen[id]
+}
+
+// Stats snapshots the pool's backpressure counters.
+func (m *Mempool) Stats() PoolStats {
+	return PoolStats{
+		Pending:      m.Len(),
+		Shards:       len(m.shards),
+		Admitted:     m.admitted.Load(),
+		RejectedFull: m.rejectedFull.Load(),
+		RejectedDup:  m.rejectedDup.Load(),
+		Dropped:      m.dropped.Load(),
+		Committed:    m.committedCnt.Load(),
+	}
 }

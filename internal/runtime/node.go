@@ -67,12 +67,14 @@ type CounterSnapshot struct {
 	// height of the most recent one.
 	Committed  uint64
 	LastHeight uint64
+	// Pool is the mempool backpressure snapshot.
+	Pool PoolStats
 }
 
 // Counters snapshots the node's event counters; safe to call from any
 // goroutine.
 func (n *Node) Counters() CounterSnapshot {
-	return CounterSnapshot{
+	cs := CounterSnapshot{
 		Delivered:  n.ctr.delivered.Load(),
 		Fired:      n.ctr.fired.Load(),
 		Submitted:  n.ctr.submitted.Load(),
@@ -80,6 +82,10 @@ func (n *Node) Counters() CounterSnapshot {
 		Committed:  n.ctr.committed.Load(),
 		LastHeight: n.ctr.lastHeight.Load(),
 	}
+	if n.App != nil {
+		cs.Pool = n.App.Pool().Stats()
+	}
+	return cs
 }
 
 // Start runs the engine's Init.

@@ -176,6 +176,7 @@ func TestNodeCounters(t *testing.T) {
 	want := CounterSnapshot{
 		Delivered: 2, Fired: 1, Submitted: 1, Rejected: 1,
 		Committed: 1, LastHeight: 1,
+		Pool: PoolStats{Pending: 1, Shards: DefaultMempoolShards, Admitted: 1},
 	}
 	if c != want {
 		t.Fatalf("counters %+v, want %+v", c, want)

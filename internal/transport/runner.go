@@ -3,10 +3,12 @@ package transport
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpbft/internal/consensus"
 	"gpbft/internal/gcrypto"
+	"gpbft/internal/pbft"
 	"gpbft/internal/runtime"
 	"gpbft/internal/types"
 )
@@ -99,10 +101,117 @@ func (r *Runner) Submit(tx *types.Transaction) error {
 	return <-errCh
 }
 
+// preVerifyEnabled gates the runner's pipelined verification stage;
+// the serial ablation baseline in gpbft-bench turns it off so incoming
+// envelopes hit the event loop unverified, as the seed did.
+var preVerifyEnabled atomic.Bool
+
+func init() { preVerifyEnabled.Store(true) }
+
+// SetPreVerify toggles pipelined envelope pre-verification for all
+// runners; returns the previous setting.
+func SetPreVerify(on bool) bool { return preVerifyEnabled.Swap(on) }
+
+// verifyJob is one incoming envelope in flight through the
+// pre-verification stage.
+type verifyJob struct {
+	env  *consensus.Envelope
+	done chan struct{}
+}
+
+// preVerify runs on a worker goroutine: it performs the expensive
+// signature work an envelope will need — the envelope seal itself,
+// plus the transaction signatures a request or proposal carries — so
+// the serial event loop finds every check memoized. Failures are not
+// acted on here: an envelope that fails is still delivered, and the
+// engine's own Open rejects it exactly as it would have without the
+// pipeline (only success is memoized, so semantics are unchanged).
+func preVerify(env *consensus.Envelope) {
+	if env.Verify() != nil {
+		return
+	}
+	switch env.MsgKind {
+	case consensus.KindRequest:
+		var req pbft.Request
+		if consensus.Open(env, consensus.KindRequest, &req) == nil {
+			types.PrewarmTxs([]types.Transaction{req.Tx})
+		}
+	case consensus.KindPrePrepare:
+		// The pipelining payoff: the next block's transaction batch
+		// verifies here, in parallel, while the event loop is still
+		// finishing the previous instance's commit.
+		var pp pbft.PrePrepare
+		if consensus.Open(env, consensus.KindPrePrepare, &pp) == nil {
+			types.PrewarmTxs(pp.Block.Txs)
+		}
+	}
+}
+
+// startPipeline spawns the pre-verification stage: a feeder that tags
+// incoming envelopes with an ordered job, a worker pool that verifies
+// them concurrently, and an orderer that releases envelopes to the
+// returned channel strictly in arrival order. The event loop stays the
+// single writer of engine state; only pure signature checks fan out.
+func (r *Runner) startPipeline(ctx context.Context) <-chan *consensus.Envelope {
+	ordered := make(chan verifyJob, 8192)
+	work := make(chan verifyJob, 8192)
+	out := make(chan *consensus.Envelope, 8192)
+
+	workers := gcrypto.BatchWorkers()
+	for i := 0; i < workers; i++ {
+		go func() {
+			for job := range work {
+				if preVerifyEnabled.Load() {
+					preVerify(job.env)
+				}
+				close(job.done)
+			}
+		}()
+	}
+	// Feeder: preserve arrival order in `ordered` while handing the
+	// same job to the workers.
+	go func() {
+		defer close(ordered)
+		defer close(work)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case env := <-r.tcp.Incoming():
+				job := verifyJob{env: env, done: make(chan struct{})}
+				select {
+				case <-ctx.Done():
+					return
+				case work <- job:
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case ordered <- job:
+				}
+			}
+		}
+	}()
+	// Orderer: release each envelope only when verified, in order.
+	go func() {
+		defer close(out)
+		for job := range ordered {
+			<-job.done
+			select {
+			case <-ctx.Done():
+				return
+			case out <- job.env:
+			}
+		}
+	}()
+	return out
+}
+
 // Run processes events until ctx is cancelled. It starts the engine on
 // entry.
 func (r *Runner) Run(ctx context.Context) {
 	r.node.Start(r.now())
+	incoming := r.startPipeline(ctx)
 	for {
 		select {
 		case <-ctx.Done():
@@ -114,7 +223,11 @@ func (r *Runner) Run(ctx context.Context) {
 			}
 			r.mu.Unlock()
 			return
-		case env := <-r.tcp.Incoming():
+		case env, ok := <-incoming:
+			if !ok {
+				incoming = nil // pipeline drained at shutdown
+				continue
+			}
 			r.node.Deliver(r.now(), env)
 		case ev := <-r.events:
 			switch {

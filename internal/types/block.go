@@ -231,7 +231,7 @@ func (c *Certificate) Verify(blockHash gcrypto.Hash, keys map[gcrypto.Address]gc
 	}
 	digest := VoteDigest(c.BlockHash, c.Era, c.View)
 	seen := make(map[gcrypto.Address]bool, len(c.Votes))
-	valid := 0
+	items := make([]gcrypto.BatchItem, 0, len(c.Votes))
 	for i := range c.Votes {
 		v := &c.Votes[i]
 		if seen[v.Endorser] {
@@ -242,7 +242,13 @@ func (c *Certificate) Verify(blockHash gcrypto.Hash, keys map[gcrypto.Address]gc
 		if !ok {
 			continue // not a committee member this era
 		}
-		if gcrypto.Verify(pub, v.Endorser, digest, v.Signature) == nil {
+		items = append(items, gcrypto.BatchItem{Pub: pub, Addr: v.Endorser, Msg: digest, Sig: v.Signature})
+	}
+	// The per-vote checks fan out over the verification pool; a vote
+	// counts toward quorum iff the serial check would have accepted it.
+	valid := 0
+	for _, err := range gcrypto.VerifyBatch(items) {
+		if err == nil {
 			valid++
 		}
 	}

@@ -135,6 +135,15 @@ func (tx *Transaction) Sign(kp *gcrypto.KeyPair) {
 
 // Verify checks structural validity and the signature.
 func (tx *Transaction) Verify() error {
+	if err := tx.verifyStructure(); err != nil {
+		return err
+	}
+	return tx.verifySignature()
+}
+
+// verifyStructure runs every check Verify performs before the
+// signature, in the same order.
+func (tx *Transaction) verifyStructure() error {
 	if !tx.Type.Valid() {
 		return ErrTxType
 	}
@@ -164,10 +173,21 @@ func (tx *Transaction) Verify() error {
 	if len(tx.SenderPub) != ed25519.PublicKeySize {
 		return ErrTxSignature
 	}
+	return nil
+}
+
+// verifySignature runs the ed25519 check, assuming structure passed.
+func (tx *Transaction) verifySignature() error {
 	if err := gcrypto.Verify(tx.SenderPub, tx.Sender, tx.signingBytes(), tx.Signature); err != nil {
 		return fmt.Errorf("%w: %v", ErrTxSignature, err)
 	}
 	return nil
+}
+
+// wrapTxSigError maps a raw gcrypto verification failure to the exact
+// error Verify would return for it.
+func wrapTxSigError(err error) error {
+	return fmt.Errorf("%w: %v", ErrTxSignature, err)
 }
 
 // Report converts the transaction's geographic information into a geo

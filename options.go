@@ -57,6 +57,12 @@ type Options struct {
 	BatchSize          int
 	ViewChangeTimeout  time.Duration
 	CheckpointInterval uint64
+	// MempoolCap bounds each node's pending transaction pool
+	// (0 = runtime.DefaultMempoolCap).
+	MempoolCap int
+	// MempoolShards sets the mempool lock-stripe count
+	// (0 = runtime.DefaultMempoolShards; clamped to a power of two ≤ 256).
+	MempoolShards int
 	// GeoTimerProposer orders the committee by geographic timer (the
 	// incentive bias). Only meaningful under GPBFT.
 	GeoTimerProposer bool

@@ -106,6 +106,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		app := runtime.NewApp(chain, runtime.NewMempoolShards(opts.MempoolCap, opts.MempoolShards), kp.Address(), opts.Epoch, opts.BatchSize)
+		// Adaptive block sizing: a deep backlog packs fuller blocks (up to
+		// 4x the base batch) instead of queueing more rounds.
+		app.SetMaxBatch(4 * opts.BatchSize)
 		var eng consensus.Engine
 		switch opts.Protocol {
 		case PBFT:
@@ -118,6 +121,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 				StartHeight:        1,
 				CheckpointInterval: opts.CheckpointInterval,
 				ViewChangeTimeout:  opts.ViewChangeTimeout,
+				MaxInFlight:        opts.MaxInFlight,
 			})
 			if err != nil {
 				return nil, err
@@ -137,6 +141,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 				Epoch:              opts.Epoch,
 				CheckpointInterval: opts.CheckpointInterval,
 				ViewChangeTimeout:  opts.ViewChangeTimeout,
+				MaxInFlight:        opts.MaxInFlight,
 				EraPeriod:          opts.EraPeriod,
 				SwitchPeriod:       opts.SwitchPeriod,
 				ProposerPolicy:     pp,

@@ -37,6 +37,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "mempool shard count (0 = default)")
 		poolCap   = flag.Int("pool-cap", 0, "mempool capacity (0 = default)")
 		workers   = flag.Int("workers", 0, "verification pool width (0 = all cores)")
+		inflight  = flag.Int("max-inflight", 0, "consensus pipelining depth (0 = engine default, 1 = one-slot ablation)")
 		serial    = flag.Bool("serial", false, "serial ablation: seed-equivalent verification path")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		name      = flag.String("name", "", "entry name (default: derived from mode/committee/path)")
@@ -47,7 +48,7 @@ func main() {
 	)
 	flag.Parse()
 
-	runs := planRuns(*quick, *mode, *committee, *rate, *duration, *batch, *shards, *poolCap, *workers, *serial, *seed, *name)
+	runs := planRuns(*quick, *mode, *committee, *rate, *duration, *batch, *shards, *poolCap, *workers, *inflight, *serial, *seed, *name)
 
 	var results []loadgen.Result
 	for _, r := range runs {
@@ -75,7 +76,7 @@ type plannedRun struct {
 
 // planRuns expands the flag set into the run list.
 func planRuns(quick bool, mode string, committee, rate int, duration time.Duration,
-	batch, shards, poolCap, workers int, serial bool, seed int64, name string) []plannedRun {
+	batch, shards, poolCap, workers, inflight int, serial bool, seed int64, name string) []plannedRun {
 	base := loadgen.Config{
 		Committee:     committee,
 		Rate:          rate,
@@ -84,6 +85,7 @@ func planRuns(quick bool, mode string, committee, rate int, duration time.Durati
 		MempoolShards: shards,
 		MempoolCap:    poolCap,
 		Workers:       workers,
+		MaxInFlight:   inflight,
 		Serial:        serial,
 		Seed:          seed,
 	}
@@ -110,11 +112,16 @@ func planRuns(quick bool, mode string, committee, rate int, duration time.Durati
 			if serial {
 				n += "-serial"
 			}
+			if inflight == 1 {
+				n += "-inflight1"
+			}
 		}
 		return []plannedRun{{name: n, cfg: cfg}}
 	}
 	// Full suite: deterministic sim trajectory plus the wall-clock
-	// serial-vs-parallel A/B at the paper's committee scale.
+	// serial-vs-parallel A/B at the paper's committee scale, and the
+	// pipelining ablation (parallel verification but one slot in flight)
+	// that isolates the scheduler's contribution from the crypto path's.
 	sim := base
 	sim.Mode = "sim"
 	par := base
@@ -123,10 +130,15 @@ func planRuns(quick bool, mode string, committee, rate int, duration time.Durati
 	ser := base
 	ser.Mode = "tcp"
 	ser.Serial = true
+	one := base
+	one.Mode = "tcp"
+	one.Serial = false
+	one.MaxInFlight = 1
 	return []plannedRun{
 		{name: fmt.Sprintf("sim-c%d", committee), cfg: sim},
 		{name: fmt.Sprintf("tcp-c%d-parallel", committee), cfg: par},
 		{name: fmt.Sprintf("tcp-c%d-serial", committee), cfg: ser},
+		{name: fmt.Sprintf("tcp-c%d-inflight1", committee), cfg: one},
 	}
 }
 

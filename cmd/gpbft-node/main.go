@@ -68,7 +68,8 @@ func run() error {
 		eraPeriod = flag.Duration("era", 30*time.Second, "era switch period T (gpbft)")
 		swPeriod  = flag.Duration("switch", 250*time.Millisecond, "switch pause")
 		report    = flag.Duration("report", 5*time.Second, "own location-report period (gpbft; 0 = off)")
-		batch     = flag.Int("batch", 32, "max transactions per block")
+		batch     = flag.Int("batch", 32, "target transactions per block (blocks grow up to 4x under backlog)")
+		inflight  = flag.Int("max-inflight", 0, "consensus pipelining depth (0 = engine default, 1 = one-slot serial)")
 		poolCap   = flag.Int("mempool-cap", 0, "mempool capacity in transactions (0 = default)")
 		shards    = flag.Int("mempool-shards", 0, "mempool shard count, rounded to a power of two (0 = default)")
 		quiet     = flag.Bool("quiet", false, "suppress per-block logging")
@@ -152,6 +153,9 @@ func run() error {
 	}
 
 	app := runtime.NewApp(chain, runtime.NewMempoolShards(*poolCap, *shards), self.Address(), epoch, *batch)
+	// Adaptive block sizing: when the pool runs deep, pack blocks past
+	// the target so the pipeline drains backlog instead of queueing it.
+	app.SetMaxBatch(4 * *batch)
 
 	var engine consensus.Engine
 	switch *protocol {
@@ -163,6 +167,7 @@ func run() error {
 		cfg := pbft.Config{
 			Committee: com, Key: self, App: app,
 			Timers: consensus.NewTimerAllocator(), StartHeight: chain.Height() + 1,
+			MaxInFlight: *inflight,
 		}
 		if voteWAL != nil {
 			cfg.WAL = voteWAL
@@ -177,6 +182,7 @@ func run() error {
 		cfg := core.Config{
 			Chain: chain, Key: self, App: app,
 			Timers: consensus.NewTimerAllocator(), Epoch: epoch,
+			MaxInFlight: *inflight,
 		}
 		if voteWAL != nil {
 			cfg.WAL = voteWAL

@@ -49,3 +49,26 @@ func TestRandomScheduleWithParallelVerification(t *testing.T) {
 		t.Fatal("seed 1337: checker observed no votes — harness is not watching the trace")
 	}
 }
+
+// TestPipelinedScheduleSurvivesMidWindowFaults runs the scripted
+// pipelining schedule: a deep transaction burst keeps several sequence
+// numbers in flight, then a crash and a partition land mid-window. The
+// harness invariants — no fork, no durable-log gap (which is what a
+// skipped or doubly-executed slot would leave), no committed-height
+// regression, no double-sign — must hold at every checkpoint of the
+// schedule, and the cluster must heal and commit again afterwards.
+func TestPipelinedScheduleSurvivesMidWindowFaults(t *testing.T) {
+	for _, seed := range []int64{5, 91} {
+		c, err := chaos.New(chaos.Options{Nodes: 7, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(50 * time.Millisecond)
+		if err := c.RunPipelinedSchedule(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if c.Checker().VoteCount() == 0 {
+			t.Fatalf("seed %d: checker observed no votes", seed)
+		}
+	}
+}

@@ -236,3 +236,37 @@ func Open(e *Envelope, want MsgKind, dst interface {
 	}
 	return r.Finish()
 }
+
+// requestSealCheck restores the seed's behaviour of verifying the
+// relayer's seal on request envelopes. Off by default — the payload is
+// self-authenticating (see OpenUnverified) — and turned on by the
+// serial ablation baseline so it measures the seed's verification
+// stack, not a mixed one.
+var requestSealCheck atomic.Bool
+
+// SetRequestSealCheck toggles relayer-seal verification on request
+// envelopes; returns the previous setting.
+func SetRequestSealCheck(on bool) bool { return requestSealCheck.Swap(on) }
+
+// RequestSealCheck reports whether request envelopes verify the
+// relayer's seal.
+func RequestSealCheck() bool { return requestSealCheck.Load() }
+
+// OpenUnverified decodes the body without checking the envelope seal.
+// It is only sound for payloads that authenticate themselves — a
+// relayed transaction carries its own signature over its full content,
+// so the relayer's seal adds no integrity and one ed25519 check per
+// relay hop per receiver. Consensus votes MUST keep using Open: their
+// authenticity is exactly the seal.
+func OpenUnverified(e *Envelope, want MsgKind, dst interface {
+	UnmarshalCanonical(*codec.Reader) error
+}) error {
+	if e.MsgKind != want {
+		return ErrEnvelopeKind
+	}
+	r := codec.NewReader(e.Body)
+	if err := dst.UnmarshalCanonical(r); err != nil {
+		return err
+	}
+	return r.Finish()
+}

@@ -44,6 +44,9 @@ type Config struct {
 	// Inner PBFT knobs (passed through).
 	CheckpointInterval uint64
 	ViewChangeTimeout  time.Duration
+	// MaxInFlight bounds how many consensus slots the inner engines
+	// pipeline concurrently (0 = pbft default; 1 = serial ablation).
+	MaxInFlight int
 
 	// EraPeriod / SwitchPeriod override the chain policy when non-zero.
 	EraPeriod    time.Duration
@@ -262,6 +265,7 @@ func (e *Engine) buildInstance(now consensus.Time, acts []consensus.Action) []co
 		StartHeight:        e.chain.Height() + 1,
 		CheckpointInterval: e.cfg.CheckpointInterval,
 		ViewChangeTimeout:  e.cfg.ViewChangeTimeout,
+		MaxInFlight:        e.cfg.MaxInFlight,
 		WAL:                e.cfg.WAL,
 		Durable:            durable,
 	}
@@ -899,6 +903,55 @@ func (a *eraApp) BuildBlock(now consensus.Time, era, view, seq uint64) *types.Bl
 		return types.NewBlock(b.Header, append([]types.Transaction(nil), keep...))
 	}
 	return b
+}
+
+// BuildBlockOn implements pbft.SpeculativeApplication for pipelined
+// slots. Configuration transactions are a pipeline barrier: they only
+// travel through the serial path (seq == head+1, via BuildBlock), where
+// era semantics are judged against the committed head. A speculative
+// build that would carry one returns nil instead, so the window drains
+// and the switch proposal goes out serially; nothing is ever built on
+// top of a config-carrying parent.
+func (a *eraApp) BuildBlockOn(now consensus.Time, era, view, seq uint64, parent *types.Block, exclude map[gcrypto.Hash]bool) *types.Block {
+	app, ok := a.Application.(pbft.SpeculativeApplication)
+	if !ok {
+		return nil
+	}
+	if blockHasConfig(parent) {
+		return nil // an era switch is landing; let it finish first
+	}
+	b := app.BuildBlockOn(now, era, view, seq, parent, exclude)
+	if b == nil || blockHasConfig(b) {
+		return nil
+	}
+	return b
+}
+
+// ValidateBlockOn implements pbft.SpeculativeApplication, mirroring the
+// build-side barrier: no configuration transaction is acceptable on the
+// speculative path, and no block may extend a config-carrying parent.
+func (a *eraApp) ValidateBlockOn(b, parent *types.Block) error {
+	if blockHasConfig(parent) {
+		return errors.New("gpbft: speculative child of a config block")
+	}
+	if blockHasConfig(b) {
+		return errors.New("gpbft: config transaction outside the serial path")
+	}
+	app, ok := a.Application.(pbft.SpeculativeApplication)
+	if !ok {
+		return errors.New("gpbft: application does not support speculative validation")
+	}
+	return app.ValidateBlockOn(b, parent)
+}
+
+// blockHasConfig reports whether any transaction in b is a TxConfig.
+func blockHasConfig(b *types.Block) bool {
+	for i := range b.Txs {
+		if b.Txs[i].Type == types.TxConfig {
+			return true
+		}
+	}
+	return false
 }
 
 // ValidateBlock additionally checks proposed config transactions

@@ -244,6 +244,33 @@ func (c *Chain) validateLocked(b *types.Block) error {
 	if b.Header.Era < head.Header.Era {
 		return ErrEraRegressed
 	}
+	return c.validateStatelessLocked(b)
+}
+
+// ValidateBlockAgainst checks b as the immediate child of parent — the
+// head-independent half of validation plus parent linkage. Pipelined
+// consensus uses it to judge proposals whose parent is itself still in
+// flight: everything except the head comparison is identical to
+// ValidateBlock.
+func (c *Chain) ValidateBlockAgainst(b, parent *types.Block) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if b.Header.Height != parent.Header.Height+1 {
+		return fmt.Errorf("%w: got %d, parent %d", ErrHeightGap, b.Header.Height, parent.Header.Height)
+	}
+	if b.Header.PrevHash != parent.Hash() {
+		return ErrPrevHash
+	}
+	if b.Header.Era < parent.Header.Era {
+		return ErrEraRegressed
+	}
+	return c.validateStatelessLocked(b)
+}
+
+// validateStatelessLocked is the head-independent half of block
+// validation: tx root, optional certificate, transaction signatures and
+// per-transaction policy checks.
+func (c *Chain) validateStatelessLocked(b *types.Block) error {
 	if err := b.VerifyTxRoot(); err != nil {
 		return err
 	}

@@ -37,6 +37,9 @@ type Config struct {
 	// Workers overrides the verification pool width for the run
 	// (0 = GOMAXPROCS). Ignored when Serial is set.
 	Workers int
+	// MaxInFlight is the consensus pipelining depth handed to the
+	// engines (0 = engine default; 1 = the serial one-slot ablation).
+	MaxInFlight int
 	// Serial selects the ablation baseline: serial verification, no
 	// signature/envelope memoization, no pipelined pre-verification —
 	// the seed's behaviour.
@@ -64,6 +67,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.Seed == 0 {
 		out.Seed = 1
+	}
+	// The seed's scheduler was one-slot-at-a-time, so the full serial
+	// ablation pins the pipelining depth to 1 alongside the
+	// verification knobs (an explicit MaxInFlight still wins).
+	if out.Serial && out.MaxInFlight == 0 {
+		out.MaxInFlight = 1
 	}
 	return out
 }
@@ -105,11 +114,13 @@ func engineMode(serial bool, workers int) (restore func()) {
 	prevC := types.SetSigCache(!serial)
 	prevM := consensus.SetVerifyMemo(!serial)
 	prevP := transport.SetPreVerify(!serial)
+	prevS := consensus.SetRequestSealCheck(serial)
 	return func() {
 		gcrypto.SetBatchWorkers(prevW)
 		types.SetSigCache(prevC)
 		consensus.SetVerifyMemo(prevM)
 		transport.SetPreVerify(prevP)
+		consensus.SetRequestSealCheck(prevS)
 	}
 }
 
@@ -118,6 +129,13 @@ func Run(name string, cfg Config) (Result, error) {
 	c := cfg.withDefaults()
 	restore := engineMode(c.Serial, c.Workers)
 	defer restore()
+	// Capture the run's effective parallelism while the engine-mode
+	// window is active: BatchWorkers resolves the 0 = GOMAXPROCS default
+	// to what the verification pool will actually use, and GOMAXPROCS is
+	// what the scheduler grants (not the machine's nominal NumCPU) — so
+	// A/B entries in the bench files are distinguishable.
+	effWorkers := gcrypto.BatchWorkers()
+	effCores := runtime.GOMAXPROCS(0)
 
 	var (
 		res Result
@@ -138,8 +156,8 @@ func Run(name string, cfg Config) (Result, error) {
 	res.Mode = c.Mode
 	res.Committee = c.Committee
 	res.Serial = c.Serial
-	res.Cores = runtime.NumCPU()
-	res.Workers = gcrypto.BatchWorkers()
+	res.Cores = effCores
+	res.Workers = effWorkers
 	res.RateTPS = c.Rate
 	return res, nil
 }

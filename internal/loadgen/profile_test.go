@@ -1,0 +1,29 @@
+package loadgen
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestTCPProfile is a profiling harness, not a correctness test: run
+// with GPBFT_PROFILE=1 and -cpuprofile to see where a TCP load run
+// spends its time.
+func TestTCPProfile(t *testing.T) {
+	if os.Getenv("GPBFT_PROFILE") == "" {
+		t.Skip("set GPBFT_PROFILE=1 to run the profiling harness")
+	}
+	res, err := runTCP(Config{
+		Mode:          "tcp",
+		Committee:     22,
+		Rate:          200,
+		Duration:      3 * time.Second,
+		BatchSize:     32,
+		MempoolCap:    100000,
+		MempoolShards: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tps=%.1f p50=%.1fms p99=%.1fms committed=%d", res.TPS, res.P50Ms, res.P99Ms, res.Committed)
+}

@@ -114,7 +114,7 @@ func (r *Report) Save(path string) error {
 // relative tolerance, returning one message per regression. Only
 // entries present in both reports are compared — a fresh entry with no
 // baseline is new coverage, not a regression. TPS regresses downward;
-// latency (p99) regresses upward.
+// latency (p50 and p99) regresses upward.
 func Compare(baseline, fresh *Report, tolerance float64) []string {
 	var regressions []string
 	for _, f := range fresh.Entries {
@@ -130,6 +130,11 @@ func Compare(baseline, fresh *Report, tolerance float64) []string {
 						f.Name, f.Value, b.Value, tolerance*100))
 			}
 		case MetricLatency:
+			if b.P50Ms > 0 && f.P50Ms > b.P50Ms*(1+tolerance) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: p50 latency %.2fms exceeds baseline %.2fms by more than %.0f%%",
+						f.Name, f.P50Ms, b.P50Ms, tolerance*100))
+			}
 			if b.P99Ms > 0 && f.P99Ms > b.P99Ms*(1+tolerance) {
 				regressions = append(regressions,
 					fmt.Sprintf("%s: p99 latency %.2fms exceeds baseline %.2fms by more than %.0f%%",

@@ -18,6 +18,7 @@ func runSim(c Config) (Result, error) {
 	o.BatchSize = c.BatchSize
 	o.MempoolShards = c.MempoolShards
 	o.MempoolCap = c.MempoolCap
+	o.MaxInFlight = c.MaxInFlight
 	// Freeze the committee: the bench measures the commit hot path, not
 	// era churn (chaos and harness experiments cover that).
 	o.DisableEraSwitch = true

@@ -217,6 +217,14 @@ func (e *Engine) resendRecoveredVotes(acts []consensus.Action) []consensus.Actio
 		if inst.commits[e.self] != nil {
 			continue
 		}
+		// The pipelining gate holds across restarts too: a commit leaves
+		// only after the parent slot is prepared. The walk is ascending,
+		// so a recovered chain re-sends bottom-up; if slot s was never
+		// prepared here, commits for s+1.. stay withheld exactly as they
+		// were before the crash.
+		if !e.parentPrepared(seq) {
+			continue
+		}
 		if !e.recordVote(store.WALCommit, e.sentCommits, inst.view, seq, inst.digest, nil) {
 			continue
 		}

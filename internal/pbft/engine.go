@@ -3,6 +3,7 @@ package pbft
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"gpbft/internal/consensus"
@@ -20,6 +21,11 @@ const (
 	// DefaultViewChangeTimeout is the progress timeout before a backup
 	// starts a view change.
 	DefaultViewChangeTimeout = 2 * time.Second
+	// DefaultMaxInFlight is the pipelining depth: how many sequence
+	// numbers may run their three phases concurrently. 1 is the serial
+	// ablation (one full round trip per block, the pre-pipelining
+	// behaviour).
+	DefaultMaxInFlight = 8
 )
 
 // Application extends the consensus Application with the mempool
@@ -36,6 +42,22 @@ type Application interface {
 	PendingList(max int) []types.Transaction
 }
 
+// SpeculativeApplication is the optional surface pipelined slots need:
+// building and validating a block whose parent is an in-flight,
+// not-yet-committed block rather than the chain head. Applications
+// that do not implement it cap the engine at one in-flight slot
+// regardless of MaxInFlight.
+type SpeculativeApplication interface {
+	// BuildBlockOn assembles the block at seq on top of parent,
+	// skipping transactions whose ID is in exclude (they are already
+	// packed into in-flight ancestors, but still sit in the pool until
+	// they commit). Nil means nothing to propose.
+	BuildBlockOn(now consensus.Time, era, view, seq uint64, parent *types.Block, exclude map[gcrypto.Hash]bool) *types.Block
+	// ValidateBlockOn checks b as the immediate child of parent,
+	// independent of the chain head.
+	ValidateBlockOn(b, parent *types.Block) error
+}
+
 // Config configures one PBFT engine instance (one era in G-PBFT).
 type Config struct {
 	Era       uint64
@@ -50,6 +72,10 @@ type Config struct {
 	CheckpointInterval uint64
 	// ViewChangeTimeout is the progress timeout; zero selects default.
 	ViewChangeTimeout time.Duration
+	// MaxInFlight bounds how many sequence numbers run concurrently
+	// (clamped to the watermark window). Zero selects the default; 1 is
+	// the serial ablation.
+	MaxInFlight int
 	// WAL, when set, receives every vote before it is sent
 	// (persist-before-send); nil disables durability (tests, or
 	// explicitly accepting equivocation risk across restarts).
@@ -70,6 +96,9 @@ func (c *Config) fill() {
 	}
 	if c.ViewChangeTimeout == 0 {
 		c.ViewChangeTimeout = DefaultViewChangeTimeout
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
 	}
 	if c.Timers == nil {
 		c.Timers = consensus.NewTimerAllocator()
@@ -106,6 +135,7 @@ type timerPurpose uint8
 const (
 	timerProgress timerPurpose = iota + 1
 	timerViewChange
+	timerSlot
 )
 
 // Engine is one replica's PBFT state machine. It is not safe for
@@ -136,6 +166,23 @@ type Engine struct {
 	progressTID  consensus.TimerID
 	vcTID        consensus.TimerID
 	vcRetryDelay time.Duration
+
+	// Per-slot progress timers: every accepted proposal gets its own
+	// deadline, so an earlier slot's progress can never mask a leader
+	// stalling a later one. slotTimers maps seq -> timer, timerSlots the
+	// reverse.
+	slotTimers map[uint64]consensus.TimerID
+	timerSlots map[consensus.TimerID]uint64
+
+	// Pipelining: the in-flight depth negotiated from Config, the
+	// optional speculative application surface, and the deterministic
+	// hold-back buffer for messages just above the acceptance window
+	// (votes ahead of the watermarks, pre-prepares whose parent has not
+	// arrived yet). draining guards re-entrant drains.
+	maxInFlight int
+	spec        SpeculativeApplication
+	pendingMsgs map[uint64][]*consensus.Envelope
+	draining    bool
 
 	// Durable vote ledgers: every vote this incarnation (or, after
 	// recovery, any previous incarnation) may have sent, keyed by
@@ -187,12 +234,17 @@ func New(cfg Config) (*Engine, error) {
 		checkpoints:     make(map[uint64]map[gcrypto.Address]gcrypto.Hash),
 		viewChanges:     make(map[uint64]map[gcrypto.Address]*vcRecord),
 		timers:          make(map[consensus.TimerID]timerPurpose),
+		slotTimers:      make(map[uint64]consensus.TimerID),
+		timerSlots:      make(map[consensus.TimerID]uint64),
 		vcRetryDelay:    cfg.ViewChangeTimeout,
+		maxInFlight:     cfg.MaxInFlight,
+		pendingMsgs:     make(map[uint64][]*consensus.Envelope),
 		wal:             cfg.WAL,
 		sentPrePrepares: make(map[voteKey]gcrypto.Hash),
 		sentPrepares:    make(map[voteKey]gcrypto.Hash),
 		sentCommits:     make(map[voteKey]gcrypto.Hash),
 	}
+	e.spec, _ = cfg.App.(SpeculativeApplication)
 	if cfg.EvidenceSink != nil {
 		e.seenVotes = make(map[seenSlot]seenVote)
 		e.accused = make(map[gcrypto.Address]bool)
@@ -270,7 +322,9 @@ func (e *Engine) AdvanceTo(now consensus.Time, seq uint64) []consensus.Action {
 	if e.halted || seq < e.execNext {
 		return nil
 	}
+	var acts []consensus.Action
 	for s := e.execNext; s <= seq; s++ {
+		acts = e.stopSlotTimer(s, acts)
 		delete(e.insts, s)
 	}
 	e.execNext = seq + 1
@@ -279,8 +333,11 @@ func (e *Engine) AdvanceTo(now consensus.Time, seq uint64) []consensus.Action {
 		e.pruneSentVotes(seq)
 		e.pruneSeenVotes(seq)
 	}
-	var acts []consensus.Action
+	// Synced-past slots count as executed parents: a child slot whose
+	// commit was held back waiting for them can release it now.
+	acts = e.maybeSendCommit(now, e.execNext, acts)
 	acts = e.maybePropose(now, acts)
+	acts = e.drainBuffered(now, acts)
 	acts = e.ensureProgressTimer(acts)
 	return acts
 }
@@ -342,6 +399,21 @@ func (e *Engine) OnTimer(now consensus.Time, id consensus.TimerID) []consensus.A
 			return e.startViewChange(now, e.view+1)
 		}
 		return nil
+	case timerSlot:
+		seq, ok := e.timerSlots[id]
+		if !ok {
+			return nil
+		}
+		delete(e.timerSlots, id)
+		delete(e.slotTimers, seq)
+		if e.inViewChange || seq < e.execNext {
+			return nil
+		}
+		if inst := e.insts[seq]; inst != nil && inst.prePrepare != nil && !inst.executed {
+			// One specific slot ran out of patience: depose the primary.
+			return e.startViewChange(now, e.view+1)
+		}
+		return nil
 	case timerViewChange:
 		if id != e.vcTID {
 			return nil
@@ -390,8 +462,20 @@ func (e *Engine) OnEnvelope(now consensus.Time, env *consensus.Envelope) []conse
 // --- normal case ---
 
 func (e *Engine) onRequestEnv(now consensus.Time, env *consensus.Envelope) []consensus.Action {
+	// OpenUnverified: a request envelope is a transport wrapper, not a
+	// vote — authenticity comes from the transaction's own signature
+	// (checked right below, memoized), so the relayer's seal is not
+	// verified. A forged From can at most trigger one extra relay round
+	// (member relays are terminal), the same exposure an unattributed
+	// client submission already has; a tampered body fails the
+	// transaction check. The serial ablation baseline re-enables the
+	// seal check to reproduce the seed's verification stack.
+	open := consensus.OpenUnverified
+	if consensus.RequestSealCheck() {
+		open = consensus.Open
+	}
 	var req Request
-	if err := consensus.Open(env, consensus.KindRequest, &req); err != nil {
+	if err := open(env, consensus.KindRequest, &req); err != nil {
 		return nil
 	}
 	// VerifyCached: a relayed transaction has usually already been
@@ -417,42 +501,98 @@ func (e *Engine) onRequestEnv(now consensus.Time, env *consensus.Envelope) []con
 	return acts
 }
 
-// maybePropose issues a pre-prepare when this replica is the primary,
-// no proposal is in flight for the next height, and the mempool has
-// work.
+// maybePropose issues pre-prepares when this replica is the primary:
+// one for every unproposed slot from execNext up to the pipelining
+// depth (bounded by the high watermark). Slot execNext extends the
+// applied chain head; later slots are built speculatively on their
+// in-flight predecessor, so the window always forms a hash chain.
 func (e *Engine) maybePropose(now consensus.Time, acts []consensus.Action) []consensus.Action {
 	if e.inViewChange || !e.IsPrimary() {
 		return acts
 	}
-	seq := e.execNext
-	if seq > e.highWater() {
-		return acts
+	maxSeq := e.execNext + uint64(e.maxInFlight) - 1
+	if hw := e.highWater(); maxSeq > hw {
+		maxSeq = hw
 	}
-	if inst := e.insts[seq]; inst != nil && inst.view == e.view && inst.prePrepare != nil {
-		return acts // already proposed in this view
+	for seq := e.execNext; seq <= maxSeq; seq++ {
+		if inst := e.insts[seq]; inst != nil && inst.view == e.view && inst.prePrepare != nil {
+			continue // already proposed in this view
+		}
+		block := e.buildAt(now, seq)
+		if block == nil {
+			// Nothing to build here; later slots would lack a parent.
+			break
+		}
+		// Persist-before-send. A restarted primary that already proposed a
+		// DIFFERENT block at this (view, seq) must stay silent rather than
+		// equivocate — liveness then comes from the other replicas' view
+		// change, not from a second conflicting proposal.
+		if !e.recordVote(store.WALPrePrepare, e.sentPrePrepares, e.view, seq, block.Hash(), nil) {
+			break
+		}
+		pp := &PrePrepare{
+			Era:    e.cfg.Era,
+			View:   e.view,
+			Seq:    seq,
+			Digest: block.Hash(),
+			Block:  *block,
+		}
+		env := consensus.Seal(e.cfg.Key, pp)
+		acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: env})
+		acts = e.acceptPrePrepare(now, pp, env, acts)
 	}
-	block := e.cfg.App.BuildBlock(now, e.cfg.Era, e.view, seq)
-	if block == nil {
-		return acts
-	}
-	// Persist-before-send. A restarted primary that already proposed a
-	// DIFFERENT block at this (view, seq) must stay silent rather than
-	// equivocate — liveness then comes from the other replicas' view
-	// change, not from a second conflicting proposal.
-	if !e.recordVote(store.WALPrePrepare, e.sentPrePrepares, e.view, seq, block.Hash(), nil) {
-		return acts
-	}
-	pp := &PrePrepare{
-		Era:    e.cfg.Era,
-		View:   e.view,
-		Seq:    seq,
-		Digest: block.Hash(),
-		Block:  *block,
-	}
-	env := consensus.Seal(e.cfg.Key, pp)
-	acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: env})
-	acts = e.acceptPrePrepare(now, pp, env, acts)
 	return acts
+}
+
+// buildAt assembles the block for one slot: through the ordinary
+// Application when the slot extends the applied chain head, otherwise
+// speculatively on the retained predecessor block.
+func (e *Engine) buildAt(now consensus.Time, seq uint64) *types.Block {
+	if b := e.cfg.App.BuildBlock(now, e.cfg.Era, e.view, seq); b != nil {
+		return b
+	}
+	if e.spec == nil {
+		return nil
+	}
+	parent := e.parentBlock(seq)
+	if parent == nil {
+		return nil
+	}
+	// Exclude everything packed below seq — including executed blocks
+	// whose CommitBlock action has not been applied yet — because those
+	// transactions still sit in the pool.
+	return e.spec.BuildBlockOn(now, e.cfg.Era, e.view, seq, parent, e.exclusionRange(e.lowWater+1, seq))
+}
+
+// parentBlock returns the block occupying slot seq-1 if this replica
+// holds it (in flight, or executed and not yet pruned by a checkpoint).
+func (e *Engine) parentBlock(seq uint64) *types.Block {
+	if seq == 0 {
+		return nil
+	}
+	inst := e.insts[seq-1]
+	if inst == nil || inst.block == nil || inst.block.Header.Seq != seq-1 {
+		return nil
+	}
+	return inst.block
+}
+
+// exclusionRange collects the tx IDs packed into retained blocks in
+// [from, seq): in-flight transactions stay pooled until their block is
+// applied, so speculative builders and validators must skip them
+// explicitly to keep every transaction exactly-once.
+func (e *Engine) exclusionRange(from, seq uint64) map[gcrypto.Hash]bool {
+	excl := make(map[gcrypto.Hash]bool)
+	for s := from; s < seq; s++ {
+		inst := e.insts[s]
+		if inst == nil || inst.block == nil {
+			continue
+		}
+		for i := range inst.block.Txs {
+			excl[inst.block.Txs[i].ID()] = true
+		}
+	}
+	return excl
 }
 
 func (e *Engine) onPrePrepare(now consensus.Time, env *consensus.Envelope) []consensus.Action {
@@ -466,8 +606,14 @@ func (e *Engine) onPrePrepare(now consensus.Time, env *consensus.Envelope) []con
 	if env.From != e.com.Primary(pp.View) {
 		return nil // only the view's primary may pre-prepare
 	}
-	if pp.Seq != e.execNext || pp.Seq > e.highWater() {
-		return nil // single in-flight proposal: must be the next height
+	if pp.Seq < e.execNext {
+		return nil // already executed locally
+	}
+	if pp.Seq >= e.execNext+uint64(e.maxInFlight) || pp.Seq > e.highWater() {
+		// Ahead of the pipelining window: hold it back deterministically
+		// rather than dropping — it becomes acceptable as the window
+		// advances (or is discarded once it can never be).
+		return e.bufferVote(pp.Seq, env)
 	}
 	e.noteVote(env, pp.View, pp.Seq, pp.Digest)
 	if pp.Digest != pp.Block.Hash() {
@@ -490,7 +636,33 @@ func (e *Engine) onPrePrepare(now consensus.Time, env *consensus.Envelope) []con
 		return nil
 	}
 	if err := e.cfg.App.ValidateBlock(&pp.Block); err != nil {
-		return nil
+		// Not a child of the applied chain head. For a pipelined slot the
+		// real parent is the retained predecessor block — in flight, or
+		// executed but not yet applied to the chain — so validate against
+		// it, or hold the proposal until it arrives. Only when the parent
+		// IS the applied head (no retained block) was the head validation
+		// authoritative.
+		if e.spec == nil {
+			return nil
+		}
+		parent := e.parentBlock(pp.Seq)
+		if parent == nil {
+			if pp.Seq == e.execNext {
+				return nil
+			}
+			return e.bufferVote(pp.Seq, env)
+		}
+		if err := e.spec.ValidateBlockOn(&pp.Block, parent); err != nil {
+			return nil
+		}
+		// Exactly-once across the window: refuse a proposal re-packing a
+		// transaction an in-flight ancestor already carries.
+		excl := e.exclusionRange(e.execNext, pp.Seq)
+		for i := range pp.Block.Txs {
+			if excl[pp.Block.Txs[i].ID()] {
+				return nil
+			}
+		}
 	}
 	// Persist-before-send: if a previous incarnation already prepared a
 	// different digest at this (view, seq), refuse the whole proposal —
@@ -508,6 +680,7 @@ func (e *Engine) onPrePrepare(now consensus.Time, env *consensus.Envelope) []con
 	inst := e.insts[pp.Seq]
 	inst.prepares[e.self] = prepEnv
 	acts = e.maybePrepared(now, pp.Seq, acts)
+	acts = e.drainBuffered(now, acts)
 	acts = e.ensureProgressTimer(acts)
 	return acts
 }
@@ -523,6 +696,9 @@ func (e *Engine) acceptPrePrepare(now consensus.Time, pp *PrePrepare, env *conse
 	block := pp.Block
 	inst.block = &block
 	inst.prePrepare = env
+	// Every accepted proposal gets its own deadline so an earlier slot's
+	// progress can never mask a primary stalling a later one.
+	acts = e.armSlotTimer(pp.Seq, acts)
 	// Commits that raced ahead of the pre-prepare can now contribute
 	// their certificate votes.
 	for from, cenv := range inst.commits {
@@ -545,8 +721,11 @@ func (e *Engine) onPrepare(now consensus.Time, env *consensus.Envelope) []consen
 	if p.View != e.view || e.inViewChange {
 		return nil
 	}
-	if p.Seq <= e.lowWater || p.Seq > e.highWater() {
+	if p.Seq <= e.lowWater {
 		return nil
+	}
+	if p.Seq > e.highWater() {
+		return e.bufferVote(p.Seq, env)
 	}
 	// Cross-check before the conflicting/duplicate drops below: those
 	// would silently discard exactly the vote that proves a double-sign.
@@ -571,28 +750,53 @@ func (e *Engine) onPrepare(now consensus.Time, env *consensus.Envelope) []consen
 // in for its prepare).
 func (e *Engine) maybePrepared(now consensus.Time, seq uint64, acts []consensus.Action) []consensus.Action {
 	inst := e.insts[seq]
-	if inst == nil || inst.prepared || inst.prePrepare == nil {
+	if inst == nil || inst.prePrepare == nil {
 		return acts
 	}
-	matching := 0
-	for _, penv := range inst.prepares {
-		var p Prepare
-		if consensus.Open(penv, consensus.KindPrepare, &p) == nil && p.Digest == inst.digest {
-			matching++
+	if !inst.prepared {
+		matching := 0
+		for _, penv := range inst.prepares {
+			var p Prepare
+			if consensus.Open(penv, consensus.KindPrepare, &p) == nil && p.Digest == inst.digest {
+				matching++
+			}
 		}
+		// pre-prepare (primary) + (quorum-1) prepares = quorum distinct
+		// replicas.
+		if matching < e.com.Quorum()-1 {
+			return acts
+		}
+		// Make the prepared certificate durable first (a replica that
+		// forgets a prepared value breaks view-change safety), then log
+		// the commit vote. Either append failing suppresses the commit.
+		if !e.persistPrepared(seq, inst) {
+			return acts
+		}
+		inst.prepared = true
 	}
-	// pre-prepare (primary) + (quorum-1) prepares = quorum distinct
-	// replicas.
-	if matching < e.com.Quorum()-1 {
+	acts = e.maybeSendCommit(now, seq, acts)
+	// This slot preparing may release the deferred commit of its child.
+	return e.maybeSendCommit(now, seq+1, acts)
+}
+
+// maybeSendCommit broadcasts our commit for seq once the slot is
+// prepared AND its parent slot is prepared or executed locally. The
+// parent gate is the pipelining safety invariant: a commit quorum for
+// any block implies 2f+1 replicas hold prepared proofs for its whole
+// ancestor chain, so every view-change quorum can re-exhibit (and
+// re-issue) the ancestors of anything that may have committed.
+func (e *Engine) maybeSendCommit(now consensus.Time, seq uint64, acts []consensus.Action) []consensus.Action {
+	inst := e.insts[seq]
+	if inst == nil || !inst.prepared || inst.executed {
 		return acts
 	}
-	// Make the prepared certificate durable first (a replica that
-	// forgets a prepared value breaks view-change safety), then log the
-	// commit vote. Either append failing suppresses the commit.
-	if !e.persistPrepared(seq, inst) {
-		return acts
+	if inst.commits[e.self] != nil {
+		// Commit already out; just re-check the tally.
+		return e.maybeCommitted(now, seq, acts)
 	}
-	inst.prepared = true
+	if !e.parentPrepared(seq) {
+		return acts // deferred until the parent prepares
+	}
 	if !e.recordVote(store.WALCommit, e.sentCommits, inst.view, seq, inst.digest, nil) {
 		return acts
 	}
@@ -602,7 +806,19 @@ func (e *Engine) maybePrepared(now consensus.Time, seq uint64, acts []consensus.
 	acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: cenv})
 	e.recordCommitVote(inst, e.self, c)
 	inst.commits[e.self] = cenv
-	return e.maybeCommitted(now, seq, acts)
+	acts = e.maybeCommitted(now, seq, acts)
+	// Releasing this commit may unblock the child's deferred one.
+	return e.maybeSendCommit(now, seq+1, acts)
+}
+
+// parentPrepared reports whether seq's predecessor is prepared or
+// executed locally (slots below execNext count as executed).
+func (e *Engine) parentPrepared(seq uint64) bool {
+	if seq <= e.execNext {
+		return true
+	}
+	inst := e.insts[seq-1]
+	return inst != nil && (inst.prepared || inst.executed)
 }
 
 func (e *Engine) onCommit(now consensus.Time, env *consensus.Envelope) []consensus.Action {
@@ -616,8 +832,11 @@ func (e *Engine) onCommit(now consensus.Time, env *consensus.Envelope) []consens
 	if c.View != e.view || e.inViewChange {
 		return nil
 	}
-	if c.Seq <= e.lowWater || c.Seq > e.highWater() {
+	if c.Seq <= e.lowWater {
 		return nil
+	}
+	if c.Seq > e.highWater() {
+		return e.bufferVote(c.Seq, env)
 	}
 	e.noteVote(env, c.View, c.Seq, c.Digest)
 	inst := e.insts[c.Seq]
@@ -648,7 +867,7 @@ func (e *Engine) recordCommitVote(inst *instance, from gcrypto.Address, c *Commi
 	if pub == nil {
 		return
 	}
-	if gcrypto.Verify(pub, from, types.VoteDigest(c.Digest, c.Era, c.View), c.CertSig) != nil {
+	if types.VerifyVoteCached(pub, from, types.VoteDigest(c.Digest, c.Era, c.View), c.CertSig) != nil {
 		return
 	}
 	inst.certSeen[from] = true
@@ -697,7 +916,11 @@ func (e *Engine) executeReady(now consensus.Time, acts []consensus.Action) []con
 		e.ownDigests[seq] = inst.digest
 		acts = append(acts, consensus.CommitBlock{Block: block})
 
-		// Progress was made: re-arm the grace period.
+		// This slot made it: retire its deadline. Only its own execution
+		// does so — other slots' progress never touches it, which is what
+		// keeps a stalled later slot detectable.
+		acts = e.stopSlotTimer(seq, acts)
+		// The pool-level grace period saw progress too.
 		acts = e.resetProgressTimer(acts)
 
 		if seq%e.cfg.CheckpointInterval == 0 {
@@ -707,7 +930,11 @@ func (e *Engine) executeReady(now consensus.Time, acts []consensus.Action) []con
 			e.noteCheckpoint(seq, e.self, inst.digest)
 		}
 	}
+	// An executed parent may release a child's deferred commit, and the
+	// advanced window may make buffered messages deliverable.
+	acts = e.maybeSendCommit(now, e.execNext, acts)
 	acts = e.maybePropose(now, acts)
+	acts = e.drainBuffered(now, acts)
 	acts = e.ensureProgressTimer(acts)
 	return acts
 }
@@ -726,7 +953,9 @@ func (e *Engine) onCheckpoint(now consensus.Time, env *consensus.Envelope) []con
 		return nil
 	}
 	e.noteCheckpoint(ck.Seq, env.From, ck.Digest)
-	return nil
+	// A stabilized checkpoint lifts the watermarks: buffered messages
+	// just above the old window may be deliverable now.
+	return e.drainBuffered(now, nil)
 }
 
 func (e *Engine) noteCheckpoint(seq uint64, from gcrypto.Address, digest gcrypto.Hash) {
@@ -811,4 +1040,140 @@ func (e *Engine) resetProgressTimer(acts []consensus.Action) []consensus.Action 
 		e.progressTID = 0
 	}
 	return e.ensureProgressTimer(acts)
+}
+
+// --- per-slot timers ---
+
+// armSlotTimer gives an accepted proposal its own progress deadline.
+// The delay grows with the slot's distance from the execution cursor so
+// deadlines tend to fire oldest-first: the oldest unexecuted slot
+// drives the view change, never a later one racing ahead of it.
+func (e *Engine) armSlotTimer(seq uint64, acts []consensus.Action) []consensus.Action {
+	if e.inViewChange {
+		return acts
+	}
+	if _, armed := e.slotTimers[seq]; armed {
+		return acts
+	}
+	id := e.cfg.Timers.Next()
+	e.slotTimers[seq] = id
+	e.timerSlots[id] = seq
+	e.timers[id] = timerSlot
+	depth := uint64(1)
+	if seq > e.execNext {
+		depth += seq - e.execNext
+	}
+	return append(acts, consensus.StartTimer{ID: id, Delay: time.Duration(depth) * e.cfg.ViewChangeTimeout})
+}
+
+// stopSlotTimer cancels one slot's deadline (it executed, was synced
+// past, or a view change supersedes it).
+func (e *Engine) stopSlotTimer(seq uint64, acts []consensus.Action) []consensus.Action {
+	id, ok := e.slotTimers[seq]
+	if !ok {
+		return acts
+	}
+	delete(e.slotTimers, seq)
+	delete(e.timerSlots, id)
+	delete(e.timers, id)
+	return append(acts, consensus.StopTimer{ID: id})
+}
+
+// stopAllSlotTimers cancels every slot deadline (view-change entry).
+func (e *Engine) stopAllSlotTimers(acts []consensus.Action) []consensus.Action {
+	for seq := range e.slotTimers {
+		acts = e.stopSlotTimer(seq, acts)
+	}
+	return acts
+}
+
+// --- hold-back buffer ---
+
+// bufferVote holds a message addressed just above the acceptance window
+// so it can be replayed deterministically once the window advances.
+// Messages more than one checkpoint interval past the high watermark
+// are dropped outright — a correct peer can never be that far ahead,
+// and the bound keeps the buffer finite under a flooding adversary.
+func (e *Engine) bufferVote(seq uint64, env *consensus.Envelope) []consensus.Action {
+	if seq > e.highWater()+e.cfg.CheckpointInterval {
+		return nil
+	}
+	if len(e.pendingMsgs[seq]) >= 3*e.com.Size() {
+		return nil
+	}
+	e.pendingMsgs[seq] = append(e.pendingMsgs[seq], env)
+	return nil
+}
+
+// bufferedDeliverable reports whether a held-back message has entered
+// the window it was waiting for.
+func (e *Engine) bufferedDeliverable(env *consensus.Envelope, seq uint64) bool {
+	switch env.MsgKind {
+	case consensus.KindPrePrepare:
+		if seq < e.execNext || seq >= e.execNext+uint64(e.maxInFlight) || seq > e.highWater() {
+			return false
+		}
+		// Redelivering a proposal whose parent is still missing would
+		// only bounce it back into the buffer.
+		return seq == e.execNext || e.parentBlock(seq) != nil
+	default:
+		return seq > e.lowWater && seq <= e.highWater()
+	}
+}
+
+// drainBuffered replays held-back messages that have entered the
+// acceptance window, ordered by sequence number so the outcome is
+// independent of original arrival order. Redelivery goes through the
+// normal handlers (and may legitimately re-buffer); passes are bounded
+// by the window span, and re-entry from a handler is a no-op.
+func (e *Engine) drainBuffered(now consensus.Time, acts []consensus.Action) []consensus.Action {
+	if e.draining || len(e.pendingMsgs) == 0 {
+		return acts
+	}
+	e.draining = true
+	defer func() { e.draining = false }()
+	maxPasses := int(2*e.cfg.CheckpointInterval) + 2
+	for pass := 0; pass < maxPasses; pass++ {
+		seqs := make([]uint64, 0, len(e.pendingMsgs))
+		for s := range e.pendingMsgs {
+			if s < e.execNext {
+				delete(e.pendingMsgs, s) // decided without us; stale
+				continue
+			}
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		progressed := false
+		for _, s := range seqs {
+			envs := e.pendingMsgs[s]
+			var keep, fire []*consensus.Envelope
+			for _, env := range envs {
+				if e.bufferedDeliverable(env, s) {
+					fire = append(fire, env)
+				} else {
+					keep = append(keep, env)
+				}
+			}
+			if len(keep) == 0 {
+				delete(e.pendingMsgs, s)
+			} else {
+				e.pendingMsgs[s] = keep
+			}
+			for _, env := range fire {
+				progressed = true
+				switch env.MsgKind {
+				case consensus.KindPrePrepare:
+					acts = append(acts, e.onPrePrepare(now, env)...)
+				case consensus.KindPrepare:
+					acts = append(acts, e.onPrepare(now, env)...)
+				case consensus.KindCommit:
+					acts = append(acts, e.onCommit(now, env)...)
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return acts
 }

@@ -7,8 +7,11 @@
 //
 // Simplifications relative to the original, chosen to match the
 // chain-of-blocks setting: the sequence number equals the block height,
-// and at most one proposal is in flight at a time (the next block can
-// only extend the committed head). Requests are transactions; replies
+// and up to MaxInFlight proposals run their phases concurrently inside
+// the watermark window — each block built on its in-flight predecessor
+// so the window forms a hash chain, commits gated on the parent slot
+// being prepared, and execution streaming strictly in sequence order.
+// Requests are transactions; replies
 // are implicit — a client observes its transaction in a committed
 // block, which is exactly how the paper measures consensus latency
 // ("from the time when a transaction is sent to an endorser to the

@@ -18,12 +18,14 @@ func (e *Engine) startViewChange(now consensus.Time, target uint64) []consensus.
 	e.vcTarget = target
 
 	var acts []consensus.Action
-	// Progress timer is meaningless during a view change.
+	// Progress and slot timers are meaningless during a view change;
+	// the view-change completion timer takes over the liveness watch.
 	if e.progressTID != 0 {
 		acts = append(acts, consensus.StopTimer{ID: e.progressTID})
 		delete(e.timers, e.progressTID)
 		e.progressTID = 0
 	}
+	acts = e.stopAllSlotTimers(acts)
 	// Arm the view-change completion timer (escalate if it stalls).
 	if e.vcTID != 0 {
 		acts = append(acts, consensus.StopTimer{ID: e.vcTID})
@@ -283,7 +285,17 @@ func (e *Engine) reissuedPrePrepares(target uint64, chosen []*vcRecord) []*conse
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 
+	// Walk the prepared proofs as a chain from the stable checkpoint:
+	// each re-issued block must directly extend the previous one (seq
+	// and PrevHash). Truncate at the first gap or hash mismatch — the
+	// commit-after-parent-prepared rule guarantees anything that might
+	// have committed has its full ancestor chain prepared in every
+	// view-change quorum, so a proof past a gap belongs to a speculative
+	// suffix that cannot have committed and is safe to abandon.
 	var out []*consensus.Envelope
+	prevSeq := uint64(0)
+	var prevDigest gcrypto.Hash
+	first := true
 	for _, s := range seqs {
 		p := best[s]
 		srcEnv, err := consensus.DecodeEnvelope(p.PrePrepareEnv)
@@ -294,11 +306,20 @@ func (e *Engine) reissuedPrePrepares(target uint64, chosen []*vcRecord) []*conse
 		if consensus.Open(srcEnv, consensus.KindPrePrepare, &src) != nil {
 			continue
 		}
+		if !first {
+			if s != prevSeq+1 || src.Block.Header.PrevHash != prevDigest {
+				break
+			}
+		}
+		first = false
+		prevSeq = s
+		prevDigest = p.Digest
 		// A re-issued pre-prepare is still a proposal signed by this
 		// replica at (target, s): it goes through the same durable
-		// no-equivocation gate as a fresh one.
+		// no-equivocation gate as a fresh one. A refusal truncates the
+		// chain here — children of an unissuable parent are unusable.
 		if !e.recordVote(store.WALPrePrepare, e.sentPrePrepares, target, s, p.Digest, nil) {
-			continue
+			break
 		}
 		block := src.Block
 		// The block header keeps its original view (it is the same
@@ -362,6 +383,9 @@ func (e *Engine) enterNewView(now consensus.Time, nv *NewView, acts []consensus.
 		delete(e.timers, e.vcTID)
 		e.vcTID = 0
 	}
+	// Slot deadlines belong to the old view; surviving proposals get
+	// fresh ones as their re-issues are accepted below.
+	acts = e.stopAllSlotTimers(acts)
 	// Drop un-executed instances from older views; prepared values
 	// come back through the re-issued pre-prepares.
 	for s, inst := range e.insts {
@@ -393,6 +417,7 @@ func (e *Engine) enterNewView(now consensus.Time, nv *NewView, acts []consensus.
 		acts = append(acts, e.onPrePrepare(now, ppEnv)...)
 	}
 	acts = e.maybePropose(now, acts)
+	acts = e.drainBuffered(now, acts)
 	acts = e.ensureProgressTimer(acts)
 	return acts
 }

@@ -23,6 +23,10 @@ type App struct {
 	// timestamps.
 	epoch time.Time
 	batch int
+	// maxBatch, when above batch, enables adaptive block sizing: a deep
+	// mempool backlog produces fuller blocks (up to maxBatch) instead of
+	// more consensus rounds.
+	maxBatch int
 }
 
 // NewApp wires an application for one node.
@@ -31,6 +35,26 @@ func NewApp(chain *ledger.Chain, pool *Mempool, self gcrypto.Address, epoch time
 		batchSize = DefaultBatchSize
 	}
 	return &App{chain: chain, pool: pool, self: self, epoch: epoch, batch: batchSize}
+}
+
+// SetMaxBatch sets the adaptive block-size ceiling (values at or below
+// the base batch size disable adaptation).
+func (a *App) SetMaxBatch(max int) { a.maxBatch = max }
+
+// effectiveBatch scales the block size with mempool depth, clamped to
+// [batch, maxBatch].
+func (a *App) effectiveBatch() int {
+	if a.maxBatch <= a.batch {
+		return a.batch
+	}
+	want := a.pool.Len()
+	if want < a.batch {
+		return a.batch
+	}
+	if want > a.maxBatch {
+		return a.maxBatch
+	}
+	return want
 }
 
 // Chain returns the underlying chain.
@@ -50,7 +74,7 @@ func (a *App) BuildBlock(now consensus.Time, era, view, seq uint64) *types.Block
 	if seq != head.Header.Height+1 {
 		return nil // engine and chain disagree; sync first
 	}
-	txs := a.pool.Peek(a.batch)
+	txs := a.pool.Peek(a.effectiveBatch())
 	if len(txs) == 0 {
 		return nil
 	}
@@ -65,9 +89,54 @@ func (a *App) BuildBlock(now consensus.Time, era, view, seq uint64) *types.Block
 	}, txs)
 }
 
+// BuildBlockOn implements pbft.SpeculativeApplication: assemble the
+// block at seq on top of an in-flight (uncommitted) parent. Proposed
+// transactions stay in the pool until their block is applied, so the
+// exclude set filters out everything already packed below seq.
+//
+// A speculative slot must carry a FULL base batch or nothing: every
+// block costs a fixed amount of per-node message processing, so eagerly
+// claiming extra slots for trickle-sized remainders multiplies rounds
+// without moving more transactions. The head slot (BuildBlock) stays
+// eager for latency; pipeline depth beyond it adapts to real backlog.
+func (a *App) BuildBlockOn(now consensus.Time, era, view, seq uint64, parent *types.Block, exclude map[gcrypto.Hash]bool) *types.Block {
+	if parent == nil || seq != parent.Header.Height+1 {
+		return nil
+	}
+	want := a.effectiveBatch()
+	peeked := a.pool.Peek(want + len(exclude))
+	txs := make([]types.Transaction, 0, want)
+	for i := range peeked {
+		if exclude[peeked[i].ID()] {
+			continue
+		}
+		txs = append(txs, peeked[i])
+		if len(txs) == want {
+			break
+		}
+	}
+	if len(txs) < a.batch {
+		return nil
+	}
+	return types.NewBlock(types.BlockHeader{
+		Height:    seq,
+		Era:       era,
+		View:      view,
+		Seq:       seq,
+		PrevHash:  parent.Hash(),
+		Proposer:  a.self,
+		Timestamp: a.WallTime(now),
+	}, txs)
+}
+
 // ValidateBlock implements consensus.Application.
 func (a *App) ValidateBlock(b *types.Block) error {
 	return a.chain.ValidateBlock(b)
+}
+
+// ValidateBlockOn implements pbft.SpeculativeApplication.
+func (a *App) ValidateBlockOn(b, parent *types.Block) error {
+	return a.chain.ValidateBlockAgainst(b, parent)
 }
 
 // SubmitTx implements pbft.Application: verify, dedup, enqueue.

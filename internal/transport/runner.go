@@ -127,15 +127,20 @@ type verifyJob struct {
 // engine's own Open rejects it exactly as it would have without the
 // pipeline (only success is memoized, so semantics are unchanged).
 func preVerify(env *consensus.Envelope) {
+	if env.MsgKind == consensus.KindRequest {
+		// Request envelopes skip the seal check end to end (see
+		// pbft.onRequestEnv): the transaction inside is what
+		// authenticates, so that is what gets warmed.
+		var req pbft.Request
+		if consensus.OpenUnverified(env, consensus.KindRequest, &req) == nil {
+			types.PrewarmTxs([]types.Transaction{req.Tx})
+		}
+		return
+	}
 	if env.Verify() != nil {
 		return
 	}
 	switch env.MsgKind {
-	case consensus.KindRequest:
-		var req pbft.Request
-		if consensus.Open(env, consensus.KindRequest, &req) == nil {
-			types.PrewarmTxs([]types.Transaction{req.Tx})
-		}
 	case consensus.KindPrePrepare:
 		// The pipelining payoff: the next block's transaction batch
 		// verifies here, in parallel, while the event loop is still

@@ -166,6 +166,11 @@ type TCP struct {
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup
+
+	// encEnv/encWire form a one-slot encode memo for broadcast fan-out
+	// (see Send); guarded by mu.
+	encEnv  *consensus.Envelope
+	encWire []byte
 }
 
 // peer is the per-peer connection state machine. Lock order: t.mu may
@@ -173,10 +178,13 @@ type TCP struct {
 type peer struct {
 	t    *TCP
 	addr gcrypto.Address
-	q    chan *consensus.Envelope
+	q    chan []byte // pre-encoded frame payloads (see TCP.Send)
 	// wake interrupts a backoff wait early: an endpoint change or an
 	// adopted inbound connection makes an immediate retry worthwhile.
 	wake chan struct{}
+	// wbuf is the writer's coalescing scratch buffer; only the
+	// writeLoop goroutine touches it.
+	wbuf []byte
 
 	mu          sync.Mutex
 	conn        net.Conn
@@ -224,6 +232,14 @@ func (t *TCP) Dropped() int64 { return t.ctr.dropped.Load() }
 
 // Send queues env for delivery to a known peer; unknown peers are an
 // error, full queues drop (consensus protocols tolerate loss).
+//
+// The envelope is encoded here, on the caller's goroutine, and the
+// wire bytes are what travels through the peer queue. A one-slot memo
+// keyed by envelope pointer makes a broadcast — the node executor
+// calls Send once per recipient with the same envelope — encode once
+// instead of once per peer. Callers must not mutate an envelope after
+// handing it to Send (engines never do: envelopes are immutable once
+// sealed).
 func (t *TCP) Send(to gcrypto.Address, env *consensus.Envelope) error {
 	t.mu.Lock()
 	if t.closed {
@@ -238,9 +254,18 @@ func (t *TCP) Send(to gcrypto.Address, env *consensus.Envelope) error {
 		}
 		p = t.startPeerLocked(to)
 	}
+	payload := t.encWire
+	if t.encEnv != env {
+		payload = consensus.EncodeEnvelope(env)
+		t.encEnv, t.encWire = env, payload
+	}
 	t.mu.Unlock()
+	if len(payload) > MaxFrame {
+		t.ctr.dropped.Add(1)
+		return ErrFrameTooLarge
+	}
 	select {
-	case p.q <- env:
+	case p.q <- payload:
 	default:
 		t.ctr.dropped.Add(1)
 	}
@@ -271,7 +296,7 @@ func (t *TCP) startPeerLocked(addr gcrypto.Address) *peer {
 	p := &peer{
 		t:    t,
 		addr: addr,
-		q:    make(chan *consensus.Envelope, t.cfg.SendQueue),
+		q:    make(chan []byte, t.cfg.SendQueue),
 		wake: make(chan struct{}, 1),
 	}
 	t.peers[addr] = p
@@ -429,41 +454,70 @@ func (t *TCP) readFrames(conn net.Conn) {
 
 // --- per-peer writer ---
 
+// maxWriteCoalesce caps how many queued frames one connection write
+// may carry. Big enough to absorb a consensus round's burst of votes,
+// small enough that one write stays well inside the write deadline.
+const maxWriteCoalesce = 64
+
 func (p *peer) writeLoop() {
 	defer p.t.wg.Done()
+	frames := make([][]byte, 0, maxWriteCoalesce)
 	for {
 		select {
 		case <-p.t.done:
 			return
-		case env := <-p.q:
-			if !p.deliver(env) {
+		case payload := <-p.q:
+			// Coalesce whatever else is already queued into the same
+			// connection write: under load the queue holds a burst of
+			// small vote frames, and one syscall for the lot beats one
+			// per frame (the connection runs TCP_NODELAY, so the kernel
+			// will not batch for us).
+			frames = append(frames[:0], payload)
+		coalesce:
+			for len(frames) < maxWriteCoalesce {
+				select {
+				case more := <-p.q:
+					frames = append(frames, more)
+				default:
+					break coalesce
+				}
+			}
+			if !p.deliver(frames) {
 				return
 			}
 		}
 	}
 }
 
-// deliver writes one envelope, establishing a connection first if
-// needed. A failed write burns the connection and retries once on a
-// fresh one; a second failure drops the envelope (consensus protocols
-// tolerate loss — blocking the whole queue on one frame does not).
-// It returns false when the transport is shutting down.
-func (p *peer) deliver(env *consensus.Envelope) bool {
-	payload := consensus.EncodeEnvelope(env)
+// deliver writes a batch of pre-encoded frames as one connection
+// write, establishing a connection first if needed. A failed write
+// burns the connection and retries once on a fresh one; a second
+// failure drops the batch (consensus protocols tolerate loss —
+// blocking the whole queue does not). It returns false when the
+// transport is shutting down.
+func (p *peer) deliver(frames [][]byte) bool {
+	buf := p.wbuf[:0]
+	var hdr [4]byte
+	for _, f := range frames {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, f...)
+	}
+	p.wbuf = buf
 	for attempt := 0; attempt < 2; attempt++ {
 		conn, ok := p.ensureConn()
 		if !ok {
 			return false
 		}
 		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
-		if err := writeRawFrame(conn, payload); err == nil {
-			p.t.ctr.framesOut.Add(1)
-			p.t.ctr.bytesOut.Add(int64(4 + len(payload)))
+		if _, err := conn.Write(buf); err == nil {
+			p.t.ctr.framesOut.Add(int64(len(frames)))
+			p.t.ctr.bytesOut.Add(int64(len(buf)))
 			return true
 		}
 		p.dropConn(conn)
 	}
-	p.t.ctr.dropped.Add(1)
+	p.t.ctr.dropped.Add(int64(len(frames)))
 	return true
 }
 

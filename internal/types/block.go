@@ -232,6 +232,9 @@ func (c *Certificate) Verify(blockHash gcrypto.Hash, keys map[gcrypto.Address]gc
 	digest := VoteDigest(c.BlockHash, c.Era, c.View)
 	seen := make(map[gcrypto.Address]bool, len(c.Votes))
 	items := make([]gcrypto.BatchItem, 0, len(c.Votes))
+	keys2 := make([]gcrypto.Hash, 0, len(c.Votes))
+	valid := 0
+	useCache := sigCacheUsable()
 	for i := range c.Votes {
 		v := &c.Votes[i]
 		if seen[v.Endorser] {
@@ -242,14 +245,27 @@ func (c *Certificate) Verify(blockHash gcrypto.Hash, keys map[gcrypto.Address]gc
 		if !ok {
 			continue // not a committee member this era
 		}
+		// Votes the consensus tally already accepted (see
+		// VerifyVoteCached) are served from the cache; only the rest hit
+		// the verification pool.
+		if useCache {
+			key := voteCacheKey(v.Endorser, digest, v.Signature)
+			if sigCacheLookup(key) {
+				valid++
+				continue
+			}
+			keys2 = append(keys2, key)
+		}
 		items = append(items, gcrypto.BatchItem{Pub: pub, Addr: v.Endorser, Msg: digest, Sig: v.Signature})
 	}
 	// The per-vote checks fan out over the verification pool; a vote
 	// counts toward quorum iff the serial check would have accepted it.
-	valid := 0
-	for _, err := range gcrypto.VerifyBatch(items) {
+	for k, err := range gcrypto.VerifyBatch(items) {
 		if err == nil {
 			valid++
+			if useCache {
+				sigCacheStore(keys2[k])
+			}
 		}
 	}
 	if valid < quorum {

@@ -123,6 +123,36 @@ func (tx *Transaction) VerifyCached() error {
 	return nil
 }
 
+// voteCacheKey binds a cached vote verdict to the exact endorser,
+// signed digest, and signature bytes. The address stands in for the
+// public key: gcrypto.Verify enforces the pub↔address binding, so
+// (address, digest, signature) fully determines the verdict.
+func voteCacheKey(endorser gcrypto.Address, digest, sig []byte) gcrypto.Hash {
+	return gcrypto.HashConcat([]byte("vote"), endorser[:], digest, sig)
+}
+
+// VerifyVoteCached checks one certificate vote signature with
+// memoization. Every commit-certificate signature is verified twice on
+// the hot path — once as the vote arrives (consensus tallying) and
+// again when the assembled certificate is validated at block commit —
+// and the second check is always a replay of the first. Accept/reject
+// behaviour is identical to gcrypto.Verify; only successes under real
+// crypto are cached.
+func VerifyVoteCached(pub gcrypto.PublicKey, endorser gcrypto.Address, digest, sig []byte) error {
+	if !sigCacheUsable() {
+		return gcrypto.Verify(pub, endorser, digest, sig)
+	}
+	key := voteCacheKey(endorser, digest, sig)
+	if sigCacheLookup(key) {
+		return nil
+	}
+	if err := gcrypto.Verify(pub, endorser, digest, sig); err != nil {
+		return err
+	}
+	sigCacheStore(key)
+	return nil
+}
+
 // VerifyTxs verifies a batch of transactions, returning one result
 // slot per index — errs[i] is exactly what txs[i].Verify() would
 // return. Structural checks run serially (cheap); signature checks not

@@ -7,6 +7,7 @@ import (
 
 	"gpbft/internal/geo"
 	"gpbft/internal/ledger"
+	"gpbft/internal/pbft"
 )
 
 // Options configures a simulated cluster.
@@ -57,6 +58,11 @@ type Options struct {
 	BatchSize          int
 	ViewChangeTimeout  time.Duration
 	CheckpointInterval uint64
+	// MaxInFlight is the consensus pipelining depth: how many sequence
+	// numbers run their PBFT phases concurrently (commits still execute
+	// strictly in order). 0 selects the engine default; 1 is the serial
+	// one-slot-at-a-time ablation.
+	MaxInFlight int
 	// MempoolCap bounds each node's pending transaction pool
 	// (0 = runtime.DefaultMempoolCap).
 	MempoolCap int
@@ -160,6 +166,9 @@ func (o *Options) validate() error {
 	}
 	if o.CheckpointInterval == 0 {
 		o.CheckpointInterval = 16
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = pbft.DefaultMaxInFlight
 	}
 	if o.Epoch.IsZero() {
 		o.Epoch = time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC)

@@ -15,6 +15,7 @@ import (
 	"gpbft/internal/pbft"
 	"gpbft/internal/runtime"
 	"gpbft/internal/simnet"
+	"gpbft/internal/store"
 	"gpbft/internal/types"
 )
 
@@ -31,8 +32,9 @@ type Cluster struct {
 	nodes     []*runtime.Node
 	keys      []*gcrypto.KeyPair
 	positions []geo.Point
-	coreEng   []*core.Engine // GPBFT mode (index-aligned, else nil)
-	pbftEng   []*pbft.Engine // PBFT mode (index-aligned, else nil)
+	coreEng   []*core.Engine       // GPBFT mode (index-aligned, else nil)
+	pbftEng   []*pbft.Engine       // PBFT mode (index-aligned, else nil)
+	snaps     []*store.MemSnapshots // per-node snapshot stores (nil unless Options.Snapshots)
 
 	metrics *Metrics
 	nonces  []uint64
@@ -89,6 +91,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c.nodes = make([]*runtime.Node, opts.Nodes)
 	c.coreEng = make([]*core.Engine, opts.Nodes)
 	c.pbftEng = make([]*pbft.Engine, opts.Nodes)
+	c.snaps = make([]*store.MemSnapshots, opts.Nodes)
 
 	var pbftCommittee *consensus.Committee
 	if opts.Protocol == PBFT {
@@ -133,7 +136,19 @@ func NewCluster(opts Options) (*Cluster, error) {
 			if !opts.GeoTimerProposer {
 				pp = core.ProposerAddress
 			}
-			ce, err := core.New(core.Config{
+			var snaps *store.MemSnapshots
+			if opts.Snapshots {
+				snaps = store.NewMemSnapshots(opts.RetainSnapshots)
+				c.snaps[i] = snaps
+				self, sink := kp, snaps
+				chain.SetEraBumpHook(func(st *ledger.ChainState) {
+					if st.Height() == 0 {
+						return
+					}
+					_ = sink.Add(store.NewSnapshot(st, self))
+				})
+			}
+			cfg := core.Config{
 				Chain:              chain,
 				Key:                kp,
 				App:                app,
@@ -147,7 +162,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 				ProposerPolicy:     pp,
 				DisableEraSwitch:   opts.DisableEraSwitch,
 				ForceEraSwitch:     opts.ForceEraSwitch,
-			})
+			}
+			if snaps != nil {
+				cfg.Snapshots = snaps
+				cfg.FastSyncThreshold = opts.FastSyncThreshold
+			}
+			ce, err := core.New(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -234,6 +254,24 @@ func (c *Cluster) PBFTEngine(i int) *pbft.Engine { return c.pbftEng[i] }
 // delivered, timers fired, blocks committed) — the same snapshot a TCP
 // deployment exports through gpbft-node's -metrics-addr endpoint.
 func (c *Cluster) NodeCounters(i int) runtime.CounterSnapshot { return c.nodes[i].Counters() }
+
+// SyncStats returns node i's snapshot/fast-sync counters (zero value
+// under PBFT, which has no snapshot path).
+func (c *Cluster) SyncStats(i int) runtime.SyncStats {
+	if c.coreEng[i] == nil {
+		return runtime.SyncStats{}
+	}
+	return c.coreEng[i].SyncStats()
+}
+
+// SnapshotCount returns how many era snapshots node i currently
+// retains (0 when Options.Snapshots is off).
+func (c *Cluster) SnapshotCount(i int) int {
+	if c.snaps[i] == nil {
+		return 0
+	}
+	return c.snaps[i].Len()
+}
 
 // Address returns node i's chain address.
 func (c *Cluster) Address(i int) gcrypto.Address { return c.keys[i].Address() }

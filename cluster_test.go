@@ -267,3 +267,44 @@ func TestQuickstartShape(t *testing.T) {
 	}
 	_ = tx
 }
+
+func TestGPBFTSnapshotsAtEraBoundaries(t *testing.T) {
+	o := fastOpts(gpbft.GPBFT, 4)
+	o.EraPeriod = 2 * time.Second
+	o.SwitchPeriod = 250 * time.Millisecond
+	o.QualificationWindow = 1 * time.Second
+	o.ForceEraSwitch = true // switch every era even with no delta
+	o.Snapshots = true
+	o.RetainSnapshots = 2
+	c, err := gpbft.NewCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.ScheduleReports(i, 50*time.Millisecond, 300*time.Millisecond, 60)
+	}
+	for i := 0; i < 30; i++ {
+		c.SubmitNodeTx(time.Duration(100+200*i)*time.Millisecond, i%4, []byte(fmt.Sprintf("r%d", i)), 1)
+	}
+	c.RunUntilIdle(30 * time.Second)
+	if _, err := c.VerifyAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CoreEngine(0).Era() == 0 {
+		t.Fatal("era never advanced; snapshots untestable")
+	}
+	for i := 0; i < 4; i++ {
+		n := c.SnapshotCount(i)
+		if n == 0 {
+			t.Fatalf("node %d produced no era snapshots", i)
+		}
+		if n > 2 {
+			t.Fatalf("node %d retains %d snapshots, over the depth of 2", i, n)
+		}
+	}
+	// No node fell behind far enough to need catch-up in this healthy
+	// run; the stats surface must still be readable.
+	if st := c.SyncStats(0); st.SnapshotsRejected != 0 {
+		t.Fatalf("healthy run rejected snapshots: %+v", st)
+	}
+}

@@ -6,6 +6,12 @@
 //
 //	gpbft-inspect -data node0.blk
 //	gpbft-inspect -data node0.blk -txs -rewards
+//
+// The snapshot subcommand decodes one signed era snapshot (a .gsnap
+// file from <data>.snap), verifies its framing and producer signature,
+// and pretty-prints the state it carries:
+//
+//	gpbft-inspect snapshot node0.blk.snap/snap-0000000000000042.gsnap
 package main
 
 import (
@@ -23,6 +29,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		if len(os.Args) != 3 {
+			fatalf("usage: gpbft-inspect snapshot <file.gsnap>")
+		}
+		inspectSnapshot(os.Args[2])
+		return
+	}
 	var (
 		dataPath  = flag.String("data", "", "block-log file (required)")
 		committee = flag.Int("committee", 4, "genesis committee size (must match the node's)")
@@ -136,6 +149,47 @@ func main() {
 		fmt.Printf("  total distributed: %d\n", r.TotalDistributed())
 	}
 	fmt.Println("\nintegrity: OK (all blocks re-validated)")
+}
+
+// inspectSnapshot decodes, verifies and pretty-prints one signed era
+// snapshot file. Framing (CRC, exactly one frame) and canonical-codec
+// shape are checked by the decoder; the producer signature is verified
+// explicitly so a tampered file is reported, not printed as truth.
+func inspectSnapshot(path string) {
+	snap, err := store.ReadSnapshotFile(path)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	sigStatus := "OK"
+	if err := snap.Verify(); err != nil {
+		sigStatus = fmt.Sprintf("FAILED (%v)", err)
+	}
+	st := snap.State
+	fmt.Printf("snapshot:  %s\n", path)
+	fmt.Printf("checkpoint height=%d era=%d\n", snap.Height(), snap.Era())
+	fmt.Printf("root:      %s\n", snap.Root())
+	fmt.Printf("genesis:   %s\n", st.GenesisHash.Short())
+	fmt.Printf("producer:  %s  signature %s\n", snap.Producer.Short(), sigStatus)
+	b := &st.Base
+	fmt.Printf("base block: view %d seq %d txs %d proposer %s hash %s\n",
+		b.Header.View, b.Header.Seq, len(b.Txs), b.Header.Proposer.Short(), b.Hash().Short())
+	fmt.Printf("\ncommittee (%d endorsers):\n", len(st.Endorsers))
+	for i := range st.Endorsers {
+		e := &st.Endorsers[i]
+		fmt.Printf("  %s  cell %s\n", e.Address.Short(), e.Geohash)
+	}
+	if len(st.Banned) > 0 {
+		fmt.Printf("\ndynamic blacklist (%d entries):\n", len(st.Banned))
+		for _, e := range st.Banned {
+			fmt.Printf("  %s  convicted by evidence %s\n", e.Address.Short(), e.Evidence.Short())
+		}
+	}
+	fmt.Printf("\nstate: accounts=%d devices=%d witness-stmts=%d balances=%d indexed-txs=%d evidence=%d\n",
+		len(st.Accounts), len(st.Devices), len(st.Witnesses),
+		len(st.Balances), len(st.TxIndex), len(st.Evidence))
+	if sigStatus != "OK" {
+		fatalf("signature verification failed")
+	}
 }
 
 func fatalf(format string, args ...any) {

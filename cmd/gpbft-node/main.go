@@ -19,6 +19,14 @@
 // log and every consensus vote is persisted to <data>.wal before it is
 // sent, so a killed-and-restarted node recovers its chain, rejoins its
 // era, and never contradicts a vote it already sent.
+//
+// With -retain-eras N (the default), every era boundary additionally
+// writes a signed snapshot of the full chain state to <data>.snap and
+// compacts the block log below the oldest of the N retained snapshots,
+// so disk stays proportional to recent history. A restart boots from
+// the newest verifiable snapshot plus the log tail, and a node that
+// fell far behind installs a quorum-verified peer snapshot instead of
+// replaying the whole chain (see -fast-sync-threshold).
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -76,6 +85,8 @@ func run() error {
 		dataPath  = flag.String("data", "", "block-log file for durable persistence; the vote WAL lives at <data>.wal (empty = in-memory only)")
 		fsync     = flag.Bool("fsync", false, "fsync the block log and vote WAL after every write")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this host:port (empty = off)")
+		retain    = flag.Int("retain-eras", 2, "signed era snapshots retained in <data>.snap; each era boundary writes one and compacts the block log below the oldest kept (gpbft with -data; 0 = off)")
+		fsThresh  = flag.Uint64("fast-sync-threshold", 0, "block gap at which catch-up installs a peer snapshot instead of replaying (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -125,6 +136,7 @@ func run() error {
 	var blockLog *store.BlockLog
 	var voteWAL *store.WAL
 	var recovered []store.WALRecord
+	var snapStore *store.SnapshotStore
 	if *dataPath != "" {
 		lg, blocks, err := store.Open(*dataPath, store.Options{Sync: *fsync})
 		if err != nil {
@@ -132,13 +144,38 @@ func run() error {
 		}
 		blockLog = lg
 		defer blockLog.Close()
-		for i, b := range blocks {
-			if err := chain.AddBlock(b); err != nil {
-				return fmt.Errorf("replay block %d: %v", i, err)
+		// Restart at scale: boot from the newest verifiable era snapshot
+		// and replay only the block-log tail above its checkpoint. A
+		// corrupt or unverifiable snapshot is skipped (Latest already
+		// filters), and a failed restore degrades to full replay.
+		if *retain > 0 && *protocol == "gpbft" {
+			ss, err := store.OpenSnapshotStore(*dataPath+".snap", *retain)
+			if err != nil {
+				return fmt.Errorf("snapshot store: %v", err)
+			}
+			snapStore = ss
+			if snap, err := ss.Latest(); err == nil && snap != nil {
+				restored, err := ledger.RestoreChain(g, snap.State)
+				if err != nil {
+					log.Printf("WARNING: snapshot restore at height %d: %v (replaying instead)", snap.Height(), err)
+				} else {
+					chain = restored
+					log.Printf("restored snapshot height=%d era=%d from %s", snap.Height(), snap.Era(), ss.Dir())
+				}
 			}
 		}
-		if len(blocks) > 0 {
-			log.Printf("recovered %d blocks from %s (height %d)", len(blocks), *dataPath, chain.Height())
+		replayed := 0
+		for _, b := range blocks {
+			if b.Header.Height != chain.Height()+1 {
+				continue // at or below the snapshot checkpoint
+			}
+			if err := chain.AddBlock(b); err != nil {
+				return fmt.Errorf("replay block %d: %v", b.Header.Height, err)
+			}
+			replayed++
+		}
+		if replayed > 0 {
+			log.Printf("recovered %d blocks from %s (height %d)", replayed, *dataPath, chain.Height())
 		}
 		w, recs, err := store.OpenWAL(*dataPath+".wal", store.WALOptions{NoSync: !*fsync})
 		if err != nil {
@@ -188,6 +225,10 @@ func run() error {
 			cfg.WAL = voteWAL
 			cfg.Recovered = recovered
 		}
+		if snapStore != nil {
+			cfg.Snapshots = snapStore
+			cfg.FastSyncThreshold = *fsThresh
+		}
 		eng, err := core.New(cfg)
 		if err != nil {
 			return fmt.Errorf("gpbft: %v", err)
@@ -227,9 +268,51 @@ func run() error {
 				b.Header.Height, b.Header.Era, len(b.Txs), b.TotalFees(), b.Hash().Short())
 		}
 	}
-	if !*quiet {
-		node.OnEraSwitch = func(now consensus.Time, era uint64, com []gcrypto.Address) {
+	var snapsWritten, compactedBytes atomic.Uint64
+	if snapStore != nil {
+		// Every era bump exports the canonical chain state at the config
+		// block itself — the same (height, root) on every honest node —
+		// signs it, and publishes it to the store (pruned to -retain-eras).
+		chain.SetEraBumpHook(func(st *ledger.ChainState) {
+			if st.Height() == 0 {
+				return
+			}
+			if err := snapStore.Add(store.NewSnapshot(st, self)); err != nil {
+				log.Printf("WARNING: snapshot write at height %d: %v", st.Height(), err)
+				return
+			}
+			snapsWritten.Add(1)
+		})
+		// A fast-sync install replaces the chain wholesale; everything in
+		// the block log below the new base can never connect again.
+		node.OnSnapshotInstall = func(_ consensus.Time, era, height uint64) {
+			log.Printf("installed peer snapshot era=%d height=%d", era, height)
+			if blockLog != nil {
+				if n, err := blockLog.CompactBelow(height + 1); err != nil {
+					log.Printf("WARNING: block log compaction: %v", err)
+				} else {
+					compactedBytes.Add(uint64(n))
+				}
+			}
+		}
+	}
+	node.OnEraSwitch = func(now consensus.Time, era uint64, com []gcrypto.Address) {
+		if !*quiet {
 			log.Printf("era switch -> era=%d committee=%d", era, len(com))
+		}
+		// Compaction rides the era switch, outside the chain lock: drop
+		// block-log frames and in-memory blocks below the oldest retained
+		// snapshot. The snapshot itself is the durable history below it.
+		if snapStore != nil && blockLog != nil {
+			if floor := snapStore.OldestHeight(); floor > chain.BaseHeight() {
+				if n, err := blockLog.CompactBelow(floor + 1); err != nil {
+					log.Printf("WARNING: block log compaction: %v", err)
+				} else if n > 0 {
+					compactedBytes.Add(uint64(n))
+					log.Printf("compacted block log below height %d (%d bytes reclaimed)", floor+1, n)
+				}
+				chain.CompactBelow(floor)
+			}
 		}
 	}
 	runner := transport.NewRunner(node, tcp)
@@ -260,6 +343,11 @@ func run() error {
 			fmt.Fprintf(w, "# TYPE gpbft_mempool_rejected_dup_total counter\ngpbft_mempool_rejected_dup_total %d\n", c.Pool.RejectedDup)
 			fmt.Fprintf(w, "# TYPE gpbft_mempool_dropped_total counter\ngpbft_mempool_dropped_total %d\n", c.Pool.Dropped)
 			fmt.Fprintf(w, "# TYPE gpbft_mempool_committed_total counter\ngpbft_mempool_committed_total %d\n", c.Pool.Committed)
+			runtime.SyncMetrics{
+				Stats:            c.Sync,
+				SnapshotsWritten: snapsWritten.Load(),
+				CompactedBytes:   compactedBytes.Load(),
+			}.WritePrometheus(w, "gpbft")
 		})
 		msrv := &http.Server{Addr: *metrics, Handler: mux}
 		go func() {

@@ -44,16 +44,47 @@ type Options struct {
 	// evidence still accumulates, but offenders are never removed from
 	// (or refused entry to) the committee.
 	DisableExpulsion bool
+	// Snapshots gives every node a durable snapshot store: era
+	// boundaries write signed state snapshots, restarts boot from the
+	// newest valid one, and deep catch-up goes snapshot-then-tail.
+	Snapshots bool
+	// RetainSnaps is the per-node snapshot retention depth (default 2).
+	RetainSnaps int
+	// FastSyncThreshold overrides the engine's snapshot-vs-tail gap
+	// threshold (0 = engine default). Keep it small in chaos runs so
+	// modest growth exercises the snapshot path.
+	FastSyncThreshold uint64
+	// Compact truncates each node's durable block log (and in-memory
+	// chain) below its oldest retained snapshot at every era boundary,
+	// making deep rejoin IMPOSSIBLE via block replay — peers redirect
+	// block pulls from compacted ranges to the snapshot path.
+	Compact bool
+	// SnapshotLiars lists node indices that serve bit-flipped snapshot
+	// bytes (byzantine.SnapshotLiar) while behaving honestly otherwise.
+	// The property under test: receivers reject every lie and fall back
+	// to block replay with no forked or partial state.
+	SnapshotLiars []int
+	// EraPeriod overrides the chain policy's era switch interval
+	// (0 = policy default, 10s). Snapshot schedules shrink it so
+	// growing ten eras stays a short virtual-time run.
+	EraPeriod time.Duration
 }
 
 // slot is one node's durable storage: what survives a crash. The WAL
-// holds consensus votes; blocks is the persisted block log. Everything
-// else — mempool, vote tables, timers, sockets — dies with the
-// process and is rebuilt from these two on restart.
+// holds consensus votes, blocks is the persisted block log, snaps the
+// retained era snapshots, and base the height below which the block
+// log has been compacted (blocks[0], when present, is height base+1).
+// Everything else — mempool, vote tables, timers, sockets — dies with
+// the process and is rebuilt from these on restart.
 type slot struct {
 	wal    *store.MemWAL
 	blocks []*types.Block
+	snaps  *store.MemSnapshots
+	base   uint64
 }
+
+// top returns the height of the last durable block.
+func (s *slot) top() uint64 { return s.base + uint64(len(s.blocks)) }
 
 // Cluster is a simulated committee under fault injection. All nodes
 // are genesis endorsers; each has a durable slot it reboots from.
@@ -67,14 +98,15 @@ type Cluster struct {
 	keys      []*gcrypto.KeyPair
 	positions []geo.Point
 
-	slots   []*slot
-	nodes   []*runtime.Node
-	engines []*core.Engine
-	crashed []bool
-	high    []uint64 // committed-height high-water per node
-	nonces  []uint64
-	parts   map[[2]int]bool
-	checker *Checker
+	slots    []*slot
+	nodes    []*runtime.Node
+	engines  []*core.Engine
+	crashed  []bool
+	high     []uint64 // committed-height high-water per node
+	nonces   []uint64
+	replayed []uint64 // cumulative blocks replayed at boot, per node
+	parts    map[[2]int]bool
+	checker  *Checker
 }
 
 // New builds and starts (at virtual time 0) a chaos cluster.
@@ -86,17 +118,18 @@ func New(opts Options) (*Cluster, error) {
 		opts.StepInterval = 200 * time.Millisecond
 	}
 	c := &Cluster{
-		opts:    opts,
-		epoch:   time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC),
-		rng:     rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
-		slots:   make([]*slot, opts.Nodes),
-		nodes:   make([]*runtime.Node, opts.Nodes),
-		engines: make([]*core.Engine, opts.Nodes),
-		crashed: make([]bool, opts.Nodes),
-		high:    make([]uint64, opts.Nodes),
-		nonces:  make([]uint64, opts.Nodes),
-		parts:   make(map[[2]int]bool),
-		checker: NewChecker(),
+		opts:     opts,
+		epoch:    time.Date(2019, 8, 5, 0, 0, 0, 0, time.UTC),
+		rng:      rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
+		slots:    make([]*slot, opts.Nodes),
+		nodes:    make([]*runtime.Node, opts.Nodes),
+		engines:  make([]*core.Engine, opts.Nodes),
+		crashed:  make([]bool, opts.Nodes),
+		high:     make([]uint64, opts.Nodes),
+		nonces:   make([]uint64, opts.Nodes),
+		replayed: make([]uint64, opts.Nodes),
+		parts:    make(map[[2]int]bool),
+		checker:  NewChecker(),
 	}
 	c.net = simnet.New(simnet.Config{
 		Seed: opts.Seed,
@@ -145,9 +178,17 @@ func New(opts Options) (*Cluster, error) {
 		}
 		c.checker.Allow(c.keys[dv].Address())
 	}
+	for _, sl := range opts.SnapshotLiars {
+		if sl < 0 || sl >= opts.Nodes {
+			return nil, fmt.Errorf("chaos: SnapshotLiars index %d out of range", sl)
+		}
+	}
 
 	for i := 0; i < opts.Nodes; i++ {
 		c.slots[i] = &slot{wal: &store.MemWAL{}}
+		if opts.Snapshots {
+			c.slots[i].snaps = store.NewMemSnapshots(opts.RetainSnaps)
+		}
 		if err := c.boot(i, false); err != nil {
 			return nil, err
 		}
@@ -178,23 +219,40 @@ func gridLayout(n int) []geo.Point {
 	return out
 }
 
-// boot builds node i's incarnation from its durable slot only: replay
-// the block log into a fresh chain, then hand the engine the WAL and
-// its recovered records. With amnesia=true the consensus WAL is wiped
-// first — the configuration the regression-guard tests prove unsafe.
+// boot builds node i's incarnation from its durable slot only: restore
+// the newest valid snapshot (when snapshots are on), replay the block
+// log on top of it, then hand the engine the WAL and its recovered
+// records. Blocks below the restore point — or disconnected from it,
+// as when every local snapshot is corrupt but the log was already
+// compacted — are skipped; the engine's sync machinery covers the rest
+// from peers. With amnesia=true the consensus WAL is wiped first — the
+// configuration the regression-guard tests prove unsafe.
 func (c *Cluster) boot(i int, amnesia bool) error {
 	s := c.slots[i]
 	if amnesia {
 		s.wal = &store.MemWAL{}
 	}
-	chain, err := ledger.NewChain(c.genesis)
+	var chain *ledger.Chain
+	var err error
+	if s.snaps != nil {
+		if snap, serr := s.snaps.Latest(); serr == nil && snap != nil {
+			chain, err = ledger.RestoreChain(c.genesis, snap.State)
+		}
+	}
+	if chain == nil && err == nil {
+		chain, err = ledger.NewChain(c.genesis)
+	}
 	if err != nil {
 		return err
 	}
 	for _, b := range s.blocks {
+		if b.Header.Height != chain.Height()+1 {
+			continue
+		}
 		if err := chain.AddBlock(b); err != nil {
 			return fmt.Errorf("chaos: node %d replay height %d: %w", i, b.Header.Height, err)
 		}
+		c.replayed[i]++
 	}
 	kp := c.keys[i]
 	app := runtime.NewApp(chain, runtime.NewMempool(0), kp.Address(), c.epoch, 1)
@@ -209,10 +267,15 @@ func (c *Cluster) boot(i int, amnesia bool) error {
 		ProposerPolicy:     core.ProposerAddress,
 		DisableEraSwitch:   !c.opts.EnableEraSwitch,
 		ForceEraSwitch:     c.opts.EnableEraSwitch,
+		EraPeriod:          c.opts.EraPeriod,
 	}
 	if !amnesia {
 		cfg.WAL = s.wal
 		cfg.Recovered = s.wal.Records()
+	}
+	if s.snaps != nil {
+		cfg.Snapshots = s.snaps
+		cfg.FastSyncThreshold = c.opts.FastSyncThreshold
 	}
 	eng, err := core.New(cfg)
 	if err != nil {
@@ -227,12 +290,58 @@ func (c *Cluster) boot(i int, amnesia bool) error {
 			break
 		}
 	}
+	for _, sl := range c.opts.SnapshotLiars {
+		if sl == i {
+			engine = &byzantine.SnapshotLiar{Inner: engine, Key: kp}
+			break
+		}
+	}
 	node := &runtime.Node{
 		ID: kp.Address(), Key: kp, App: app, Engine: engine,
 		Exec: c.net.Executor(kp.Address()),
 	}
 	node.OnCommit = func(_ consensus.Time, b *types.Block) {
 		s.blocks = append(s.blocks, b)
+	}
+	if s.snaps != nil {
+		// Every era bump publishes a signed snapshot of the canonical
+		// chain state, exported at the config block itself (ledger
+		// hook) so all nodes snapshot the identical (height, root)
+		// pair no matter how the block reached them — the exact-pair
+		// quorum fast sync anchors trust in depends on it.
+		chain.SetEraBumpHook(func(st *ledger.ChainState) {
+			if st.Height() == 0 {
+				return
+			}
+			_ = s.snaps.Add(store.NewSnapshot(st, kp))
+		})
+		// Compaction is local hygiene, not consensus state: it rides
+		// the (timing-skewed) era-switch callback, outside the chain
+		// lock. With it on, history below the oldest retained snapshot
+		// is truncated — restarts must come back through a snapshot,
+		// exactly the restart-at-scale regime under test.
+		node.OnEraSwitch = func(_ consensus.Time, _ uint64, _ []gcrypto.Address) {
+			if c.opts.Compact {
+				if floor := s.snaps.OldestHeight(); floor > s.base {
+					chain.CompactBelow(floor)
+					kept := make([]*types.Block, 0, len(s.blocks))
+					for _, b := range s.blocks {
+						if b.Header.Height > floor {
+							kept = append(kept, b)
+						}
+					}
+					s.blocks = kept
+					s.base = floor
+				}
+			}
+		}
+		// A fast-sync install replaces the chain wholesale: the durable
+		// block log restarts empty at the new base (the snapshot itself
+		// is the durable history below it).
+		node.OnSnapshotInstall = func(_ consensus.Time, _, height uint64) {
+			s.blocks = nil
+			s.base = height
+		}
 	}
 	c.nodes[i] = node
 	c.engines[i] = eng
@@ -415,28 +524,34 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	ref := 0
 	for i := range c.slots {
-		if len(c.slots[i].blocks) > len(c.slots[ref].blocks) {
+		if c.slots[i].top() > c.slots[ref].top() {
 			ref = i
 		}
 	}
-	rb := c.slots[ref].blocks
+	rs := c.slots[ref]
 	for i, s := range c.slots {
 		if err := c.nodes[i].CommitErr; err != nil {
 			return fmt.Errorf("node %d commit error: %w", i, err)
 		}
-		if got := c.Height(i); got != uint64(len(s.blocks)) {
-			return fmt.Errorf("node %d: in-memory height %d != durable height %d", i, got, len(s.blocks))
+		if got := c.Height(i); got != s.top() {
+			return fmt.Errorf("node %d: in-memory height %d != durable height %d", i, got, s.top())
 		}
-		if uint64(len(s.blocks)) < c.high[i] {
-			return fmt.Errorf("node %d: committed height regressed %d -> %d", i, c.high[i], len(s.blocks))
+		if s.top() < c.high[i] {
+			return fmt.Errorf("node %d: committed height regressed %d -> %d", i, c.high[i], s.top())
 		}
-		c.high[i] = uint64(len(s.blocks))
-		for h, b := range s.blocks {
-			if b.Header.Height != uint64(h+1) {
-				return fmt.Errorf("node %d: durable log gap at position %d (height %d)", i, h, b.Header.Height)
+		c.high[i] = s.top()
+		for k, b := range s.blocks {
+			h := s.base + uint64(k) + 1
+			if b.Header.Height != h {
+				return fmt.Errorf("node %d: durable log gap at position %d (height %d, base %d)", i, k, b.Header.Height, s.base)
 			}
-			if b.Hash() != rb[h].Hash() {
-				return fmt.Errorf("fork: nodes %d and %d disagree at height %d", i, ref, h+1)
+			// Fork detection over the heights both logs retain; heights
+			// the reference has compacted are vouched for by its
+			// snapshot (which a quorum had to co-sign off on via heads).
+			if h > rs.base && h <= rs.top() {
+				if b.Hash() != rs.blocks[h-rs.base-1].Hash() {
+					return fmt.Errorf("fork: nodes %d and %d disagree at height %d", i, ref, h)
+				}
 			}
 		}
 	}

@@ -59,12 +59,23 @@ type EraSwitched struct {
 	Committee []gcrypto.Address
 }
 
-func (Send) isAction()        {}
-func (Broadcast) isAction()   {}
-func (CommitBlock) isAction() {}
-func (StartTimer) isAction()  {}
-func (StopTimer) isAction()   {}
-func (EraSwitched) isAction() {}
+// SnapshotInstalled reports that the engine replaced its chain state
+// wholesale from a verified snapshot (fast sync): history below Height
+// was never applied block-by-block on this node. The runtime uses it to
+// reset persistence that mirrors per-block commits (block log, height
+// counters) to the new base.
+type SnapshotInstalled struct {
+	Era    uint64
+	Height uint64
+}
+
+func (Send) isAction()              {}
+func (Broadcast) isAction()         {}
+func (CommitBlock) isAction()       {}
+func (StartTimer) isAction()        {}
+func (StopTimer) isAction()         {}
+func (EraSwitched) isAction()       {}
+func (SnapshotInstalled) isAction() {}
 
 // Engine is an event-driven consensus state machine.
 type Engine interface {

@@ -77,6 +77,20 @@ type Config struct {
 	// others commit — that is consensus state; the consensus-wide
 	// enforcement ablation is Policy.DisableExpulsion in genesis.
 	DisableEvidence bool
+
+	// Snapshots, when set, enables snapshot-then-tail fast sync: this
+	// node serves its retained snapshots to lagging peers and, when its
+	// own lag exceeds FastSyncThreshold, installs a quorum-anchored
+	// snapshot instead of replaying the gap block by block.
+	Snapshots store.SnapshotProvider
+	// FastSyncThreshold is the block gap at which snapshot sync is
+	// preferred over tailing (0 = default 64).
+	FastSyncThreshold uint64
+	// SyncRetryBase / SyncRetryCap bound the capped-exponential backoff
+	// on unanswered sync, head, and snapshot requests (0 = defaults
+	// 500ms / 8s).
+	SyncRetryBase time.Duration
+	SyncRetryCap  time.Duration
 }
 
 // ConsensusWAL is the durable log the era layer threads into its inner
@@ -93,6 +107,7 @@ type tpurpose uint8
 const (
 	tEraTick tpurpose = iota + 1
 	tResume
+	tSyncRetry
 )
 
 // maxBuffered bounds the next-era message buffer.
@@ -124,6 +139,18 @@ type Engine struct {
 
 	syncInFlight bool
 	syncTarget   uint64
+
+	// snapshot fast-sync state machine (sync.go).
+	fsPhase    uint8
+	fsHeads    map[gcrypto.Address]HeadResponse
+	fsHeight   uint64
+	fsRoot     gcrypto.Hash
+	fsVoters   []gcrypto.Address
+	fsVoterIdx int
+	retryTID   consensus.TimerID
+	retries    uint32
+	retrySeq   uint64
+	sstats     syncStats
 
 	// pendingDurable is the recovered consensus state awaiting the
 	// first buildInstance; consumed exactly once (later instances start
@@ -160,6 +187,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.SwitchPeriod == 0 {
 		cfg.SwitchPeriod = policy.SwitchPeriod
+	}
+	if cfg.FastSyncThreshold == 0 {
+		cfg.FastSyncThreshold = 64
+	}
+	if cfg.SyncRetryBase == 0 {
+		cfg.SyncRetryBase = 500 * time.Millisecond
+	}
+	if cfg.SyncRetryCap == 0 {
+		cfg.SyncRetryCap = 8 * time.Second
 	}
 	return &Engine{
 		cfg:         cfg,
@@ -216,8 +252,14 @@ func (e *Engine) Init(now consensus.Time) []consensus.Action {
 
 // requestCatchUp asks the committee for blocks beyond our head. The
 // responses flow through the certificate-checked applySync path; peers
-// that have nothing newer simply stay silent.
+// that have nothing newer simply stay silent. With snapshots enabled
+// the node instead opens with a head poll: if a quorum agrees on a
+// checkpoint ahead of us, the gap is crossed by snapshot; otherwise
+// the machinery degrades to the same block pull.
 func (e *Engine) requestCatchUp(acts []consensus.Action) []consensus.Action {
+	if e.cfg.Snapshots != nil {
+		return append(acts, e.startFastSync(e.chain.Height())...)
+	}
 	com := e.committee
 	if com == nil {
 		var err error
@@ -310,6 +352,8 @@ func (e *Engine) OnTimer(now consensus.Time, id consensus.TimerID) []consensus.A
 		return e.onEraTick(now)
 	case tResume:
 		return e.onResume(now)
+	case tSyncRetry:
+		return e.onSyncRetry(now)
 	}
 	return nil
 }
@@ -398,6 +442,14 @@ func (e *Engine) maybeLagSync(env *consensus.Envelope) []consensus.Action {
 	if !ok || seq <= e.chain.Height()+1 {
 		return nil
 	}
+	// While the snapshot state machine runs, just track the moving
+	// head; the tail pull after the install covers it.
+	if e.fsPhase != fsIdle {
+		if seq-1 > e.syncTarget {
+			e.syncTarget = seq - 1
+		}
+		return nil
+	}
 	// A commit for seq proves blocks up to seq-1 exist on the sender's
 	// chain. Suppress duplicate pulls while one is in flight, but allow
 	// a re-request when the head keeps moving past the current target
@@ -405,10 +457,13 @@ func (e *Engine) maybeLagSync(env *consensus.Envelope) []consensus.Action {
 	if e.syncInFlight && e.syncTarget >= seq-1 {
 		return nil
 	}
+	if e.fastSyncDue(seq - 1) {
+		return e.startFastSync(seq - 1)
+	}
 	e.syncInFlight = true
 	e.syncTarget = seq - 1
 	req := consensus.Seal(e.cfg.Key, &SyncRequest{FromHeight: e.chain.Height() + 1})
-	return []consensus.Action{consensus.Send{To: env.From, Env: req}}
+	return e.armSyncRetry([]consensus.Action{consensus.Send{To: env.From, Env: req}})
 }
 
 // peekEra reads the leading Era field every intra-era payload starts
@@ -641,17 +696,10 @@ func (e *Engine) onEraTick(now consensus.Time) []consensus.Action {
 	if e.switching || e.inner == nil {
 		return e.armEraTimer(nil)
 	}
-	// Memory hygiene: drop election-table rows and witness statements
-	// far older than any lookback window still consults. Pruning is a
-	// deterministic function of committed state, so all honest nodes
-	// keep identical derived state.
-	horizon := e.chain.Table().LatestTimestamp()
-	if !horizon.IsZero() {
-		keep := 4 * e.policy.QualificationWindow
-		e.chain.Table().Prune(horizon.Add(-keep))
-		e.chain.Witnesses().Prune(horizon.Add(-keep))
-	}
-
+	// Memory hygiene (election-table and witness pruning) happens in the
+	// ledger when a config transaction commits: every node prunes at the
+	// same committed block, keeping the canonical ChainState — and hence
+	// snapshot roots — byte-identical across the committee.
 	var acts []consensus.Action
 	res := RunElection(e.chain, e.chain.Head().Header.Timestamp)
 	due := !res.Stalled && (!res.IsEmpty() || e.cfg.ForceEraSwitch)
@@ -705,13 +753,22 @@ func (e *Engine) onAnnounce(now consensus.Time, env *consensus.Envelope) []conse
 	if e.chain.Height() >= ann.Height {
 		return e.maybeJoin(now)
 	}
+	if e.fsPhase != fsIdle {
+		if ann.Height > e.syncTarget {
+			e.syncTarget = ann.Height
+		}
+		return nil
+	}
 	if e.syncInFlight && e.syncTarget >= ann.Height {
 		return nil
+	}
+	if e.fastSyncDue(ann.Height) {
+		return e.startFastSync(ann.Height)
 	}
 	e.syncInFlight = true
 	e.syncTarget = ann.Height
 	req := consensus.Seal(e.cfg.Key, &SyncRequest{FromHeight: e.chain.Height() + 1})
-	return []consensus.Action{consensus.Send{To: env.From, Env: req}}
+	return e.armSyncRetry([]consensus.Action{consensus.Send{To: env.From, Env: req}})
 }
 
 func (e *Engine) onBlockSync(now consensus.Time, env *consensus.Envelope) []consensus.Action {
@@ -728,6 +785,30 @@ func (e *Engine) onBlockSync(now consensus.Time, env *consensus.Envelope) []cons
 			return nil
 		}
 		return e.applySync(now, env.From, &resp)
+	case 3:
+		var req HeadRequest
+		if err := consensus.Open(env, consensus.KindBlockSync, &req); err != nil {
+			return nil
+		}
+		return e.onHeadRequest(env.From)
+	case 4:
+		var resp HeadResponse
+		if err := consensus.Open(env, consensus.KindBlockSync, &resp); err != nil {
+			return nil
+		}
+		return e.onHeadResponse(now, env.From, &resp)
+	case 5:
+		var req SnapshotRequest
+		if err := consensus.Open(env, consensus.KindBlockSync, &req); err != nil {
+			return nil
+		}
+		return e.onSnapshotRequest(env.From, &req)
+	case 6:
+		var resp SnapshotResponse
+		if err := consensus.Open(env, consensus.KindBlockSync, &resp); err != nil {
+			return nil
+		}
+		return e.onSnapshotResponse(now, env.From, &resp)
 	default:
 		return nil
 	}
@@ -742,6 +823,11 @@ func (e *Engine) serveSync(to gcrypto.Address, from uint64) []consensus.Action {
 	}
 	if from > head {
 		return nil
+	}
+	if from < e.chain.BaseHeight() {
+		// Compaction dropped the requested range: redirect the puller to
+		// the snapshot path by answering with our head and checkpoint.
+		return e.onHeadRequest(to)
 	}
 	resp := &SyncResponse{}
 	for h := from; h <= head && len(resp.Blocks) < MaxSyncBlocks; h++ {
@@ -772,6 +858,7 @@ func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncR
 	for i := range resp.Blocks {
 		types.PrewarmTxs(resp.Blocks[i].Txs)
 	}
+	applied := uint64(0)
 	for i := range resp.Blocks {
 		b := resp.Blocks[i]
 		if b.Header.Height != e.chain.Height()+1 {
@@ -783,7 +870,12 @@ func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncR
 		if err := e.cfg.App.Commit(&b); err != nil {
 			break
 		}
+		applied++
 		acts = append(acts, consensus.CommitBlock{Block: &b, Applied: true})
+	}
+	if applied > 0 {
+		e.sstats.blocksSynced.Add(applied)
+		e.retries = 0 // the peer is answering; restart the backoff ladder
 	}
 	// Keep a live inner instance aligned with the new head: sync can
 	// race normal consensus when this node lags inside its own era.
@@ -796,8 +888,9 @@ func (e *Engine) applySync(now consensus.Time, from gcrypto.Address, resp *SyncR
 		e.syncInFlight = true
 		req := consensus.Seal(e.cfg.Key, &SyncRequest{FromHeight: e.chain.Height() + 1})
 		acts = append(acts, consensus.Send{To: from, Env: req})
-		return acts
+		return e.armSyncRetry(acts)
 	}
+	acts = e.stopSyncRetry(acts)
 	return append(acts, e.maybeJoin(now)...)
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"gpbft/internal/codec"
 	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
 	"gpbft/internal/types"
 )
 
@@ -97,6 +98,116 @@ func (m *SyncResponse) UnmarshalCanonical(r *codec.Reader) error {
 			return err
 		}
 	}
+	return r.Err()
+}
+
+// HeadRequest asks a peer for its chain head and newest snapshot
+// checkpoint. A joiner (or a node that was told its lag is too deep to
+// tail) broadcasts it to the committee and waits for a quorum of
+// HeadResponses agreeing on a snapshot (height, root) before it trusts
+// any snapshot bytes.
+type HeadRequest struct{}
+
+// Kind implements consensus.Payload.
+func (*HeadRequest) Kind() consensus.MsgKind { return consensus.KindBlockSync }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *HeadRequest) MarshalCanonical(w *codec.Writer) {
+	w.Uint8(3) // subtype: head request
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *HeadRequest) UnmarshalCanonical(r *codec.Reader) error {
+	if sub := r.Uint8(); r.Err() == nil && sub != 3 {
+		return consensus.ErrEnvelopeKind
+	}
+	return r.Err()
+}
+
+// HeadResponse reports a peer's committed head and its newest retained
+// snapshot checkpoint (SnapHeight 0 when it has none). The root is what
+// anchors fast-sync trust: a snapshot is installed only when a quorum
+// of committee members independently reported the same (height, root).
+// Peers also send it as a redirect in place of a SyncResponse when the
+// requested range has been compacted away.
+type HeadResponse struct {
+	Height     uint64
+	SnapHeight uint64
+	SnapRoot   gcrypto.Hash
+}
+
+// Kind implements consensus.Payload.
+func (*HeadResponse) Kind() consensus.MsgKind { return consensus.KindBlockSync }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *HeadResponse) MarshalCanonical(w *codec.Writer) {
+	w.Uint8(4) // subtype: head response
+	w.Uint64(m.Height)
+	w.Uint64(m.SnapHeight)
+	w.Raw(m.SnapRoot[:])
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *HeadResponse) UnmarshalCanonical(r *codec.Reader) error {
+	if sub := r.Uint8(); r.Err() == nil && sub != 4 {
+		return consensus.ErrEnvelopeKind
+	}
+	m.Height = r.Uint64()
+	m.SnapHeight = r.Uint64()
+	r.RawInto(m.SnapRoot[:])
+	return r.Err()
+}
+
+// SnapshotRequest asks a peer for the snapshot at exactly Height (the
+// checkpoint a head quorum agreed on).
+type SnapshotRequest struct {
+	Height uint64
+}
+
+// Kind implements consensus.Payload.
+func (*SnapshotRequest) Kind() consensus.MsgKind { return consensus.KindBlockSync }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *SnapshotRequest) MarshalCanonical(w *codec.Writer) {
+	w.Uint8(5) // subtype: snapshot request
+	w.Uint64(m.Height)
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *SnapshotRequest) UnmarshalCanonical(r *codec.Reader) error {
+	if sub := r.Uint8(); r.Err() == nil && sub != 5 {
+		return consensus.ErrEnvelopeKind
+	}
+	m.Height = r.Uint64()
+	return r.Err()
+}
+
+// SnapshotResponse carries the encoded, signed snapshot. The receiver
+// independently decodes, verifies the producer signature, and checks
+// the state root against the quorum-agreed root before installing —
+// the carrier is untrusted.
+type SnapshotResponse struct {
+	Height uint64
+	Data   []byte
+}
+
+// Kind implements consensus.Payload.
+func (*SnapshotResponse) Kind() consensus.MsgKind { return consensus.KindBlockSync }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *SnapshotResponse) MarshalCanonical(w *codec.Writer) {
+	w.Uint8(6) // subtype: snapshot response
+	w.Uint64(m.Height)
+	w.WriteBytes(m.Data)
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *SnapshotResponse) UnmarshalCanonical(r *codec.Reader) error {
+	if sub := r.Uint8(); r.Err() == nil && sub != 6 {
+		return consensus.ErrEnvelopeKind
+	}
+	m.Height = r.Uint64()
+	m.Data = r.ReadBytes()
 	return r.Err()
 }
 

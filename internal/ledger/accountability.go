@@ -201,10 +201,10 @@ func (c *Chain) queueDetectedLocked(rec *evidence.Record) {
 
 // txAtLocked resolves a committed transaction by location.
 func (c *Chain) txAtLocked(loc TxLocation) *types.Transaction {
-	if loc.Height >= uint64(len(c.blocks)) {
+	if loc.Height < c.base || loc.Height-c.base >= uint64(len(c.blocks)) {
 		return nil
 	}
-	b := c.blocks[loc.Height]
+	b := c.blocks[loc.Height-c.base]
 	if loc.TxIndex < 0 || loc.TxIndex >= len(b.Txs) {
 		return nil
 	}

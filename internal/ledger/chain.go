@@ -40,7 +40,11 @@ type Chain struct {
 	mu      sync.RWMutex
 	genesis *Genesis
 	blocks  []*types.Block
-	byHash  map[gcrypto.Hash]*types.Block
+	// base is the height of blocks[0]. It is 0 (genesis) for a chain
+	// built by replay, and the checkpoint height for a chain restored
+	// from (or compacted below) a snapshot.
+	base   uint64
+	byHash map[gcrypto.Hash]*types.Block
 	// endorsers is the current committee, derived from genesis plus
 	// committed config transactions.
 	endorsers map[gcrypto.Address]types.EndorserInfo
@@ -73,6 +77,10 @@ type Chain struct {
 	lastGeo       map[gcrypto.Address]geoEntry
 	cellSeen      map[string]map[gcrypto.Address]geoEntry
 	everEndorsers map[gcrypto.Address]bool
+
+	// onEraBump, when set, observes every era advance at the exact
+	// block that commits it (see SetEraBumpHook).
+	onEraBump func(*ChainState)
 }
 
 // NewChain initialises a chain from genesis.
@@ -143,10 +151,10 @@ func (c *Chain) Head() *types.Block {
 func (c *Chain) BlockAt(h uint64) (*types.Block, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if h >= uint64(len(c.blocks)) {
+	if h < c.base || h-c.base >= uint64(len(c.blocks)) {
 		return nil, ErrUnknownHeight
 	}
-	return c.blocks[h], nil
+	return c.blocks[h-c.base], nil
 }
 
 // ByHash returns a committed block by its hash.
@@ -230,7 +238,14 @@ func (c *Chain) validateLocked(b *types.Block) error {
 	}
 	if b.Header.Height != head.Header.Height+1 {
 		if b.Header.Height <= head.Header.Height {
-			committed := c.blocks[b.Header.Height]
+			if b.Header.Height < c.base {
+				// Below the compaction checkpoint the committed block is
+				// gone, so a conflict can no longer be adjudicated; the
+				// height is committed either way, so the block is refused
+				// as a duplicate and never applied.
+				return ErrDuplicateBlock
+			}
+			committed := c.blocks[b.Header.Height-c.base]
 			if committed.Hash() != b.Hash() {
 				return ErrForkDetected
 			}
@@ -332,11 +347,12 @@ func (c *Chain) validateStatelessLocked(b *types.Block) error {
 func (c *Chain) AddBlock(b *types.Block) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	eraBefore := c.era
 	if err := c.validateLocked(b); err != nil {
 		if errors.Is(err, ErrForkDetected) {
 			c.recordForkLocked(ForkEvidence{
 				Height:    b.Header.Height,
-				Committed: c.blocks[b.Header.Height].Hash(),
+				Committed: c.blocks[b.Header.Height-c.base].Hash(),
 				Conflict:  b.Hash(),
 				Proposer:  b.Header.Proposer,
 			})
@@ -409,12 +425,41 @@ func (c *Chain) AddBlock(b *types.Block) error {
 		// geographic timer will reset by the system."
 		c.table.ResetTimer(b.Header.Proposer.String(), b.Header.Timestamp)
 	}
+	if c.era != eraBefore && c.onEraBump != nil {
+		c.onEraBump(c.exportStateLocked())
+	}
 	return nil
 }
+
+// SetEraBumpHook registers fn to observe every era advance at the
+// exact block that commits it. fn receives the canonical post-block
+// state — byte-identical on every honest node whether the block
+// arrived through consensus or through sync, which is what anchors
+// snapshot roots in a cross-node quorum. fn runs with the chain lock
+// held and must not call back into the chain.
+func (c *Chain) SetEraBumpHook(fn func(*ChainState)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEraBump = fn
+}
+
+// pruneHorizonFactor sets how far behind table time the election table
+// and witness index retain rows: several qualification windows, so
+// every lookback any election or dispute check consults stays intact.
+// Pruning runs at era boundaries (config application) — a point every
+// honest node reaches at the same committed block — so the retained
+// row set, and therefore the canonical ChainState encoding, is a pure
+// function of chain content.
+const pruneHorizonFactor = 4
 
 func (c *Chain) applyConfigLocked(change *types.ConfigChange) {
 	if change.NewEra > c.era {
 		c.era = change.NewEra
+		if latest := c.table.LatestTimestamp(); !latest.IsZero() {
+			horizon := latest.Add(-pruneHorizonFactor * c.genesis.Policy.QualificationWindow)
+			c.table.Prune(horizon)
+			c.witnesses.Prune(horizon)
+		}
 	}
 	for _, a := range change.Remove {
 		delete(c.endorsers, a)
@@ -466,7 +511,9 @@ func (c *Chain) FindTx(id gcrypto.Hash) (TxLocation, bool) {
 	return loc, ok
 }
 
-// Blocks returns a snapshot of all committed blocks, genesis first.
+// Blocks returns a snapshot of all blocks still held in memory, oldest
+// first. For an uncompacted chain that is genesis onward; after
+// compaction or a snapshot restore it starts at BaseHeight.
 func (c *Chain) Blocks() []*types.Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -1,0 +1,640 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"gpbft/internal/codec"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/geo"
+	"gpbft/internal/types"
+)
+
+// ChainState is the canonical, deterministic serialization of a chain
+// at a checkpoint height: everything a node needs to validate and
+// extend the chain without replaying history. Two honest nodes at the
+// same height produce byte-identical encodings — that is what lets
+// fast sync anchor trust in a quorum of peer-reported state roots
+// rather than in any single snapshot producer.
+//
+// Deliberately EXCLUDED (a restored node starts them empty):
+//
+//   - fork evidence (forks/forkCount): records of *attempted* forks
+//     observed locally; which attempts a node saw depends on message
+//     delivery, not committed state.
+//   - local detection state (detected, detectedIDs, flagged, lastGeo,
+//     cellSeen): the in-flight misbehavior detector. Its evolution
+//     depends on when a node joined, so including it would make the
+//     canonical encoding history-dependent and break root agreement
+//     between long-running nodes and past fast-syncers. Committed
+//     evidence (the banned set and the dedup set) IS carried; only the
+//     not-yet-committed local suspicion is rebuilt from fresh
+//     observations.
+//   - the checkpoint block's commit certificate: every node's cert
+//     aggregates a different 2f+1 vote subset. The restored base block
+//     is certless; its authenticity comes from the root quorum.
+type ChainState struct {
+	GenesisHash gcrypto.Hash
+	Era         uint64
+	// Base is the checkpoint block: the head at export time, with its
+	// commit certificate. Its header carries the last-stable (view,
+	// seq) of the producing era.
+	Base types.Block
+
+	Endorsers     []types.EndorserInfo
+	Accounts      []AccountRecord
+	EverEndorsers []gcrypto.Address
+	Banned        []BannedEntry
+	Evidence      []gcrypto.Hash
+
+	TableLatest time.Time
+	Devices     []DeviceState
+	Witnesses   []WitnessRecord
+	Balances    []BalanceRecord
+	TxIndex     []TxIndexRecord
+}
+
+// AccountRecord is one known sender: address and public key.
+type AccountRecord struct {
+	Address gcrypto.Address
+	PubKey  []byte
+}
+
+// DeviceState is one election-table device history: the residence
+// streak anchor plus the retained rows.
+type DeviceState struct {
+	Address string
+	Anchor  time.Time
+	LastCSC string
+	Entries []DeviceEntry
+}
+
+// DeviceEntry is one retained election-table row.
+type DeviceEntry struct {
+	Geohash   string
+	Timestamp time.Time
+	Timer     time.Duration
+}
+
+// BalanceRecord is one reward-ledger account.
+type BalanceRecord struct {
+	Address  gcrypto.Address
+	Balance  uint64
+	Produced uint64
+}
+
+// TxIndexRecord locates one committed transaction.
+type TxIndexRecord struct {
+	ID  gcrypto.Hash
+	Loc TxLocation
+}
+
+// Errors returned by state export/restore.
+var (
+	ErrStateGenesis = errors.New("ledger: state genesis mismatch")
+	ErrStateStale   = errors.New("ledger: state not ahead of current head")
+	ErrStateShape   = errors.New("ledger: malformed chain state")
+)
+
+const chainStateTag = "gpbft/chainstate/v1"
+
+// Height returns the checkpoint height.
+func (st *ChainState) Height() uint64 { return st.Base.Header.Height }
+
+// StableView returns the PBFT view of the checkpoint block.
+func (st *ChainState) StableView() uint64 { return st.Base.Header.View }
+
+// StableSeq returns the PBFT sequence of the checkpoint block.
+func (st *ChainState) StableSeq() uint64 { return st.Base.Header.Seq }
+
+// MarshalCanonical implements codec.Marshaler.
+func (st *ChainState) MarshalCanonical(w *codec.Writer) {
+	w.String(chainStateTag)
+	w.Raw(st.GenesisHash[:])
+	w.Uint64(st.Era)
+	st.Base.MarshalCanonical(w)
+
+	w.Count(len(st.Endorsers))
+	for i := range st.Endorsers {
+		e := &st.Endorsers[i]
+		w.Raw(e.Address[:])
+		w.WriteBytes(e.PubKey)
+		w.String(e.Geohash)
+	}
+	w.Count(len(st.Accounts))
+	for i := range st.Accounts {
+		w.Raw(st.Accounts[i].Address[:])
+		w.WriteBytes(st.Accounts[i].PubKey)
+	}
+	w.Count(len(st.EverEndorsers))
+	for i := range st.EverEndorsers {
+		w.Raw(st.EverEndorsers[i][:])
+	}
+	w.Count(len(st.Banned))
+	for i := range st.Banned {
+		w.Raw(st.Banned[i].Address[:])
+		w.Raw(st.Banned[i].Evidence[:])
+	}
+	w.Count(len(st.Evidence))
+	for i := range st.Evidence {
+		w.Raw(st.Evidence[i][:])
+	}
+
+	w.Time(st.TableLatest)
+	w.Count(len(st.Devices))
+	for i := range st.Devices {
+		d := &st.Devices[i]
+		w.String(d.Address)
+		w.Time(d.Anchor)
+		w.String(d.LastCSC)
+		w.Count(len(d.Entries))
+		for j := range d.Entries {
+			w.String(d.Entries[j].Geohash)
+			w.Time(d.Entries[j].Timestamp)
+			w.Int64(int64(d.Entries[j].Timer))
+		}
+	}
+	w.Count(len(st.Witnesses))
+	for i := range st.Witnesses {
+		r := &st.Witnesses[i]
+		w.Raw(r.Witness[:])
+		w.Raw(r.Subject[:])
+		w.String(r.Geohash)
+		w.Bool(r.Seen)
+		w.Time(r.Timestamp)
+		w.Uint64(r.Loc.Height)
+		w.Uint64(uint64(r.Loc.TxIndex))
+	}
+	w.Count(len(st.Balances))
+	for i := range st.Balances {
+		w.Raw(st.Balances[i].Address[:])
+		w.Uint64(st.Balances[i].Balance)
+		w.Uint64(st.Balances[i].Produced)
+	}
+	w.Count(len(st.TxIndex))
+	for i := range st.TxIndex {
+		w.Raw(st.TxIndex[i].ID[:])
+		w.Uint64(st.TxIndex[i].Loc.Height)
+		w.Uint64(uint64(st.TxIndex[i].Loc.TxIndex))
+	}
+}
+
+// UnmarshalCanonical decodes a chain state.
+func (st *ChainState) UnmarshalCanonical(r *codec.Reader) error {
+	if tag := r.ReadString(); r.Err() == nil && tag != chainStateTag {
+		return fmt.Errorf("%w: bad tag %q", ErrStateShape, tag)
+	}
+	r.RawInto(st.GenesisHash[:])
+	st.Era = r.Uint64()
+	if err := st.Base.UnmarshalCanonical(r); err != nil {
+		return err
+	}
+
+	n := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Endorsers = make([]types.EndorserInfo, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(st.Endorsers[i].Address[:])
+		st.Endorsers[i].PubKey = r.ReadBytes()
+		st.Endorsers[i].Geohash = r.ReadString()
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Accounts = make([]AccountRecord, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(st.Accounts[i].Address[:])
+		st.Accounts[i].PubKey = r.ReadBytes()
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.EverEndorsers = make([]gcrypto.Address, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(st.EverEndorsers[i][:])
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Banned = make([]BannedEntry, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(st.Banned[i].Address[:])
+		r.RawInto(st.Banned[i].Evidence[:])
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Evidence = make([]gcrypto.Hash, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(st.Evidence[i][:])
+	}
+
+	st.TableLatest = r.Time()
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Devices = make([]DeviceState, n)
+	for i := 0; i < n; i++ {
+		d := &st.Devices[i]
+		d.Address = r.ReadString()
+		d.Anchor = r.Time()
+		d.LastCSC = r.ReadString()
+		m := r.Count()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		d.Entries = make([]DeviceEntry, m)
+		for j := 0; j < m; j++ {
+			d.Entries[j].Geohash = r.ReadString()
+			d.Entries[j].Timestamp = r.Time()
+			d.Entries[j].Timer = time.Duration(r.Int64())
+		}
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Witnesses = make([]WitnessRecord, n)
+	for i := 0; i < n; i++ {
+		w := &st.Witnesses[i]
+		r.RawInto(w.Witness[:])
+		r.RawInto(w.Subject[:])
+		w.Geohash = r.ReadString()
+		w.Seen = r.Bool()
+		w.Timestamp = r.Time()
+		w.Loc.Height = r.Uint64()
+		w.Loc.TxIndex = int(r.Uint64())
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Balances = make([]BalanceRecord, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(st.Balances[i].Address[:])
+		st.Balances[i].Balance = r.Uint64()
+		st.Balances[i].Produced = r.Uint64()
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.TxIndex = make([]TxIndexRecord, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(st.TxIndex[i].ID[:])
+		st.TxIndex[i].Loc.Height = r.Uint64()
+		st.TxIndex[i].Loc.TxIndex = int(r.Uint64())
+	}
+	return r.Err()
+}
+
+// EncodeChainState returns the canonical bytes of st.
+func EncodeChainState(st *ChainState) []byte { return codec.Encode(st) }
+
+// DecodeChainState parses canonical bytes into a chain state.
+func DecodeChainState(b []byte) (*ChainState, error) {
+	r := codec.NewReader(b)
+	var st ChainState
+	if err := st.UnmarshalCanonical(r); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Root returns the state root: the digest of the canonical encoding.
+// Honest nodes at the same height agree on it byte for byte, so a
+// quorum of peer-reported roots authenticates a snapshot end to end.
+func (st *ChainState) Root() gcrypto.Hash {
+	return gcrypto.HashBytes(EncodeChainState(st))
+}
+
+// ExportState serializes the chain at its current head into a
+// deterministic ChainState. The result depends only on committed
+// blocks (plus genesis), never on this node's message history.
+func (c *Chain) ExportState() *ChainState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.exportStateLocked()
+}
+
+func (c *Chain) exportStateLocked() *ChainState {
+	// The checkpoint block is carried WITHOUT its commit certificate:
+	// certs aggregate whichever 2f+1 votes each node happened to
+	// collect, so including one would make the encoding — and the
+	// root — node-dependent. Snapshot trust is anchored in the quorum
+	// of peer-reported roots, not in the checkpoint's certificate.
+	head := *c.blocks[len(c.blocks)-1]
+	head.Cert = nil
+	st := &ChainState{
+		GenesisHash: c.genesis.Hash(),
+		Era:         c.era,
+		Base:        head,
+	}
+
+	st.Endorsers = make([]types.EndorserInfo, 0, len(c.endorsers))
+	for _, e := range c.endorsers {
+		st.Endorsers = append(st.Endorsers, e)
+	}
+	sortEndorsers(st.Endorsers)
+
+	st.Accounts = make([]AccountRecord, 0, len(c.accounts))
+	for a, pub := range c.accounts {
+		st.Accounts = append(st.Accounts, AccountRecord{Address: a, PubKey: pub})
+	}
+	sort.Slice(st.Accounts, func(i, j int) bool {
+		return st.Accounts[i].Address.Less(st.Accounts[j].Address)
+	})
+
+	st.EverEndorsers = make([]gcrypto.Address, 0, len(c.everEndorsers))
+	for a := range c.everEndorsers {
+		st.EverEndorsers = append(st.EverEndorsers, a)
+	}
+	sort.Slice(st.EverEndorsers, func(i, j int) bool {
+		return st.EverEndorsers[i].Less(st.EverEndorsers[j])
+	})
+
+	st.Banned = make([]BannedEntry, 0, len(c.banned))
+	for a, id := range c.banned {
+		st.Banned = append(st.Banned, BannedEntry{Address: a, Evidence: id})
+	}
+	sort.Slice(st.Banned, func(i, j int) bool {
+		return st.Banned[i].Address.Less(st.Banned[j].Address)
+	})
+
+	st.Evidence = make([]gcrypto.Hash, 0, len(c.evidenceSeen))
+	for id := range c.evidenceSeen {
+		st.Evidence = append(st.Evidence, id)
+	}
+	sort.Slice(st.Evidence, func(i, j int) bool {
+		return bytes.Compare(st.Evidence[i][:], st.Evidence[j][:]) < 0
+	})
+
+	st.TableLatest, st.Devices = c.table.exportDevices()
+	st.Witnesses = c.witnesses.exportRecords()
+	st.Balances = c.rewards.exportBalances()
+
+	st.TxIndex = make([]TxIndexRecord, 0, len(c.txIndex))
+	for id, loc := range c.txIndex {
+		st.TxIndex = append(st.TxIndex, TxIndexRecord{ID: id, Loc: loc})
+	}
+	sort.Slice(st.TxIndex, func(i, j int) bool {
+		return bytes.Compare(st.TxIndex[i].ID[:], st.TxIndex[j].ID[:]) < 0
+	})
+	return st
+}
+
+// exportDevices snapshots the election table deterministically: devices
+// sorted by address, rows in chronological order. The latest ("table
+// time") stamp is serialized explicitly — after pruning it can exceed
+// every retained row.
+func (t *ElectionTable) exportDevices() (time.Time, []DeviceState) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]DeviceState, 0, len(t.devices))
+	for addr, h := range t.devices {
+		d := DeviceState{Address: addr, Anchor: h.anchor, LastCSC: h.lastCSC}
+		d.Entries = make([]DeviceEntry, len(h.entries))
+		for i, e := range h.entries {
+			d.Entries[i] = DeviceEntry{Geohash: e.CSC.Geohash, Timestamp: e.Timestamp, Timer: e.Timer}
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Address < out[j].Address })
+	return t.latest, out
+}
+
+// restoreDevices rebuilds a table from a snapshot. The cell index is
+// recomputed by replaying rows in order: Record overwrites a (cell,
+// device) stamp with each newer row, and Prune removes device rows and
+// cell stamps at the same horizon, so the retained rows determine the
+// cell index exactly.
+func restoreDevices(latest time.Time, devices []DeviceState) *ElectionTable {
+	t := NewElectionTable()
+	t.latest = latest
+	for i := range devices {
+		d := &devices[i]
+		h := &deviceHistory{anchor: d.Anchor, lastCSC: d.LastCSC}
+		h.entries = make([]Entry, len(d.Entries))
+		for j, e := range d.Entries {
+			h.entries[j] = Entry{
+				CSC:       geo.CSC{Geohash: e.Geohash, Address: d.Address},
+				Timestamp: e.Timestamp,
+				Timer:     e.Timer,
+			}
+			cell := t.cells[e.Geohash]
+			if cell == nil {
+				cell = make(map[string]time.Time)
+				t.cells[e.Geohash] = cell
+			}
+			cell[d.Address] = e.Timestamp
+		}
+		t.devices[d.Address] = h
+	}
+	return t
+}
+
+// exportRecords snapshots the witness index: subjects sorted by
+// address, statements in commit order.
+func (w *WitnessIndex) exportRecords() []WitnessRecord {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	subjects := make([]gcrypto.Address, 0, len(w.bySubject))
+	for s := range w.bySubject {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i].Less(subjects[j]) })
+	out := make([]WitnessRecord, 0, w.totalCount)
+	for _, s := range subjects {
+		out = append(out, w.bySubject[s]...)
+	}
+	return out
+}
+
+// exportBalances snapshots the reward ledger: the union of balance and
+// production accounts, sorted. All-zero records are omitted — the
+// in-memory maps may hold zero-valued bookkeeping entries that a
+// restored ledger would not recreate, and the canonical encoding must
+// not depend on that incidental history.
+func (r *RewardLedger) exportBalances() []BalanceRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := make(map[gcrypto.Address]bool, len(r.balances)+len(r.produced))
+	out := make([]BalanceRecord, 0, len(r.balances)+len(r.produced))
+	for a, v := range r.balances {
+		seen[a] = true
+		if v == 0 && r.produced[a] == 0 {
+			continue
+		}
+		out = append(out, BalanceRecord{Address: a, Balance: v, Produced: r.produced[a]})
+	}
+	for a, p := range r.produced {
+		if !seen[a] && p > 0 {
+			out = append(out, BalanceRecord{Address: a, Produced: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Address.Less(out[j].Address) })
+	return out
+}
+
+// validateState performs structural checks shared by restore and
+// install: genesis binding, tx-root integrity of the base block, and
+// index sanity.
+func validateState(g *Genesis, st *ChainState) error {
+	if st.GenesisHash != g.Hash() {
+		return ErrStateGenesis
+	}
+	if err := st.Base.VerifyTxRoot(); err != nil {
+		return fmt.Errorf("%w: base block: %v", ErrStateShape, err)
+	}
+	// The base block carries no certificate (deliberately excluded from
+	// the canonical encoding — certs are node-dependent); a snapshot's
+	// authenticity rests on the quorum of peer-reported roots instead.
+	for i := range st.TxIndex {
+		if st.TxIndex[i].Loc.Height > st.Height() {
+			return fmt.Errorf("%w: tx index beyond checkpoint", ErrStateShape)
+		}
+	}
+	return nil
+}
+
+// applyStateLocked overwrites the chain's guts with the snapshot
+// content. Caller holds c.mu.
+func (c *Chain) applyStateLocked(st *ChainState) {
+	base := st.Base
+	c.era = st.Era
+	c.base = base.Header.Height
+	c.blocks = []*types.Block{&base}
+	c.byHash = map[gcrypto.Hash]*types.Block{base.Hash(): &base}
+
+	c.endorsers = make(map[gcrypto.Address]types.EndorserInfo, len(st.Endorsers))
+	for _, e := range st.Endorsers {
+		c.endorsers[e.Address] = e
+	}
+	c.accounts = make(map[gcrypto.Address][]byte, len(st.Accounts))
+	for _, a := range st.Accounts {
+		c.accounts[a.Address] = a.PubKey
+	}
+	c.everEndorsers = make(map[gcrypto.Address]bool, len(st.EverEndorsers))
+	for _, a := range st.EverEndorsers {
+		c.everEndorsers[a] = true
+	}
+	c.banned = make(map[gcrypto.Address]gcrypto.Hash, len(st.Banned))
+	for _, b := range st.Banned {
+		c.banned[b.Address] = b.Evidence
+	}
+	c.evidenceSeen = make(map[gcrypto.Hash]bool, len(st.Evidence))
+	for _, id := range st.Evidence {
+		c.evidenceSeen[id] = true
+	}
+	c.evidenceCnt = uint64(len(st.Evidence))
+
+	c.table = restoreDevices(st.TableLatest, st.Devices)
+	c.witnesses = NewWitnessIndex()
+	for _, rec := range st.Witnesses {
+		c.witnesses.Record(rec)
+	}
+	c.rewards = NewRewardLedger()
+	for _, b := range st.Balances {
+		if b.Balance > 0 {
+			c.rewards.balances[b.Address] = b.Balance
+		}
+		if b.Produced > 0 {
+			c.rewards.produced[b.Address] = b.Produced
+		}
+	}
+	c.txIndex = make(map[gcrypto.Hash]TxLocation, len(st.TxIndex))
+	for _, rec := range st.TxIndex {
+		c.txIndex[rec.ID] = rec.Loc
+	}
+
+	// Local detection state restarts empty (see the ChainState doc).
+	c.forks = nil
+	c.forkCount = 0
+	c.detected = nil
+	c.detectedIDs = make(map[gcrypto.Hash]bool)
+	c.flagged = make(map[gcrypto.Address]bool)
+	c.lastGeo = make(map[gcrypto.Address]geoEntry)
+	c.cellSeen = make(map[string]map[gcrypto.Address]geoEntry)
+}
+
+// RestoreChain builds a chain whose history starts at the snapshot's
+// checkpoint block instead of genesis. Blocks after the checkpoint are
+// applied with AddBlock as usual.
+func RestoreChain(g *Genesis, st *ChainState) (*Chain, error) {
+	if err := validateState(g, st); err != nil {
+		return nil, err
+	}
+	c, err := NewChain(g)
+	if err != nil {
+		return nil, err
+	}
+	if st.Height() == 0 {
+		return c, nil // a genesis snapshot carries nothing beyond genesis
+	}
+	c.mu.Lock()
+	c.applyStateLocked(st)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// InstallState fast-forwards a live chain to a remote snapshot. The
+// snapshot must be strictly ahead of the current head; everything
+// below the checkpoint is discarded. The caller is responsible for
+// authenticating the snapshot (signature plus a quorum of peer-head
+// roots) BEFORE installing.
+func (c *Chain) InstallState(st *ChainState) error {
+	if err := validateState(c.genesis, st); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.blocks[len(c.blocks)-1].Header.Height
+	if st.Height() <= head {
+		return fmt.Errorf("%w: snapshot height %d, head %d", ErrStateStale, st.Height(), head)
+	}
+	c.applyStateLocked(st)
+	return nil
+}
+
+// BaseHeight returns the height of the oldest block this chain still
+// holds (0 when history reaches genesis). Blocks below it were
+// compacted away or replaced by a snapshot checkpoint.
+func (c *Chain) BaseHeight() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
+}
+
+// CompactBelow drops in-memory blocks with height < h, keeping at
+// least the head. Bounds a long-running node's memory to O(state +
+// tail) alongside the on-disk log compaction.
+func (c *Chain) CompactBelow(h uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.blocks[len(c.blocks)-1].Header.Height
+	if h > head {
+		h = head
+	}
+	if h <= c.base {
+		return
+	}
+	cut := int(h - c.base)
+	for _, b := range c.blocks[:cut] {
+		delete(c.byHash, b.Hash())
+	}
+	c.blocks = append([]*types.Block(nil), c.blocks[cut:]...)
+	c.base = h
+}

@@ -18,6 +18,15 @@ type WAL interface {
 	Append(rec store.WALRecord) error
 }
 
+// WALCompacter is the optional compaction surface of a WAL. When the
+// configured WAL implements it, the engine truncates vote records at or
+// below each stable checkpoint as the checkpoint stabilizes, bounding
+// the log to the in-flight window. Best effort: a compaction failure
+// never blocks consensus (the log stays larger, nothing is lost).
+type WALCompacter interface {
+	CompactBelow(era, seq uint64) (int64, error)
+}
+
 // voteKey identifies a vote slot: a correct replica sends at most one
 // digest per kind per (view, seq) within an era.
 type voteKey struct {

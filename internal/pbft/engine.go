@@ -1003,6 +1003,12 @@ func (e *Engine) stabilizeCheckpoint(seq uint64) {
 	}
 	e.pruneSentVotes(seq)
 	e.pruneSeenVotes(seq)
+	// A stable checkpoint also makes the durable log below it dead
+	// weight; compacting here (rather than on a timer) keeps disk usage
+	// a pure function of protocol progress.
+	if c, ok := e.wal.(WALCompacter); ok && e.wal != nil {
+		c.CompactBelow(e.cfg.Era, seq)
+	}
 }
 
 // --- progress timer ---

@@ -146,6 +146,13 @@ func (a *App) SubmitTx(tx *types.Transaction) error {
 	if err := tx.VerifyCached(); err != nil {
 		return err
 	}
+	// An already-committed transaction is a stale re-submission (a
+	// re-disseminated request, or a client retrying across a snapshot
+	// install); pooling it would only produce duplicate-tx rejections at
+	// validation time.
+	if _, committed := a.chain.FindTx(tx.ID()); committed {
+		return nil
+	}
 	err := a.pool.Add(tx)
 	if err == ErrTxDuplicate {
 		return nil // idempotent submission

@@ -36,6 +36,10 @@ type Node struct {
 	OnCommit func(now consensus.Time, b *types.Block)
 	// OnEraSwitch, if set, observes completed era switches.
 	OnEraSwitch func(now consensus.Time, era uint64, committee []gcrypto.Address)
+	// OnSnapshotInstall, if set, observes fast-sync snapshot installs —
+	// the chain jumped to height wholesale, so block-by-block mirrors
+	// (the block log, chaos replay slices) must reset to this base.
+	OnSnapshotInstall func(now consensus.Time, era, height uint64)
 	// CommitErr records the first commit failure (a bug or a fork).
 	CommitErr error
 
@@ -69,6 +73,57 @@ type CounterSnapshot struct {
 	LastHeight uint64
 	// Pool is the mempool backpressure snapshot.
 	Pool PoolStats
+	// Sync is the engine's catch-up activity (zero value when the
+	// engine does not report sync statistics).
+	Sync SyncStats
+}
+
+// SyncMode records how a node last caught up with the chain.
+type SyncMode uint8
+
+// Sync modes, in escalation order.
+const (
+	// SyncModeNone: no catch-up has run.
+	SyncModeNone SyncMode = iota
+	// SyncModeReplay: block-by-block tailing only.
+	SyncModeReplay
+	// SyncModeSnapshot: a verified snapshot was installed, then tailed.
+	SyncModeSnapshot
+)
+
+// String names the sync mode (Prometheus label and inspect output).
+func (m SyncMode) String() string {
+	switch m {
+	case SyncModeReplay:
+		return "replay"
+	case SyncModeSnapshot:
+		return "snapshot"
+	default:
+		return "none"
+	}
+}
+
+// SyncStats is an engine's view of its own catch-up machinery.
+type SyncStats struct {
+	// Retries counts timed-out sync/head/snapshot requests that were
+	// re-issued (with backoff) to the same or a rotated peer.
+	Retries uint64
+	// BlocksSynced counts blocks applied through the sync path (as
+	// opposed to ordinary consensus commits).
+	BlocksSynced uint64
+	// SnapshotsInstalled / SnapshotsRejected count fast-sync outcomes;
+	// SnapshotsServed counts snapshots this node shipped to others.
+	SnapshotsInstalled uint64
+	SnapshotsRejected  uint64
+	SnapshotsServed    uint64
+	// Mode is how the most recent catch-up completed.
+	Mode SyncMode
+}
+
+// SyncStatsProvider is implemented by engines that track catch-up
+// statistics (the era-layer engine does).
+type SyncStatsProvider interface {
+	SyncStats() SyncStats
 }
 
 // Counters snapshots the node's event counters; safe to call from any
@@ -84,6 +139,9 @@ func (n *Node) Counters() CounterSnapshot {
 	}
 	if n.App != nil {
 		cs.Pool = n.App.Pool().Stats()
+	}
+	if sp, ok := n.Engine.(SyncStatsProvider); ok {
+		cs.Sync = sp.SyncStats()
 	}
 	return cs
 }
@@ -175,6 +233,11 @@ func (n *Node) applyList(now consensus.Time, acts []consensus.Action) (committed
 		case consensus.EraSwitched:
 			if n.OnEraSwitch != nil {
 				n.OnEraSwitch(now, act.Era, act.Committee)
+			}
+		case consensus.SnapshotInstalled:
+			n.ctr.lastHeight.Store(act.Height)
+			if n.OnSnapshotInstall != nil {
+				n.OnSnapshotInstall(now, act.Era, act.Height)
 			}
 		}
 	}

@@ -29,7 +29,7 @@ func testGenesis(t testing.TB) *ledger.Genesis {
 }
 
 // buildChain commits n blocks and returns them (excluding genesis).
-func buildChain(t *testing.T, n int) (*ledger.Genesis, []*types.Block) {
+func buildChain(t testing.TB, n int) (*ledger.Genesis, []*types.Block) {
 	t.Helper()
 	g := testGenesis(t)
 	chain, err := ledger.NewChain(g)

@@ -1,0 +1,395 @@
+package store
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"gpbft/internal/codec"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/ledger"
+)
+
+// SnapshotTag versions the snapshot wire format.
+const SnapshotTag = "gpbft/snapshot/v1"
+
+// MaxSnapshotFrame bounds one snapshot file frame. The state encoding
+// itself is capped at codec.MaxBytesLen; the frame adds envelope
+// overhead.
+const MaxSnapshotFrame = 24 << 20
+
+// ErrCorruptSnapshot wraps every way a snapshot can fail to decode or
+// authenticate: torn files, bit flips, non-minimal varints, truncated
+// records, bad signatures. Callers branch on this one error to fall
+// back to full replay; partial state is never installed.
+var ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+
+// Snapshot is a signed chain-state checkpoint. The producer signature
+// proves attribution (who published these bytes); correctness of the
+// state itself is anchored separately, in a quorum of peer-reported
+// roots at fast-sync time, or in local trust for a node reloading its
+// own file.
+type Snapshot struct {
+	State       *ledger.ChainState
+	Producer    gcrypto.Address
+	ProducerPub []byte
+	Signature   []byte
+}
+
+// signingDigest is the domain-separated message the producer signs:
+// the tag plus the state root, committing to the full canonical state.
+func signingDigest(root gcrypto.Hash) []byte {
+	w := codec.NewWriter(64)
+	w.String(SnapshotTag)
+	w.Raw(root[:])
+	return w.Bytes()
+}
+
+// NewSnapshot signs st as kp.
+func NewSnapshot(st *ledger.ChainState, kp *gcrypto.KeyPair) *Snapshot {
+	return &Snapshot{
+		State:       st,
+		Producer:    kp.Address(),
+		ProducerPub: append([]byte(nil), kp.Public()...),
+		Signature:   kp.Sign(signingDigest(st.Root())),
+	}
+}
+
+// Height returns the checkpoint height.
+func (s *Snapshot) Height() uint64 { return s.State.Height() }
+
+// Era returns the checkpoint era.
+func (s *Snapshot) Era() uint64 { return s.State.Era }
+
+// Root returns the state root the producer signed.
+func (s *Snapshot) Root() gcrypto.Hash { return s.State.Root() }
+
+// Verify checks the producer signature and key-address binding.
+func (s *Snapshot) Verify() error {
+	if len(s.ProducerPub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: bad producer key", ErrCorruptSnapshot)
+	}
+	if err := gcrypto.Verify(s.ProducerPub, s.Producer, signingDigest(s.State.Root()), s.Signature); err != nil {
+		return fmt.Errorf("%w: signature: %v", ErrCorruptSnapshot, err)
+	}
+	return nil
+}
+
+// MarshalCanonical implements codec.Marshaler.
+func (s *Snapshot) MarshalCanonical(w *codec.Writer) {
+	w.String(SnapshotTag)
+	w.WriteBytes(ledger.EncodeChainState(s.State))
+	w.Raw(s.Producer[:])
+	w.WriteBytes(s.ProducerPub)
+	w.WriteBytes(s.Signature)
+}
+
+// EncodeSnapshot returns the wire bytes of s.
+func EncodeSnapshot(s *Snapshot) []byte { return codec.Encode(s) }
+
+// DecodeSnapshot parses wire bytes. Every failure — framing, codec,
+// shape — comes back wrapped in ErrCorruptSnapshot.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	r := codec.NewReader(b)
+	if tag := r.ReadString(); r.Err() != nil || tag != SnapshotTag {
+		return nil, fmt.Errorf("%w: bad tag", ErrCorruptSnapshot)
+	}
+	stateBytes := r.ReadBytes()
+	var s Snapshot
+	r.RawInto(s.Producer[:])
+	s.ProducerPub = r.ReadBytes()
+	s.Signature = r.ReadBytes()
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	st, err := ledger.DecodeChainState(stateBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: state: %v", ErrCorruptSnapshot, err)
+	}
+	s.State = st
+	return &s, nil
+}
+
+// WriteSnapshotFile atomically publishes a snapshot: the CRC-framed
+// encoding is written to a temp file, fsynced, renamed into place, and
+// the directory fsynced — a crash at any point leaves either the old
+// file or the new one, never a torn hybrid.
+func WriteSnapshotFile(path string, s *Snapshot) error {
+	body := EncodeSnapshot(s)
+	if len(body) > MaxSnapshotFrame {
+		return fmt.Errorf("store: snapshot %d bytes exceeds frame limit", len(body))
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(encodeFrame(body)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot publish: %w", err)
+	}
+	return syncDir(path)
+}
+
+// ReadSnapshotFile loads and decodes one snapshot file. Unlike the
+// append-only logs, a snapshot is all-or-nothing: a torn or damaged
+// frame is ErrCorruptSnapshot, never a usable prefix.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	return DecodeSnapshotFile(data)
+}
+
+// DecodeSnapshotFile parses the on-disk frame layout (one CRC frame
+// holding the snapshot encoding, nothing else).
+func DecodeSnapshotFile(data []byte) (*Snapshot, error) {
+	var body []byte
+	validEnd, err := scanFrames(data, MaxSnapshotFrame, func(b []byte) error {
+		if body != nil {
+			return fmt.Errorf("second frame")
+		}
+		body = append([]byte(nil), b...)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if body == nil || validEnd != int64(len(data)) {
+		return nil, fmt.Errorf("%w: torn or trailing data", ErrCorruptSnapshot)
+	}
+	return DecodeSnapshot(body)
+}
+
+// SnapshotProvider is the surface the fast-sync engine and the chaos
+// harness share: publish a snapshot, load the newest valid one.
+type SnapshotProvider interface {
+	// Latest returns the newest verifiable snapshot, or (nil, nil) when
+	// none exists. Corrupt files are skipped, not fatal.
+	Latest() (*Snapshot, error)
+	// Add persists a snapshot (applying retention).
+	Add(*Snapshot) error
+	// OldestHeight returns the checkpoint height of the oldest retained
+	// valid snapshot (0 when none) — the compaction floor: blocks at or
+	// below it may be truncated, because any restart can start from a
+	// retained snapshot instead.
+	OldestHeight() uint64
+}
+
+// SnapshotStore keeps the last K snapshots as files in a directory.
+type SnapshotStore struct {
+	mu     sync.Mutex
+	dir    string
+	retain int
+}
+
+// DefaultRetainSnapshots is the default retention depth.
+const DefaultRetainSnapshots = 2
+
+// OpenSnapshotStore opens (creating if needed) a snapshot directory.
+func OpenSnapshotStore(dir string, retain int) (*SnapshotStore, error) {
+	if retain <= 0 {
+		retain = DefaultRetainSnapshots
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: snapshot dir: %w", err)
+	}
+	return &SnapshotStore{dir: dir, retain: retain}, nil
+}
+
+// Dir returns the backing directory.
+func (s *SnapshotStore) Dir() string { return s.dir }
+
+func snapshotFileName(height uint64) string {
+	return fmt.Sprintf("snap-%016d.gsnap", height)
+}
+
+// files lists snapshot filenames sorted ascending by height (the
+// zero-padded name sorts numerically).
+func (s *SnapshotStore) files() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "snap-") && strings.HasSuffix(e.Name(), ".gsnap") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Add atomically publishes snap and prunes beyond the retention depth.
+func (s *SnapshotStore) Add(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.dir, snapshotFileName(snap.Height()))
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		return err
+	}
+	names, err := s.files()
+	if err != nil {
+		return nil // published fine; retention is best effort
+	}
+	for len(names) > s.retain {
+		os.Remove(filepath.Join(s.dir, names[0]))
+		names = names[1:]
+	}
+	return nil
+}
+
+// Latest returns the newest snapshot that decodes and verifies,
+// skipping damaged files, or (nil, nil) when none survive.
+func (s *SnapshotStore) Latest() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := s.files()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		snap, err := ReadSnapshotFile(filepath.Join(s.dir, names[i]))
+		if err != nil || snap.Verify() != nil {
+			continue
+		}
+		return snap, nil
+	}
+	return nil, nil
+}
+
+// OldestHeight implements SnapshotProvider.
+func (s *SnapshotStore) OldestHeight() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := s.files()
+	if err != nil {
+		return 0
+	}
+	for _, name := range names {
+		snap, err := ReadSnapshotFile(filepath.Join(s.dir, name))
+		if err != nil || snap.Verify() != nil {
+			continue
+		}
+		return snap.Height()
+	}
+	return 0
+}
+
+// MemSnapshots is the in-memory SnapshotProvider the simulated chaos
+// clusters use as durable snapshot storage: encoded blobs survive a
+// simulated crash exactly like files survive a process kill, and tests
+// can flip bits in them to model disk corruption.
+type MemSnapshots struct {
+	mu     sync.Mutex
+	retain int
+	blobs  [][]byte // encoded snapshots, oldest first
+}
+
+// NewMemSnapshots returns an empty in-memory store retaining K blobs.
+func NewMemSnapshots(retain int) *MemSnapshots {
+	if retain <= 0 {
+		retain = DefaultRetainSnapshots
+	}
+	return &MemSnapshots{retain: retain}
+}
+
+// Add implements SnapshotProvider.
+func (m *MemSnapshots) Add(snap *Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs = append(m.blobs, EncodeSnapshot(snap))
+	if len(m.blobs) > m.retain {
+		m.blobs = append([][]byte(nil), m.blobs[len(m.blobs)-m.retain:]...)
+	}
+	return nil
+}
+
+// Latest implements SnapshotProvider.
+func (m *MemSnapshots) Latest() (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.blobs) - 1; i >= 0; i-- {
+		snap, err := DecodeSnapshot(m.blobs[i])
+		if err != nil || snap.Verify() != nil {
+			continue
+		}
+		return snap, nil
+	}
+	return nil, nil
+}
+
+// OldestHeight implements SnapshotProvider.
+func (m *MemSnapshots) OldestHeight() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, b := range m.blobs {
+		snap, err := DecodeSnapshot(b)
+		if err != nil || snap.Verify() != nil {
+			continue
+		}
+		return snap.Height()
+	}
+	return 0
+}
+
+// Len returns how many blobs are retained (including corrupt ones).
+func (m *MemSnapshots) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs)
+}
+
+// CorruptNewest flips one byte in the newest stored blob, modeling
+// at-rest disk corruption. Returns false when the store is empty.
+func (m *MemSnapshots) CorruptNewest() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.blobs) == 0 {
+		return false
+	}
+	blob := m.blobs[len(m.blobs)-1]
+	if len(blob) == 0 {
+		return false
+	}
+	blob[len(blob)/2] ^= 0x40
+	return true
+}
+
+// CorruptAll flips one byte in every stored blob.
+func (m *MemSnapshots) CorruptAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, blob := range m.blobs {
+		if len(blob) > 0 {
+			blob[len(blob)/2] ^= 0x40
+		}
+	}
+}

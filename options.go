@@ -69,6 +69,18 @@ type Options struct {
 	// MempoolShards sets the mempool lock-stripe count
 	// (0 = runtime.DefaultMempoolShards; clamped to a power of two ≤ 256).
 	MempoolShards int
+	// Snapshots enables signed era snapshots (GPBFT only): every era
+	// boundary each node exports its canonical chain state, signs it,
+	// and retains the newest RetainSnapshots checkpoints. A node whose
+	// lag exceeds FastSyncThreshold then fast-syncs snapshot-then-tail
+	// instead of replaying every block.
+	Snapshots bool
+	// RetainSnapshots is the per-node snapshot retention depth
+	// (0 = store.DefaultRetainSnapshots).
+	RetainSnapshots int
+	// FastSyncThreshold is the block gap at which a lagging node
+	// prefers a snapshot over full replay (0 = engine default).
+	FastSyncThreshold uint64
 	// GeoTimerProposer orders the committee by geographic timer (the
 	// incentive bias). Only meaningful under GPBFT.
 	GeoTimerProposer bool

@@ -108,7 +108,14 @@ func NewCluster(opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		app := runtime.NewApp(chain, runtime.NewMempoolShards(opts.MempoolCap, opts.MempoolShards), kp.Address(), opts.Epoch, opts.BatchSize)
+		pool := runtime.NewMempoolShards(opts.MempoolCap, opts.MempoolShards)
+		if opts.RateLimit > 0 {
+			pool = runtime.NewMempoolQoS(opts.MempoolCap, opts.MempoolShards, runtime.QoSConfig{
+				LaneWeights: opts.LaneWeights,
+				FairShare:   opts.FairShare,
+			})
+		}
+		app := runtime.NewApp(chain, pool, kp.Address(), opts.Epoch, opts.BatchSize)
 		// Adaptive block sizing: a deep backlog packs fuller blocks (up to
 		// 4x the base batch) instead of queueing more rounds.
 		app.SetMaxBatch(4 * opts.BatchSize)
@@ -190,6 +197,20 @@ func NewCluster(opts Options) (*Cluster, error) {
 			ID: kp.Address(), Key: kp, App: app, Engine: eng,
 			Exec:     c.net.Executor(kp.Address()),
 			OnCommit: c.metrics.ObserveCommit,
+		}
+		if opts.RateLimit > 0 {
+			adm := runtime.NewAdmission(runtime.AdmissionConfig{
+				Rate:           opts.RateLimit,
+				Burst:          opts.RateBurst,
+				ShedThresholds: opts.ShedThresholds,
+			})
+			adm.BindPool(pool)
+			if c.coreEng[i] != nil {
+				adm.BindInFlight(c.coreEng[i].InFlight)
+			} else if c.pbftEng[i] != nil {
+				adm.BindInFlight(c.pbftEng[i].InFlight)
+			}
+			node.Admission = adm
 		}
 		if i == 0 {
 			node.OnEraSwitch = func(consensus.Time, uint64, []gcrypto.Address) {
@@ -348,6 +369,16 @@ func (c *Cluster) SubmitNodeTx(at time.Duration, i int, payload []byte, fee uint
 	tx := c.NewNodeTx(i, at, payload, fee)
 	c.SubmitTx(at, i, tx)
 	return tx
+}
+
+// SubmitAttackTx injects a pre-signed transaction through node `via`
+// WITHOUT starting the latency clock: attack traffic competes for
+// admission and pool space but must not pollute the honest latency
+// distribution the bench gates on.
+func (c *Cluster) SubmitAttackTx(at time.Duration, via int, tx *types.Transaction) {
+	c.net.Schedule(at, func(now consensus.Time) {
+		_ = c.nodes[via].Submit(now, tx)
+	})
 }
 
 // ScheduleReports makes node i submit `count` location reports every

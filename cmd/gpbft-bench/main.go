@@ -29,6 +29,9 @@ import (
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "small deterministic sim run (the CI gate workload)")
+		attack    = flag.Bool("attack", false, "deterministic sim run under attacker flood with the overload armor on")
+		attackers = flag.Int("attackers", 3, "flooder identities for -attack")
+		rateLimit = flag.Float64("rate-limit", 0, "per-identity admission rate in tx/s (0 = armor off; -attack defaults to honest per-node share x2)")
 		mode      = flag.String("mode", "", "run one explicit mode: sim | tcp (default: full suite)")
 		committee = flag.Int("committee", 22, "endorser committee size")
 		rate      = flag.Int("rate", 200, "offered load, transactions per second")
@@ -49,6 +52,9 @@ func main() {
 	flag.Parse()
 
 	runs := planRuns(*quick, *mode, *committee, *rate, *duration, *batch, *shards, *poolCap, *workers, *inflight, *serial, *seed, *name)
+	if *attack {
+		runs = append(runs, planAttackRun(*attackers, *rateLimit, *seed, *name))
+	}
 
 	var results []loadgen.Result
 	for _, r := range runs {
@@ -140,6 +146,40 @@ func planRuns(quick bool, mode string, committee, rate int, duration time.Durati
 		{name: fmt.Sprintf("tcp-c%d-serial", committee), cfg: ser},
 		{name: fmt.Sprintf("tcp-c%d-inflight1", committee), cfg: one},
 	}
+}
+
+// planAttackRun is the attack-load scenario: the quick-gate workload
+// with flooder identities riding alongside and the overload armor on.
+// The recorded TPS/latency are honest-only (attack traffic never
+// starts the latency clock), so the entry answers "what do honest
+// clients see while the committee is under flood?".
+func planAttackRun(attackers int, rateLimit float64, seed int64, name string) plannedRun {
+	cfg := loadgen.Config{
+		Mode:      "sim",
+		Committee: 7,
+		// Honest load sits inside the cluster's committed-TPS capacity
+		// (the quick gate saturates ~200 tps at this committee): the
+		// entry then isolates what the FLOOD does to honest service,
+		// not what overload does.
+		Rate:         120,
+		Duration:     2 * time.Second,
+		Seed:         seed,
+		Attackers:    attackers,
+		AttackFactor: 5,
+		RateLimit:    rateLimit,
+	}
+	if cfg.RateLimit <= 0 {
+		// Default armor setting: 1.5x one honest node's share, so
+		// honest traffic always fits and flooders lose their overflow.
+		cfg.RateLimit = 1.5 * float64(cfg.Rate) / float64(cfg.Committee)
+	}
+	n := name
+	if n == "" {
+		n = "sim-attack-c7"
+	} else {
+		n += "-attack"
+	}
+	return plannedRun{name: n, cfg: cfg}
 }
 
 // writeAndCheck merges results into the trajectory files under outDir

@@ -2,16 +2,23 @@
 // over TCP: it frames signed Request envelopes exactly as a committee
 // peer would, acting as an IoT device at a fixed location.
 //
-//	gpbft-client -to 127.0.0.1:9000 -count 10 -interval 200ms
+// The client listens for signed TxRejected replies on the same
+// connection: an admission-control rejection (rate limit, load shed,
+// pool full) is retried with jittered capped-exponential backoff,
+// floored by the node's retry-after hint.
+//
+//	gpbft-client -to 127.0.0.1:9000 -count 10 -interval 200ms -retries 6
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"time"
 
+	"gpbft/internal/backoff"
 	"gpbft/internal/consensus"
 	"gpbft/internal/gcrypto"
 	"gpbft/internal/geo"
@@ -31,15 +38,17 @@ func main() {
 		lat      = flag.Float64("lat", 22.3050, "device latitude")
 		payload  = flag.String("payload", "sensor-reading", "transaction payload")
 		kind     = flag.String("kind", "data", "data or report")
+		retries  = flag.Int("retries", 6, "max resubmissions after a rejection (0 disables the reply listener)")
+		replyWin = flag.Duration("reply-window", 150*time.Millisecond, "how long to listen for a rejection before assuming acceptance")
 	)
 	flag.Parse()
 
 	kp := gcrypto.DeterministicKeyPair(*keyIdx)
-	conn, err := net.DialTimeout("tcp", *to, 5*time.Second)
+	cl, err := newClient(*to, kp, *retries, *replyWin)
 	if err != nil {
-		fatalf("dial %s: %v", *to, err)
+		fatalf("%v", err)
 	}
-	defer conn.Close()
+	defer cl.close()
 
 	for i := 0; i < *count; i++ {
 		tx := &types.Transaction{
@@ -60,14 +69,146 @@ func main() {
 			fatalf("unknown -kind %q", *kind)
 		}
 		tx.Sign(kp)
-		env := consensus.Seal(kp, &pbft.Request{Tx: *tx})
-		if err := transport.WriteFrame(conn, env); err != nil {
-			fatalf("send: %v", err)
+		if err := cl.submit(tx); err != nil {
+			fatalf("submit: %v", err)
 		}
-		fmt.Printf("sent %s tx %s from %s\n", tx.Type, tx.ID().Short(), kp.Address().Short())
 		if i < *count-1 {
 			time.Sleep(*interval)
 		}
+	}
+}
+
+// client is one connection to a node plus the rejection-reply reader.
+type client struct {
+	endpoint string
+	kp       *gcrypto.KeyPair
+	nodeAddr gcrypto.Address // learned from the first verified reply
+	retries  int
+	replyWin time.Duration
+	policy   backoff.Policy
+	rnd      func() float64
+
+	conn    net.Conn
+	rejects chan pbft.TxRejected
+}
+
+func newClient(endpoint string, kp *gcrypto.KeyPair, retries int, replyWin time.Duration) (*client, error) {
+	c := &client{
+		endpoint: endpoint,
+		kp:       kp,
+		retries:  retries,
+		replyWin: replyWin,
+		policy:   backoff.Default(),
+		rnd:      rand.New(rand.NewSource(time.Now().UnixNano())).Float64,
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials the node (with backoff across attempts) and starts the
+// reply reader.
+func (c *client) connect() error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.policy.Delay(attempt-1, c.rnd))
+		}
+		conn, err := net.DialTimeout("tcp", c.endpoint, 5*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.conn = conn
+		c.rejects = make(chan pbft.TxRejected, 16)
+		if c.retries > 0 {
+			go c.readReplies(conn, c.rejects)
+		}
+		return nil
+	}
+	return fmt.Errorf("dial %s: %v", c.endpoint, lastErr)
+}
+
+// readReplies pumps signed TxRejected frames into the reject channel;
+// unverifiable or unexpected frames are ignored (an attacker cannot
+// forge a back-off signal).
+func (c *client) readReplies(conn net.Conn, out chan<- pbft.TxRejected) {
+	for {
+		env, err := transport.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var rej pbft.TxRejected
+		if consensus.Open(env, consensus.KindTxReject, &rej) != nil {
+			continue
+		}
+		if !c.nodeAddr.IsZero() && env.From != c.nodeAddr {
+			continue
+		}
+		c.nodeAddr = env.From
+		select {
+		case out <- rej:
+		default:
+		}
+	}
+}
+
+// submit sends one transaction, listening briefly for a rejection; a
+// rejected transaction is resubmitted with jittered capped-exponential
+// backoff floored by the node's retry-after hint, up to -retries times.
+func (c *client) submit(tx *types.Transaction) error {
+	id := tx.ID()
+	for attempt := 0; ; attempt++ {
+		env := consensus.Seal(c.kp, &pbft.Request{Tx: *tx})
+		if err := transport.WriteFrame(c.conn, env); err != nil {
+			// The connection died; reconnect once per attempt.
+			c.conn.Close()
+			if cerr := c.connect(); cerr != nil {
+				return cerr
+			}
+			if err := transport.WriteFrame(c.conn, env); err != nil {
+				return err
+			}
+		}
+		if c.retries == 0 {
+			fmt.Printf("sent %s tx %s from %s\n", tx.Type, id.Short(), c.kp.Address().Short())
+			return nil
+		}
+		rej, rejected := c.awaitReject(id)
+		if !rejected {
+			fmt.Printf("sent %s tx %s from %s (attempt %d)\n", tx.Type, id.Short(), c.kp.Address().Short(), attempt+1)
+			return nil
+		}
+		if attempt >= c.retries {
+			return fmt.Errorf("tx %s rejected %d times, last reason %s", id.Short(), attempt+1, rej.Reason)
+		}
+		delay := c.policy.DelayAfter(attempt, rej.RetryAfter, c.rnd)
+		fmt.Printf("tx %s rejected (%s), retrying in %s\n", id.Short(), rej.Reason, delay.Round(time.Millisecond))
+		time.Sleep(delay)
+	}
+}
+
+// awaitReject waits up to the reply window for a rejection of tx id.
+// No news is good news: admission replies arrive within one RTT, so a
+// silent window means the transaction was accepted.
+func (c *client) awaitReject(id gcrypto.Hash) (pbft.TxRejected, bool) {
+	deadline := time.After(c.replyWin)
+	for {
+		select {
+		case rej := <-c.rejects:
+			if rej.TxID == id {
+				return rej, true
+			}
+		case <-deadline:
+			return pbft.TxRejected{}, false
+		}
+	}
+}
+
+func (c *client) close() {
+	if c.conn != nil {
+		c.conn.Close()
 	}
 }
 

@@ -37,6 +37,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -81,6 +83,11 @@ func run() error {
 		inflight  = flag.Int("max-inflight", 0, "consensus pipelining depth (0 = engine default, 1 = one-slot serial)")
 		poolCap   = flag.Int("mempool-cap", 0, "mempool capacity in transactions (0 = default)")
 		shards    = flag.Int("mempool-shards", 0, "mempool shard count, rounded to a power of two (0 = default)")
+		rateLimit = flag.Float64("rate-limit", 0, "overload armor: per-identity admission rate in tx/s; enables QoS mempool lanes and load shedding (0 = off, exact pre-armor behaviour)")
+		rateBurst = flag.Float64("rate-burst", 0, "admission token-bucket burst in transactions (0 = 2x rate, min 8)")
+		laneWts   = flag.String("lane-weights", "", "QoS scheduler weights as control,normal,bulk (default 8,4,1)")
+		shedThr   = flag.String("shed-thresholds", "", "mempool-occupancy fractions raising shed level 1,2,3 (default 0.5,0.75,0.9)")
+		ingressBy = flag.Int("ingress-bytes", 0, "per-client-connection ingress budget in bytes/s (0 = unlimited)")
 		quiet     = flag.Bool("quiet", false, "suppress per-block logging")
 		dataPath  = flag.String("data", "", "block-log file for durable persistence; the vote WAL lives at <data>.wal (empty = in-memory only)")
 		fsync     = flag.Bool("fsync", false, "fsync the block log and vote WAL after every write")
@@ -189,12 +196,27 @@ func run() error {
 		}
 	}
 
-	app := runtime.NewApp(chain, runtime.NewMempoolShards(*poolCap, *shards), self.Address(), epoch, *batch)
+	weights, err := parseTriple(*laneWts, [3]int{})
+	if err != nil {
+		return fmt.Errorf("-lane-weights: %v", err)
+	}
+	thresholds, err := parseTripleFloat(*shedThr, [3]float64{})
+	if err != nil {
+		return fmt.Errorf("-shed-thresholds: %v", err)
+	}
+	// With -rate-limit the mempool grows priority lanes; without it the
+	// plain sharded pool keeps the exact pre-armor behaviour.
+	pool := runtime.NewMempoolShards(*poolCap, *shards)
+	if *rateLimit > 0 {
+		pool = runtime.NewMempoolQoS(*poolCap, *shards, runtime.QoSConfig{LaneWeights: weights})
+	}
+	app := runtime.NewApp(chain, pool, self.Address(), epoch, *batch)
 	// Adaptive block sizing: when the pool runs deep, pack blocks past
 	// the target so the pipeline drains backlog instead of queueing it.
 	app.SetMaxBatch(4 * *batch)
 
 	var engine consensus.Engine
+	var inflightProbe func() (used, depth int)
 	switch *protocol {
 	case "pbft":
 		com, err := consensus.NewCommittee(g.Endorsers)
@@ -215,6 +237,7 @@ func run() error {
 			return fmt.Errorf("pbft: %v", err)
 		}
 		engine = eng
+		inflightProbe = eng.InFlight
 	case "gpbft":
 		cfg := core.Config{
 			Chain: chain, Key: self, App: app,
@@ -234,15 +257,48 @@ func run() error {
 			return fmt.Errorf("gpbft: %v", err)
 		}
 		engine = eng
+		inflightProbe = eng.InFlight
 	default:
 		return fmt.Errorf("unknown -protocol %q", *protocol)
+	}
+
+	// Overload armor: the admission controller charges one token bucket
+	// per sender identity and sheds load by lane as the pool fills. The
+	// deployment's own deterministic node identities are exempt — their
+	// location reports and evidence are the control traffic the armor
+	// exists to protect, and authenticated committee members are not the
+	// flood surface (unattributed client connections are).
+	var adm *runtime.Admission
+	if *rateLimit > 0 {
+		adm = runtime.NewAdmission(runtime.AdmissionConfig{
+			Rate:           *rateLimit,
+			Burst:          *rateBurst,
+			ShedThresholds: thresholds,
+		})
+		for i := 0; i < *nodes; i++ {
+			adm.Exempt(keys[i].Address())
+		}
+		adm.BindPool(pool)
+		adm.BindInFlight(inflightProbe)
 	}
 
 	addr := *listen
 	if addr == "" {
 		addr = fmt.Sprintf("%s:%d", *host, *basePort+*index)
 	}
-	tcp, err := transport.New(transport.Config{Listen: addr, Key: self})
+	tcpCfg := transport.Config{Listen: addr, Key: self, IngressBytesPerSec: *ingressBy}
+	if adm != nil {
+		// The transport gate is the single admission charge for network
+		// requests; rejected client requests get a signed TxRejected reply
+		// with the retry-after hint. The clock only has to be monotone and
+		// shared with Observe to within the recalc interval, so an
+		// independent start instant is fine.
+		admStart := time.Now()
+		tcpCfg.AdmitTx = func(tx *types.Transaction) error {
+			return adm.Admit(time.Since(admStart), tx)
+		}
+	}
+	tcp, err := transport.New(tcpCfg)
 	if err != nil {
 		return err
 	}
@@ -256,7 +312,7 @@ func run() error {
 		}
 	}
 
-	node := &runtime.Node{ID: self.Address(), Key: self, App: app, Engine: engine}
+	node := &runtime.Node{ID: self.Address(), Key: self, App: app, Engine: engine, Admission: adm}
 	node.OnCommit = func(now consensus.Time, b *types.Block) {
 		if blockLog != nil {
 			if err := blockLog.Append(b); err != nil {
@@ -343,6 +399,12 @@ func run() error {
 			fmt.Fprintf(w, "# TYPE gpbft_mempool_rejected_dup_total counter\ngpbft_mempool_rejected_dup_total %d\n", c.Pool.RejectedDup)
 			fmt.Fprintf(w, "# TYPE gpbft_mempool_dropped_total counter\ngpbft_mempool_dropped_total %d\n", c.Pool.Dropped)
 			fmt.Fprintf(w, "# TYPE gpbft_mempool_committed_total counter\ngpbft_mempool_committed_total %d\n", c.Pool.Committed)
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_evicted_shed_total counter\ngpbft_mempool_evicted_shed_total %d\n", c.Pool.EvictedShed)
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_lane_depth gauge\n")
+			for l, depth := range c.Pool.Lanes {
+				fmt.Fprintf(w, "gpbft_mempool_lane_depth{lane=%q} %d\n", runtime.Lane(l), depth)
+			}
+			c.Admission.WritePrometheus(w, "gpbft_")
 			runtime.SyncMetrics{
 				Stats:            c.Sync,
 				SnapshotsWritten: snapsWritten.Load(),
@@ -398,4 +460,45 @@ func run() error {
 	runner.Run(ctx)
 	log.Printf("shutting down at height %d", chain.Height())
 	return nil
+}
+
+// parseTriple parses "a,b,c" into three ints; empty keeps def (zeros
+// defer to the runtime's documented defaults).
+func parseTriple(s string, def [3]int) ([3]int, error) {
+	if s == "" {
+		return def, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return def, fmt.Errorf("want three comma-separated values, got %q", s)
+	}
+	var out [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return def, fmt.Errorf("value %d of %q: %v", i+1, s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseTripleFloat is parseTriple for fractions.
+func parseTripleFloat(s string, def [3]float64) ([3]float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return def, fmt.Errorf("want three comma-separated values, got %q", s)
+	}
+	var out [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return def, fmt.Errorf("value %d of %q: %v", i+1, s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }

@@ -54,6 +54,13 @@ func TestKillRestartRecovery(t *testing.T) {
 			"-data", filepath.Join(dataDir, fmt.Sprintf("node%d.blocks", i)),
 			"-fsync",
 			"-metrics-addr", fmt.Sprintf("127.0.0.1:%d", metricsPort+i),
+			// Overload armor on: committee identities are exempt, so the
+			// 150ms report cadence must keep driving block production
+			// while the QoS pool and admission metrics are live.
+			"-rate-limit", "50",
+			"-lane-weights", "8,4,1",
+			"-shed-thresholds", "0.5,0.75,0.9",
+			"-ingress-bytes", "1048576",
 		)
 		cmd.Stdout = logf
 		cmd.Stderr = logf
@@ -83,6 +90,20 @@ func TestKillRestartRecovery(t *testing.T) {
 
 	// The committee produces blocks from its own location reports.
 	h0 := waitHeight(t, metricsPort+0, 3, 60*time.Second, "initial block production on node 0")
+
+	// The overload-armor observability surface must be in the scrape:
+	// admission counters by reason plus per-lane mempool depth gauges.
+	assertMetricsSeries(t, metricsPort+0,
+		"gpbft_admission_accepted_total",
+		`gpbft_admission_rejected_total{reason="rate-limit"}`,
+		`gpbft_admission_shed_total{reason="overload"}`,
+		"gpbft_admission_level",
+		"gpbft_admission_identities",
+		`gpbft_mempool_lane_depth{lane="control"}`,
+		`gpbft_mempool_lane_depth{lane="normal"}`,
+		`gpbft_mempool_lane_depth{lane="bulk"}`,
+		"gpbft_mempool_evicted_shed_total",
+	)
 
 	// SIGKILL node 0 mid-era: no shutdown hooks, no flushes beyond
 	// what the persist-before-send discipline already forced.
@@ -124,6 +145,26 @@ func waitHeight(t *testing.T, port int, min uint64, timeout time.Duration, what 
 	}
 	t.Fatalf("timed out waiting for %s: height %d < %d (last scrape error: %v)", what, last, min, lastErr)
 	return 0
+}
+
+// assertMetricsSeries scrapes a node's metrics endpoint once and fails
+// on any series (name or name{labels}) missing from the exposition.
+func assertMetricsSeries(t *testing.T, port int, series ...string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://127.0.0.1:%d/metrics", port))
+	if err != nil {
+		t.Fatalf("scrape metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	for _, s := range series {
+		if !strings.Contains(string(body), s+" ") {
+			t.Errorf("metrics scrape is missing series %s", s)
+		}
+	}
 }
 
 func scrapeHeight(port int) (uint64, error) {

@@ -1,0 +1,84 @@
+// Package backoff implements jittered capped-exponential retry delays.
+// It is shared by everything that retries against a possibly-overloaded
+// peer: the transport's redial loop and gpbft-client's submission
+// retry, including the admission-control retry-after path (a server
+// hint floors the computed delay — backing off less than the server
+// asked for just earns another rejection).
+package backoff
+
+import "time"
+
+// Default policy values.
+const (
+	DefaultBase   = 100 * time.Millisecond
+	DefaultCap    = 10 * time.Second
+	DefaultFactor = 2.0
+	DefaultJitter = 0.5
+)
+
+// Policy describes a capped-exponential backoff schedule.
+type Policy struct {
+	// Base is the attempt-0 delay.
+	Base time.Duration
+	// Cap bounds the un-jittered delay.
+	Cap time.Duration
+	// Factor is the per-attempt multiplier.
+	Factor float64
+	// Jitter widens each delay by up to this fraction of itself,
+	// decorrelating retry storms (0 = deterministic schedule).
+	Jitter float64
+}
+
+// Default returns the standard client policy.
+func Default() Policy {
+	return Policy{Base: DefaultBase, Cap: DefaultCap, Factor: DefaultFactor, Jitter: DefaultJitter}
+}
+
+func (p Policy) fill() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultCap
+	}
+	if p.Factor < 1 {
+		p.Factor = DefaultFactor
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Delay returns the delay before retry number attempt (0-based):
+// min(Base*Factor^attempt, Cap), widened by Jitter*rnd(). rnd must
+// return values in [0, 1); pass a seeded source for deterministic
+// tests, or nil for no jitter.
+func (p Policy) Delay(attempt int, rnd func() float64) time.Duration {
+	p = p.fill()
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Cap) {
+			break
+		}
+	}
+	if d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if p.Jitter > 0 && rnd != nil {
+		d += d * p.Jitter * rnd()
+	}
+	return time.Duration(d)
+}
+
+// DelayAfter is Delay floored by a server-provided retry-after hint:
+// the schedule still grows exponentially across attempts, but never
+// retries sooner than the server asked.
+func (p Policy) DelayAfter(attempt int, retryAfter time.Duration, rnd func() float64) time.Duration {
+	d := p.Delay(attempt, rnd)
+	if d < retryAfter {
+		return retryAfter
+	}
+	return d
+}

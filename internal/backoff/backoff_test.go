@@ -1,0 +1,70 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The un-jittered schedule must grow exponentially from Base and clamp
+// at Cap.
+func TestDeterministicSchedule(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, nil); got != w {
+			t.Fatalf("attempt %d: got %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+// Jitter must widen the delay by at most Jitter*delay, reproducibly
+// under an injected random source.
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 10 * time.Second, Factor: 2, Jitter: 0.5}
+	mk := func() func() float64 { r := rand.New(rand.NewSource(42)); return r.Float64 }
+	r1, r2 := mk(), mk()
+	for attempt := 0; attempt < 8; attempt++ {
+		base := p.Delay(attempt, nil)
+		d1 := p.Delay(attempt, r1)
+		d2 := p.Delay(attempt, r2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, d1, d2)
+		}
+		if d1 < base || d1 > base+base/2 {
+			t.Fatalf("attempt %d: jittered delay %v outside [%v, %v]", attempt, d1, base, base+base/2)
+		}
+	}
+}
+
+// A server retry-after hint floors the delay but never shortens a
+// schedule that has already grown past it.
+func TestRetryAfterFloor(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Cap: 5 * time.Second, Factor: 2}
+	if got := p.DelayAfter(0, time.Second, nil); got != time.Second {
+		t.Fatalf("early attempt should honor hint: got %v", got)
+	}
+	if got := p.DelayAfter(6, time.Second, nil); got != 3200*time.Millisecond {
+		t.Fatalf("late attempt should keep exponential delay: got %v", got)
+	}
+}
+
+// Zero-value policies must fall back to usable defaults.
+func TestZeroValueDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0, nil); got != DefaultBase {
+		t.Fatalf("zero policy attempt 0: got %v, want %v", got, DefaultBase)
+	}
+	long := p.Delay(64, nil)
+	if long != DefaultCap {
+		t.Fatalf("zero policy should cap at %v, got %v", DefaultCap, long)
+	}
+}

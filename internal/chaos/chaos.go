@@ -68,6 +68,25 @@ type Options struct {
 	// (0 = policy default, 10s). Snapshot schedules shrink it so
 	// growing ten eras stays a short virtual-time run.
 	EraPeriod time.Duration
+	// RateLimit turns on the overload armor on every node: per-identity
+	// token-bucket admission at this sustained tx/s, a QoS-lane mempool
+	// and the graceful-degradation shed controller. 0 keeps the plain
+	// FIFO pool and unguarded submit path — the ablation baseline.
+	RateLimit float64
+	// RateBurst overrides the admission token-bucket depth (0 = default).
+	RateBurst float64
+	// MempoolCap bounds each node's pool when QoS is on (0 = default).
+	MempoolCap int
+	// BatchSize is the per-block transaction batch (0 = 1, the chaos
+	// default; flood schedules raise it so sustained load can drain).
+	BatchSize int
+	// LaneWeights, FairShare and ShedThresholds pass through to the QoS
+	// mempool and admission controller (zero values pick defaults).
+	LaneWeights    [3]int
+	FairShare      int
+	ShedThresholds [3]float64
+	// LatencyTarget enables commit-latency EWMA shed escalation (0 = off).
+	LatencyTarget time.Duration
 }
 
 // slot is one node's durable storage: what survives a crash. The WAL
@@ -255,7 +274,18 @@ func (c *Cluster) boot(i int, amnesia bool) error {
 		c.replayed[i]++
 	}
 	kp := c.keys[i]
-	app := runtime.NewApp(chain, runtime.NewMempool(0), kp.Address(), c.epoch, 1)
+	pool := runtime.NewMempool(0)
+	if c.opts.RateLimit > 0 {
+		pool = runtime.NewMempoolQoS(c.opts.MempoolCap, 0, runtime.QoSConfig{
+			LaneWeights: c.opts.LaneWeights,
+			FairShare:   c.opts.FairShare,
+		})
+	}
+	batch := 1
+	if c.opts.BatchSize > 0 {
+		batch = c.opts.BatchSize
+	}
+	app := runtime.NewApp(chain, pool, kp.Address(), c.epoch, batch)
 	cfg := core.Config{
 		Chain:              chain,
 		Key:                kp,
@@ -299,6 +329,17 @@ func (c *Cluster) boot(i int, amnesia bool) error {
 	node := &runtime.Node{
 		ID: kp.Address(), Key: kp, App: app, Engine: engine,
 		Exec: c.net.Executor(kp.Address()),
+	}
+	if c.opts.RateLimit > 0 {
+		adm := runtime.NewAdmission(runtime.AdmissionConfig{
+			Rate:           c.opts.RateLimit,
+			Burst:          c.opts.RateBurst,
+			ShedThresholds: c.opts.ShedThresholds,
+			LatencyTarget:  c.opts.LatencyTarget,
+		})
+		adm.BindPool(pool)
+		adm.BindInFlight(eng.InFlight)
+		node.Admission = adm
 	}
 	node.OnCommit = func(_ consensus.Time, b *types.Block) {
 		s.blocks = append(s.blocks, b)

@@ -36,6 +36,9 @@ const (
 	KindNewView
 	KindEraSwitch
 	KindBlockSync
+	// KindTxReject is an admission-control reply: a node telling a
+	// submitter that its transaction was not accepted and when to retry.
+	KindTxReject
 )
 
 // String names the message kind.
@@ -59,6 +62,8 @@ func (k MsgKind) String() string {
 		return "era-switch"
 	case KindBlockSync:
 		return "block-sync"
+	case KindTxReject:
+		return "tx-reject"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -229,6 +229,15 @@ func (e *Engine) Switching() bool { return e.switching }
 // EraSwitches returns how many era switches this node completed.
 func (e *Engine) EraSwitches() uint64 { return e.eraSwitches }
 
+// InFlight reports the inner engine's active-instance count and
+// pipelining depth (0, 0 for an observer with no inner engine).
+func (e *Engine) InFlight() (used, depth int) {
+	if e.inner == nil {
+		return 0, 0
+	}
+	return e.inner.InFlight()
+}
+
 // --- lifecycle ---
 
 // Init implements consensus.Engine.

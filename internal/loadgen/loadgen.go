@@ -46,6 +46,20 @@ type Config struct {
 	Serial bool
 	// Seed drives deterministic choices (sim mode scheduling, keys).
 	Seed int64
+
+	// --- attack load (sim mode only) ---
+	// Attackers spawns this many dedicated flooder identities alongside
+	// the honest load; each offers AttackFactor times one honest
+	// node's share of Rate, pinned to one entry node. Attack traffic
+	// never starts the latency clock, so P50/P99/TPS stay honest-only.
+	Attackers int
+	// AttackFactor is each attacker's rate multiple over a single
+	// honest submitter's share (0 = 5).
+	AttackFactor int
+	// RateLimit enables the per-identity admission armor and QoS lanes
+	// on every node (tx/s per identity; 0 = off). An attack run with
+	// RateLimit 0 measures the unarmored baseline under flood.
+	RateLimit float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -67,6 +81,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.Seed == 0 {
 		out.Seed = 1
+	}
+	if out.Attackers > 0 && out.AttackFactor <= 0 {
+		out.AttackFactor = 5
 	}
 	// The seed's scheduler was one-slot-at-a-time, so the full serial
 	// ablation pins the pipelining depth to 1 alongside the
@@ -92,6 +109,13 @@ type Result struct {
 	TPS       float64 `json:"tps"`
 	P50Ms     float64 `json:"p50_ms"`
 	P99Ms     float64 `json:"p99_ms"`
+	// Attack-run extras (zero and omitted for plain runs): what the
+	// flooders offered and how much of it the armor turned away.
+	Attackers       int    `json:"attackers,omitempty"`
+	AttackerOffered int    `json:"attacker_offered,omitempty"`
+	Rejected        uint64 `json:"rejected,omitempty"`
+	Shed            uint64 `json:"shed,omitempty"`
+	EvictedShed     uint64 `json:"evicted_shed,omitempty"`
 }
 
 func (r Result) String() string {

@@ -29,7 +29,14 @@ type Entry struct {
 	Value     float64 `json:"value,omitempty"`  // committed TPS (tps metric)
 	P50Ms     float64 `json:"p50_ms,omitempty"` // latency metric
 	P99Ms     float64 `json:"p99_ms,omitempty"` // latency metric
-	When      string  `json:"when,omitempty"`
+	// Attack-run extras (omitted for plain runs): flooder identities,
+	// what they offered, and what the overload armor turned away.
+	Attackers       int    `json:"attackers,omitempty"`
+	AttackerOffered int    `json:"attacker_offered,omitempty"`
+	Rejected        uint64 `json:"rejected,omitempty"`
+	Shed            uint64 `json:"shed,omitempty"`
+	EvictedShed     uint64 `json:"evicted_shed,omitempty"`
+	When            string `json:"when,omitempty"`
 }
 
 // Metric names for the two trajectory files.
@@ -40,20 +47,32 @@ const (
 
 // TPSEntry projects a result into the TPS trajectory.
 func (r Result) TPSEntry() Entry {
-	return Entry{
+	e := Entry{
 		Name: r.Name, Mode: r.Mode, Committee: r.Committee, Serial: r.Serial,
 		Workers: r.Workers, Cores: r.Cores, Offered: r.Offered, Committed: r.Committed,
 		Value: round2(r.TPS), When: time.Now().UTC().Format(time.RFC3339),
 	}
+	r.attackExtras(&e)
+	return e
 }
 
 // LatencyEntry projects a result into the latency trajectory.
 func (r Result) LatencyEntry() Entry {
-	return Entry{
+	e := Entry{
 		Name: r.Name, Mode: r.Mode, Committee: r.Committee, Serial: r.Serial,
 		Workers: r.Workers, Cores: r.Cores, Offered: r.Offered, Committed: r.Committed,
 		P50Ms: round2(r.P50Ms), P99Ms: round2(r.P99Ms), When: time.Now().UTC().Format(time.RFC3339),
 	}
+	r.attackExtras(&e)
+	return e
+}
+
+func (r Result) attackExtras(e *Entry) {
+	e.Attackers = r.Attackers
+	e.AttackerOffered = r.AttackerOffered
+	e.Rejected = r.Rejected
+	e.Shed = r.Shed
+	e.EvictedShed = r.EvictedShed
 }
 
 func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"gpbft"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
 )
 
 // runSim drives a simulated G-PBFT cluster at the offered rate in
@@ -19,6 +21,7 @@ func runSim(c Config) (Result, error) {
 	o.MempoolShards = c.MempoolShards
 	o.MempoolCap = c.MempoolCap
 	o.MaxInFlight = c.MaxInFlight
+	o.RateLimit = c.RateLimit
 	// Freeze the committee: the bench measures the commit hot path, not
 	// era churn (chaos and harness experiments cover that).
 	o.DisableEraSwitch = true
@@ -35,6 +38,35 @@ func runSim(c Config) (Result, error) {
 		at := start + time.Duration(k)*interval
 		cl.SubmitNodeTx(at, k%c.Committee, []byte{byte(k), byte(k >> 8), byte(k >> 16)}, 1)
 	}
+	// Attack load rides alongside: each flooder identity offers
+	// AttackFactor times one honest node's share of Rate, pinned to a
+	// single entry node, without touching the latency clock.
+	attackOffered := 0
+	for a := 0; a < c.Attackers; a++ {
+		kp := gcrypto.DeterministicKeyPair(30000 + a)
+		entry := a % c.Committee
+		perAttacker := int(float64(c.Rate) / float64(c.Committee) * float64(c.AttackFactor) * c.Duration.Seconds())
+		if perAttacker < 1 {
+			perAttacker = 1
+		}
+		aInterval := c.Duration / time.Duration(perAttacker)
+		for k := 0; k < perAttacker; k++ {
+			at := start + time.Duration(k)*aInterval
+			tx := &types.Transaction{
+				Type:    types.TxNormal,
+				Nonce:   uint64(k + 1),
+				Payload: []byte{0xf1, byte(a), byte(k), byte(k >> 8)},
+				Fee:     1,
+				Geo: types.GeoInfo{
+					Location:  cl.Position(entry),
+					Timestamp: o.Epoch.Add(at),
+				},
+			}
+			tx.Sign(kp)
+			cl.SubmitAttackTx(at, entry, tx)
+			attackOffered++
+		}
+	}
 	cl.RunUntilIdle(c.Duration + 5*time.Minute)
 
 	m := cl.Metrics()
@@ -43,12 +75,23 @@ func runSim(c Config) (Result, error) {
 		return Result{}, fmt.Errorf("loadgen: sim run committed nothing (offered %d)", total)
 	}
 	elapsed := (cl.Now() - start).Seconds()
-	return Result{
+	res := Result{
 		Offered:   total,
 		Committed: committed,
 		Elapsed:   elapsed,
 		TPS:       float64(committed) / elapsed,
 		P50Ms:     float64(m.Quantile(0.50)) / float64(time.Millisecond),
 		P99Ms:     float64(m.Quantile(0.99)) / float64(time.Millisecond),
-	}, nil
+	}
+	if c.Attackers > 0 {
+		res.Attackers = c.Attackers
+		res.AttackerOffered = attackOffered
+		for i := 0; i < cl.NodeCount(); i++ {
+			cs := cl.NodeCounters(i)
+			res.Rejected += cs.Admission.RejectedRate
+			res.Shed += cs.Admission.Shed
+			res.EvictedShed += cl.Node(i).App.Pool().Stats().EvictedShed
+		}
+	}
+	return res, nil
 }

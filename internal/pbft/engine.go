@@ -282,6 +282,18 @@ func (e *Engine) LowWater() uint64 { return e.lowWater }
 // ExecutedBlocks returns how many blocks this replica has executed.
 func (e *Engine) ExecutedBlocks() uint64 { return e.executedBlocks }
 
+// InFlight reports how many sequence numbers currently have a proposed
+// but not yet executed instance, and the configured pipelining depth.
+// The load-shed controller uses the ratio as a saturation signal.
+func (e *Engine) InFlight() (used, depth int) {
+	for _, inst := range e.insts {
+		if inst.prePrepare != nil && !inst.executed {
+			used++
+		}
+	}
+	return used, e.maxInFlight
+}
+
 // CompletedViewChanges returns how many view changes this replica has
 // completed.
 func (e *Engine) CompletedViewChanges() uint64 { return e.viewChangesFin }

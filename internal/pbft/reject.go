@@ -1,0 +1,43 @@
+package pbft
+
+import (
+	"time"
+
+	"gpbft/internal/codec"
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/types"
+)
+
+// TxRejected is the admission-control reply to a Request: the receiving
+// node refused the transaction and tells the submitter why and when a
+// retry is worth attempting. The envelope seal authenticates the
+// rejecting node, so a client can distinguish a genuine back-off signal
+// from an attacker trying to silence it.
+type TxRejected struct {
+	// TxID is the digest of the rejected transaction.
+	TxID gcrypto.Hash
+	// Reason classifies the rejection.
+	Reason types.RejectReason
+	// RetryAfter hints how long the submitter should wait before
+	// retrying. Zero means "use your own backoff".
+	RetryAfter time.Duration
+}
+
+// Kind implements consensus.Payload.
+func (*TxRejected) Kind() consensus.MsgKind { return consensus.KindTxReject }
+
+// MarshalCanonical implements codec.Marshaler.
+func (m *TxRejected) MarshalCanonical(w *codec.Writer) {
+	w.Raw(m.TxID[:])
+	w.Uint8(uint8(m.Reason))
+	w.Int64(int64(m.RetryAfter))
+}
+
+// UnmarshalCanonical decodes the payload.
+func (m *TxRejected) UnmarshalCanonical(r *codec.Reader) error {
+	r.RawInto(m.TxID[:])
+	m.Reason = types.RejectReason(r.Uint8())
+	m.RetryAfter = time.Duration(r.Int64())
+	return r.Err()
+}

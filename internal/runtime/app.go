@@ -66,6 +66,15 @@ func (a *App) Pool() *Mempool { return a.pool }
 // WallTime converts engine time to wall-clock time.
 func (a *App) WallTime(now consensus.Time) time.Time { return a.epoch.Add(now) }
 
+// CommitLatency measures how long a block took from proposal to local
+// commit: the block timestamp is the proposer's WallTime at proposal,
+// so the difference to the local WallTime at commit is the consensus
+// latency (plus clock skew, in real deployments). Feeds the admission
+// controller's EWMA.
+func (a *App) CommitLatency(now consensus.Time, b *types.Block) time.Duration {
+	return a.WallTime(now).Sub(b.Header.Timestamp)
+}
+
 // BuildBlock implements consensus.Application: it assembles the next
 // block from pending transactions, or returns nil when there is
 // nothing to propose.

@@ -40,6 +40,10 @@ type Node struct {
 	// the chain jumped to height wholesale, so block-by-block mirrors
 	// (the block log, chaos replay slices) must reset to this base.
 	OnSnapshotInstall func(now consensus.Time, era, height uint64)
+	// Admission, if set, gates Submit with per-identity rate limits and
+	// load shedding, and is fed commit latencies for its EWMA. Nil
+	// reproduces the unprotected behavior exactly.
+	Admission *Admission
 	// CommitErr records the first commit failure (a bug or a fork).
 	CommitErr error
 
@@ -73,6 +77,9 @@ type CounterSnapshot struct {
 	LastHeight uint64
 	// Pool is the mempool backpressure snapshot.
 	Pool PoolStats
+	// Admission is the ingress QoS snapshot (zero value when admission
+	// control is disabled).
+	Admission AdmissionStats
 	// Sync is the engine's catch-up activity (zero value when the
 	// engine does not report sync statistics).
 	Sync SyncStats
@@ -140,6 +147,7 @@ func (n *Node) Counters() CounterSnapshot {
 	if n.App != nil {
 		cs.Pool = n.App.Pool().Stats()
 	}
+	cs.Admission = n.Admission.Stats()
 	if sp, ok := n.Engine.(SyncStatsProvider); ok {
 		cs.Sync = sp.SyncStats()
 	}
@@ -173,9 +181,15 @@ func (n *Node) Fire(now consensus.Time, id consensus.TimerID) {
 	n.apply(now, n.Engine.OnTimer(now, id))
 }
 
-// Submit injects a locally received transaction: into the mempool and
-// to the engine for proposal/forwarding.
+// Submit injects a locally received transaction: through admission
+// control (when configured), into the mempool and to the engine for
+// proposal/forwarding. Admission failures return *RejectError carrying
+// the reason and a retry-after hint.
 func (n *Node) Submit(now consensus.Time, tx *types.Transaction) error {
+	if err := n.Admission.Admit(now, tx); err != nil {
+		n.ctr.rejected.Add(1)
+		return err
+	}
 	if err := n.App.SubmitTx(tx); err != nil {
 		n.ctr.rejected.Add(1)
 		return err
@@ -223,6 +237,9 @@ func (n *Node) applyList(now consensus.Time, acts []consensus.Action) (committed
 			committed = true
 			n.ctr.committed.Add(1)
 			n.ctr.lastHeight.Store(act.Block.Header.Height)
+			if n.Admission != nil && n.App != nil {
+				n.Admission.Observe(now, n.App.CommitLatency(now, act.Block))
+			}
 			if n.OnCommit != nil {
 				n.OnCommit(now, act.Block)
 			}

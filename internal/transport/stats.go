@@ -23,6 +23,9 @@ type counters struct {
 	accepted          atomic.Int64
 	handshakeFailures atomic.Int64
 	connsPruned       atomic.Int64
+	ingressRejected   atomic.Int64
+	ingressThrottled  atomic.Int64
+	rejectReplies     atomic.Int64
 }
 
 // PeerState is the connection state of one peer's writer.
@@ -95,7 +98,14 @@ type Stats struct {
 	// the total of closed connections removed from tracking.
 	OpenConns   int
 	ConnsPruned int64
-	Peers       []PeerStats
+	// IngressRejected counts inbound requests refused by the AdmitTx
+	// gate; RejectReplies counts signed TxRejected answers actually
+	// written back; IngressThrottled counts frames that put a client
+	// connection over its byte budget (its read loop slept).
+	IngressRejected  int64
+	IngressThrottled int64
+	RejectReplies    int64
+	Peers            []PeerStats
 }
 
 // Stats assembles a consistent snapshot of the endpoint.
@@ -112,6 +122,9 @@ func (t *TCP) Stats() Stats {
 		Accepted:          t.ctr.accepted.Load(),
 		HandshakeFailures: t.ctr.handshakeFailures.Load(),
 		ConnsPruned:       t.ctr.connsPruned.Load(),
+		IngressRejected:   t.ctr.ingressRejected.Load(),
+		IngressThrottled:  t.ctr.ingressThrottled.Load(),
+		RejectReplies:     t.ctr.rejectReplies.Load(),
 	}
 	t.mu.Lock()
 	s.OpenConns = len(t.conns)
@@ -148,6 +161,12 @@ func (s Stats) WritePrometheus(w io.Writer, prefix string) {
 	counter("transport_bytes_in_total", s.BytesIn)
 	counter("transport_bytes_out_total", s.BytesOut)
 	counter("transport_dropped_total", s.Dropped)
+	// The same counter under its canonical name: frames dropped instead
+	// of blocking the shared broadcast path (full queue or dead write).
+	counter("transport_dropped_frames_total", s.Dropped)
+	counter("transport_ingress_rejected_total", s.IngressRejected)
+	counter("transport_ingress_throttled_total", s.IngressThrottled)
+	counter("transport_reject_replies_total", s.RejectReplies)
 	counter("transport_dials_total", s.Dials)
 	counter("transport_dial_failures_total", s.DialFailures)
 	counter("transport_redials_total", s.Redials)

@@ -76,6 +76,9 @@ func TestStatsSnapshotAndPrometheus(t *testing.T) {
 	for _, want := range []string{
 		"gpbft_transport_frames_out_total 1",
 		"gpbft_transport_dials_total 1",
+		"gpbft_transport_dropped_frames_total 0",
+		"gpbft_transport_ingress_rejected_total 0",
+		"gpbft_transport_reject_replies_total 0",
 		"# TYPE gpbft_transport_open_conns gauge",
 		`state="connected"`,
 		"gpbft_transport_peer_queue_len",

@@ -19,6 +19,9 @@ import (
 
 	"gpbft/internal/consensus"
 	"gpbft/internal/gcrypto"
+	"gpbft/internal/pbft"
+	"gpbft/internal/runtime"
+	"gpbft/internal/types"
 )
 
 // MaxFrame bounds one wire frame (a block-sync response with full
@@ -119,6 +122,20 @@ type Config struct {
 	// frame for that long (default 0: rely on keepalives, since an
 	// idle committee is legitimately silent between proposals).
 	IdleTimeout time.Duration
+	// AdmitTx, when set, gates every inbound request envelope before it
+	// reaches the engine loop (per-identity rate limits, load shedding).
+	// A *runtime.RejectError return is answered with a signed TxRejected
+	// reply on client connections so submitters can back off; the
+	// envelope is dropped either way, and the connection stays open.
+	AdmitTx func(tx *types.Transaction) error
+	// IngressBytesPerSec, when positive, throttles each unattributed
+	// (client) connection to this sustained inbound byte rate with
+	// IngressBurstBytes of slack (default 4x the rate). A flooding
+	// connection only stalls its own read loop — identified committee
+	// peers are exempt, since they are accountable identities whose
+	// relayed traffic was already admission-checked upstream.
+	IngressBytesPerSec int
+	IngressBurstBytes  int
 }
 
 func (c *Config) applyDefaults() {
@@ -145,6 +162,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxBackoff == 0 {
 		c.MaxBackoff = 2 * time.Second
+	}
+	if c.IngressBytesPerSec > 0 && c.IngressBurstBytes <= 0 {
+		c.IngressBurstBytes = 4 * c.IngressBytesPerSec
 	}
 }
 
@@ -395,10 +415,15 @@ func (t *TCP) serveInbound(conn net.Conn) {
 		if p := t.adoptInbound(h.Addr, conn); p != nil {
 			defer p.dropConn(conn)
 		}
-	} else if !t.deliverPayload(conn, payload) {
+		t.readFrames(conn, false)
 		return
 	}
-	t.readFrames(conn)
+	// No hello: an unattributed client (or legacy) connection. Client
+	// traffic gets the ingress byte budget and admission replies.
+	if !t.deliverPayload(conn, payload, true) {
+		return
+	}
+	t.readFrames(conn, true)
 }
 
 // adoptInbound offers an attributed inbound connection to the peer's
@@ -420,14 +445,31 @@ func (t *TCP) adoptInbound(addr gcrypto.Address, conn net.Conn) *peer {
 }
 
 // deliverPayload decodes and queues one received frame; a malformed
-// frame is a protocol violation that closes the connection.
-func (t *TCP) deliverPayload(conn net.Conn, payload []byte) bool {
+// frame is a protocol violation that closes the connection. Request
+// envelopes pass through the AdmitTx gate first: a rejected request is
+// dropped (the connection survives) and, on client connections, is
+// answered with a signed TxRejected reply carrying the retry-after
+// hint.
+func (t *TCP) deliverPayload(conn net.Conn, payload []byte, client bool) bool {
 	env, err := consensus.DecodeEnvelope(payload)
 	if err != nil {
 		return false
 	}
 	t.ctr.framesIn.Add(1)
 	t.ctr.bytesIn.Add(int64(4 + len(payload)))
+	if env.MsgKind == consensus.KindRequest && t.cfg.AdmitTx != nil {
+		var req pbft.Request
+		if consensus.OpenUnverified(env, consensus.KindRequest, &req) != nil {
+			return false // malformed request body
+		}
+		if err := t.cfg.AdmitTx(&req.Tx); err != nil {
+			t.ctr.ingressRejected.Add(1)
+			if client && t.cfg.Key != nil {
+				t.sendReject(conn, req.Tx.ID(), err)
+			}
+			return true // drop the envelope, keep the connection
+		}
+	}
 	select {
 	case t.incoming <- env:
 		return true
@@ -436,8 +478,39 @@ func (t *TCP) deliverPayload(conn net.Conn, payload []byte) bool {
 	}
 }
 
-// readFrames pumps envelopes off a connection until it fails.
-func (t *TCP) readFrames(conn net.Conn) {
+// sendReject answers a refused request with a signed TxRejected frame.
+// Only called on client connections, whose read goroutine is the sole
+// writer — peer connections have a concurrent writeLoop.
+func (t *TCP) sendReject(conn net.Conn, txID gcrypto.Hash, cause error) {
+	msg := &pbft.TxRejected{TxID: txID, Reason: types.RejectPoolFull}
+	var rej *runtime.RejectError
+	if errors.As(cause, &rej) {
+		msg.Reason, msg.RetryAfter = rej.Reason, rej.RetryAfter
+	}
+	env := consensus.Seal(t.cfg.Key, msg)
+	wire := consensus.EncodeEnvelope(env)
+	conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	if writeRawFrame(conn, wire) == nil {
+		t.ctr.rejectReplies.Add(1)
+		t.ctr.framesOut.Add(1)
+		t.ctr.bytesOut.Add(int64(4 + len(wire)))
+	}
+	conn.SetWriteDeadline(time.Time{})
+}
+
+// readFrames pumps envelopes off a connection until it fails. Client
+// connections additionally pay a per-connection ingress byte budget:
+// when the configured rate is exceeded, only this connection's read
+// loop sleeps off the deficit, so one flooder cannot slow anyone else.
+func (t *TCP) readFrames(conn net.Conn, client bool) {
+	var budget float64
+	var last time.Time
+	rate := float64(t.cfg.IngressBytesPerSec)
+	throttled := client && rate > 0
+	if throttled {
+		budget = float64(t.cfg.IngressBurstBytes)
+		last = time.Now()
+	}
 	for {
 		if t.cfg.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
@@ -446,7 +519,28 @@ func (t *TCP) readFrames(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if !t.deliverPayload(conn, payload) {
+		if throttled {
+			now := time.Now()
+			budget += rate * now.Sub(last).Seconds()
+			if max := float64(t.cfg.IngressBurstBytes); budget > max {
+				budget = max
+			}
+			last = now
+			budget -= float64(4 + len(payload))
+			if budget < 0 {
+				wait := time.Duration(-budget / rate * float64(time.Second))
+				if wait > time.Second {
+					wait = time.Second // re-check shutdown at least once a second
+				}
+				t.ctr.ingressThrottled.Add(1)
+				select {
+				case <-t.done:
+					return
+				case <-time.After(wait):
+				}
+			}
+		}
+		if !t.deliverPayload(conn, payload, client) {
 			return
 		}
 	}
@@ -617,7 +711,7 @@ func (t *TCP) serveOutbound(p *peer, conn net.Conn) {
 	defer t.wg.Done()
 	defer t.untrack(conn)
 	defer p.dropConn(conn)
-	t.readFrames(conn)
+	t.readFrames(conn, false)
 }
 
 // offerConn installs a connection as the peer's writer conduit; it

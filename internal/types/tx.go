@@ -65,6 +65,48 @@ func (t TxType) String() string {
 // Valid reports whether t is a known type.
 func (t TxType) Valid() bool { return t <= TxEvidence }
 
+// RejectReason explains why admission control refused a transaction.
+// It travels inside the signed TxRejected reply so clients can tell a
+// transient condition (back off and retry) from a hard one.
+type RejectReason uint8
+
+// Admission rejection reasons.
+const (
+	// RejectNone is the zero value; never sent on the wire.
+	RejectNone RejectReason = iota
+	// RejectRateLimit: the sender identity exceeded its token-bucket
+	// rate. Retry after the hinted delay.
+	RejectRateLimit
+	// RejectShed: the node is overloaded and is load-shedding this
+	// transaction's priority lane. Retry after the hinted delay.
+	RejectShed
+	// RejectPoolFull: the mempool is at capacity and the transaction
+	// lost the eviction contest (or its sender is the heaviest
+	// identity). Retry after the hinted delay.
+	RejectPoolFull
+)
+
+// String names the rejection reason.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectNone:
+		return "none"
+	case RejectRateLimit:
+		return "rate-limit"
+	case RejectShed:
+		return "shed"
+	case RejectPoolFull:
+		return "pool-full"
+	default:
+		return fmt.Sprintf("reject(%d)", uint8(r))
+	}
+}
+
+// ValidReject reports whether r is a known, sendable reason.
+func (r RejectReason) ValidReject() bool {
+	return r >= RejectRateLimit && r <= RejectPoolFull
+}
+
 // GeoInfo is the geographic information carried "at the end of the
 // transaction body": <longitude, latitude, timestamp>.
 type GeoInfo struct {

@@ -35,6 +35,14 @@ const (
 	// Sybil devices are extra identities all reporting the same cell as
 	// their master, probing the same-cell defence.
 	Sybil
+	// Spammer devices are honest about their location but flood the
+	// network with application traffic at a sustained multiple of the
+	// honest rate, probing admission control and QoS fairness.
+	Spammer
+	// Bursty devices alternate long idle stretches with short bursts
+	// many times the honest rate, probing token-bucket burst limits and
+	// the shed controller's hysteresis.
+	Bursty
 )
 
 // String names the kind.
@@ -48,6 +56,10 @@ func (k Kind) String() string {
 		return "liar"
 	case Sybil:
 		return "sybil"
+	case Spammer:
+		return "spammer"
+	case Bursty:
+		return "bursty"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -63,9 +75,17 @@ type Device struct {
 	Home geo.Point
 	// Speed is metres per second of drift for Mobile/Liar devices.
 	Speed float64
+	// SpamFactor is the sustained rate multiple over honest devices for
+	// Spammer devices, and the within-burst multiple for Bursty ones.
+	SpamFactor int
+	// BurstPeriod is the step cycle length for Bursty devices: one step
+	// of SpamFactor×BurstPeriod transactions, then BurstPeriod-1 idle
+	// steps (the long-run average stays SpamFactor× honest).
+	BurstPeriod int
 
 	pos   geo.Point
 	nonce uint64
+	step  int
 	rng   *rand.Rand
 }
 
@@ -92,8 +112,9 @@ func (d *Device) Position() geo.Point { return d.pos }
 // Advance moves the device by dt according to its kind.
 func (d *Device) Advance(dt time.Duration) {
 	switch d.Kind {
-	case Fixed, Sybil:
-		// stays put (Sybil claims its master's position anyway)
+	case Fixed, Sybil, Spammer, Bursty:
+		// stays put (Sybil claims its master's position anyway;
+		// attackers sit at a fixed point and attack with volume)
 	case Mobile, Liar:
 		// Random-walk drift: Speed m/s in a random direction. One
 		// degree of latitude is ~111 km.
@@ -114,6 +135,33 @@ func (d *Device) ReportedPosition() geo.Point {
 		return d.Home
 	default:
 		return d.pos
+	}
+}
+
+// TxPerStep reports how many application transactions the device wants
+// to emit this workload step. Honest kinds pace at one per step;
+// Spammers sustain SpamFactor per step; Bursty devices dump a whole
+// cycle's worth (SpamFactor×BurstPeriod) in one step and then idle.
+func (d *Device) TxPerStep() int {
+	factor := d.SpamFactor
+	if factor <= 0 {
+		factor = 5
+	}
+	switch d.Kind {
+	case Spammer:
+		return factor
+	case Bursty:
+		period := d.BurstPeriod
+		if period <= 0 {
+			period = 4
+		}
+		d.step++
+		if (d.step-1)%period == 0 {
+			return factor * period
+		}
+		return 0
+	default:
+		return 1
 	}
 }
 

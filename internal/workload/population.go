@@ -23,6 +23,14 @@ type Spec struct {
 	// Sybil identities all claim the position of the first fixed
 	// device (the classic clone-an-honest-location attack).
 	Sybil int
+	// Spammer devices flood sustained traffic at SpamFactor times the
+	// honest rate; Bursty devices emit the same average volume in
+	// periodic dumps. Both are honest about location — they attack
+	// with volume, not lies.
+	Spammer int
+	Bursty  int
+	// SpamFactor is the attack rate multiple (default 5).
+	SpamFactor int
 	// SeedBase offsets device key derivation so populations never
 	// collide with endorser identities (endorsers use small indices).
 	SeedBase int
@@ -42,7 +50,7 @@ func NewPopulation(region geo.Region, spec Spec, seed int64) *Population {
 	if spec.Speed == 0 {
 		spec.Speed = 1.5
 	}
-	total := spec.Fixed + spec.Mobile + spec.Liar + spec.Sybil
+	total := spec.Fixed + spec.Mobile + spec.Liar + spec.Sybil + spec.Spammer + spec.Bursty
 	if total == 0 {
 		return p
 	}
@@ -69,6 +77,7 @@ func NewPopulation(region geo.Region, spec Spec, seed int64) *Population {
 			}
 			d := NewDevice(fmt.Sprintf("%s-%d", kind, i), kind, spec.SeedBase+idx, home, rng)
 			d.Speed = spec.Speed
+			d.SpamFactor = spec.SpamFactor
 			p.Devices = append(p.Devices, d)
 			idx++
 		}
@@ -77,6 +86,8 @@ func NewPopulation(region geo.Region, spec Spec, seed int64) *Population {
 	add(Mobile, spec.Mobile)
 	add(Liar, spec.Liar)
 	add(Sybil, spec.Sybil)
+	add(Spammer, spec.Spammer)
+	add(Bursty, spec.Bursty)
 	return p
 }
 

@@ -148,8 +148,70 @@ func TestAdvanceAll(t *testing.T) {
 	}
 }
 
-func TestKindString(t *testing.T) {
+func TestSpammerSustainedRate(t *testing.T) {
+	d := NewDevice("flood", Spammer, 30001, geo.Point{Lng: 114.18, Lat: 22.305}, rand.New(rand.NewSource(1)))
+	d.SpamFactor = 5
+	for i := 0; i < 10; i++ {
+		if got := d.TxPerStep(); got != 5 {
+			t.Fatalf("step %d: spammer wants %d txs, want 5", i, got)
+		}
+	}
+	// Spammers are honest about location; they attack with volume.
+	if !d.ReportedPosition().Equal(d.Home) {
+		t.Fatal("spammer must report its true position")
+	}
+	d.Advance(time.Minute)
+	if !d.Position().Equal(d.Home) {
+		t.Fatal("spammer should stay put")
+	}
+}
+
+func TestBurstyCycleAveragesToSpamFactor(t *testing.T) {
+	d := NewDevice("burst", Bursty, 30002, geo.Point{Lng: 114.18, Lat: 22.305}, rand.New(rand.NewSource(1)))
+	d.SpamFactor = 5
+	d.BurstPeriod = 4
+	var counts []int
+	total := 0
+	for i := 0; i < 8; i++ {
+		n := d.TxPerStep()
+		counts = append(counts, n)
+		total += n
+	}
+	// Two full cycles: a 20-tx dump then three idle steps, twice.
+	want := []int{20, 0, 0, 0, 20, 0, 0, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("burst schedule %v, want %v", counts, want)
+		}
+	}
+	if total != 5*8 {
+		t.Fatalf("long-run volume %d, want SpamFactor×steps = %d", total, 5*8)
+	}
+}
+
+func TestHonestDevicePacesAtOnePerStep(t *testing.T) {
 	for _, k := range []Kind{Fixed, Mobile, Liar, Sybil} {
+		d := NewDevice("d", k, 30003, geo.Point{}, rand.New(rand.NewSource(1)))
+		if got := d.TxPerStep(); got != 1 {
+			t.Fatalf("%s device wants %d txs per step, want 1", k, got)
+		}
+	}
+}
+
+func TestPopulationWithAttackers(t *testing.T) {
+	p := NewPopulation(HongKongTestbed(), Spec{Fixed: 4, Spammer: 2, Bursty: 1, SpamFactor: 8}, 42)
+	if len(p.OfKind(Spammer)) != 2 || len(p.OfKind(Bursty)) != 1 {
+		t.Fatal("attacker counts wrong")
+	}
+	for _, d := range append(p.OfKind(Spammer), p.OfKind(Bursty)...) {
+		if d.SpamFactor != 8 {
+			t.Fatalf("attacker %s SpamFactor = %d, want 8", d.Name, d.SpamFactor)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Fixed, Mobile, Liar, Sybil, Spammer, Bursty} {
 		if k.String() == "" {
 			t.Fatal("kind must render")
 		}

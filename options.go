@@ -69,6 +69,23 @@ type Options struct {
 	// MempoolShards sets the mempool lock-stripe count
 	// (0 = runtime.DefaultMempoolShards; clamped to a power of two ≤ 256).
 	MempoolShards int
+	// RateLimit enables the overload armor on every node: per-identity
+	// token-bucket admission at this sustained tx/s, QoS priority lanes
+	// in the mempool, and the graceful-degradation shed controller.
+	// 0 keeps the plain FIFO pool and unguarded submit path — exactly
+	// the pre-armor behaviour (the ablation baseline).
+	RateLimit float64
+	// RateBurst overrides the admission token-bucket depth (0 = default:
+	// max(2×RateLimit, 8)).
+	RateBurst float64
+	// LaneWeights sets the control/normal/bulk Peek scheduling weights
+	// (zeros = 8/4/1); FairShare is the per-identity pending count above
+	// which traffic demotes to the bulk lane (0 = 16); ShedThresholds
+	// are the pool-occupancy fractions for shed levels 1..3 (zeros =
+	// 0.50/0.75/0.90). All ignored unless RateLimit > 0.
+	LaneWeights    [3]int
+	FairShare      int
+	ShedThresholds [3]float64
 	// Snapshots enables signed era snapshots (GPBFT only): every era
 	// boundary each node exports its canonical chain state, signs it,
 	// and retains the newest RetainSnapshots checkpoints. A node whose

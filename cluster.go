@@ -212,6 +212,26 @@ func NewCluster(opts Options) (*Cluster, error) {
 			}
 			node.Admission = adm
 		}
+		if opts.Gossip {
+			// Every node gets a relay (candidates included: they broadcast
+			// request relays at the committee). Peers start as the genesis
+			// committee; EraSwitched actions retarget them. Distinct
+			// per-node seeds keep target selection decorrelated — identical
+			// seeds would make every node gossip to the same subset.
+			peers := make([]gcrypto.Address, 0, committeeSize)
+			for _, e := range g.Endorsers {
+				peers = append(peers, e.Address)
+			}
+			node.Relay = consensus.NewRelay(consensus.RelayConfig{
+				Self:       kp.Address(),
+				Peers:      peers,
+				Fanout:     opts.GossipFanout,
+				FlushEvery: consensus.Time(opts.GossipFlush),
+				DupeTTL:    consensus.Time(opts.DupemapTTL),
+				DupeCap:    opts.DupemapCap,
+				Seed:       opts.Seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15),
+			})
+		}
 		if i == 0 {
 			node.OnEraSwitch = func(consensus.Time, uint64, []gcrypto.Address) {
 				c.metrics.ObserveEraSwitch()

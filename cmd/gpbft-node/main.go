@@ -88,6 +88,9 @@ func run() error {
 		laneWts   = flag.String("lane-weights", "", "QoS scheduler weights as control,normal,bulk (default 8,4,1)")
 		shedThr   = flag.String("shed-thresholds", "", "mempool-occupancy fractions raising shed level 1,2,3 (default 0.5,0.75,0.9)")
 		ingressBy = flag.Int("ingress-bytes", 0, "per-client-connection ingress budget in bytes/s (0 = unlimited)")
+		gossip    = flag.Bool("gossip", false, "epidemic relay: broadcast consensus traffic to a random fanout of peers instead of all-to-all (off = exact direct-broadcast path)")
+		fanout    = flag.Int("fanout", 0, "gossip relay fanout (0 = ceil(log2(n+1))+1 for the committee size)")
+		dupeTTL   = flag.Duration("dupemap-ttl", 0, "gossip dupemap generation TTL on a stalled chain (0 = default)")
 		quiet     = flag.Bool("quiet", false, "suppress per-block logging")
 		dataPath  = flag.String("data", "", "block-log file for durable persistence; the vote WAL lives at <data>.wal (empty = in-memory only)")
 		fsync     = flag.Bool("fsync", false, "fsync the block log and vote WAL after every write")
@@ -313,6 +316,24 @@ func run() error {
 	}
 
 	node := &runtime.Node{ID: self.Address(), Key: self, App: app, Engine: engine, Admission: adm}
+	if *gossip {
+		// Epidemic relay over the same TCP peer set: engine broadcasts
+		// queue on the relay and flush as batched frames to a random
+		// fanout; the dupemap drops re-deliveries. Seed from the node
+		// index so target draws are deterministic but decorrelated.
+		peers := make([]gcrypto.Address, 0, len(g.Endorsers))
+		for _, e := range g.Endorsers {
+			peers = append(peers, e.Address)
+		}
+		node.Relay = consensus.NewRelay(consensus.RelayConfig{
+			Self:    self.Address(),
+			Peers:   peers,
+			Fanout:  *fanout,
+			DupeTTL: consensus.Time(*dupeTTL),
+			Seed:    int64(uint64(*index+1) * 0x9e3779b97f4a7c15),
+		})
+		log.Printf("gossip relay on: fanout=%d flush=%v", node.Relay.Fanout(), time.Duration(node.Relay.FlushEvery()))
+	}
 	node.OnCommit = func(now consensus.Time, b *types.Block) {
 		if blockLog != nil {
 			if err := blockLog.Append(b); err != nil {
@@ -403,6 +424,17 @@ func run() error {
 			fmt.Fprintf(w, "# TYPE gpbft_mempool_lane_depth gauge\n")
 			for l, depth := range c.Pool.Lanes {
 				fmt.Fprintf(w, "gpbft_mempool_lane_depth{lane=%q} %d\n", runtime.Lane(l), depth)
+			}
+			if node.Relay != nil {
+				r := c.Relay
+				fmt.Fprintf(w, "# TYPE gpbft_relay_forwarded_total counter\ngpbft_relay_forwarded_total %d\n", r.ForwardedFrames)
+				fmt.Fprintf(w, "# TYPE gpbft_relay_forwarded_entries_total counter\ngpbft_relay_forwarded_entries_total %d\n", r.ForwardedEntries)
+				fmt.Fprintf(w, "# TYPE gpbft_relay_suppressed_total counter\ngpbft_relay_suppressed_total %d\n", r.Suppressed)
+				fmt.Fprintf(w, "# TYPE gpbft_relay_dropped_total counter\ngpbft_relay_dropped_total %d\n", r.Dropped)
+				fmt.Fprintf(w, "# TYPE gpbft_relay_delivered_total counter\ngpbft_relay_delivered_total %d\n", r.Delivered)
+				fmt.Fprintf(w, "# TYPE gpbft_relay_dupemap_entries gauge\ngpbft_relay_dupemap_entries %d\n", r.DupemapEntries)
+				fmt.Fprintf(w, "# TYPE gpbft_relay_dupemap_generations gauge\ngpbft_relay_dupemap_generations %d\n", r.DupemapGenerations)
+				fmt.Fprintf(w, "# TYPE gpbft_relay_fanout gauge\ngpbft_relay_fanout %d\n", node.Relay.Fanout())
 			}
 			c.Admission.WritePrometheus(w, "gpbft_")
 			runtime.SyncMetrics{

@@ -1,0 +1,150 @@
+package gpbft
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpbft/internal/consensus"
+	"gpbft/internal/types"
+)
+
+// runGossipLoad drives a committee-n cluster under round-robin load
+// and returns it after quiescence with agreement verified.
+func runGossipLoad(t *testing.T, n int, gossip bool, txs int) *Cluster {
+	t.Helper()
+	opts := DefaultOptions(GPBFT, n)
+	opts.MaxEndorsers = n // let the whole population form the committee
+	opts.Gossip = gossip
+	opts.DisableEraSwitch = true
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval := 2 * time.Second / time.Duration(txs)
+	for k := 0; k < txs; k++ {
+		c.SubmitNodeTx(time.Duration(k)*interval, k%n, []byte("payload"), 1)
+	}
+	c.RunUntilIdle(10 * time.Minute)
+	if _, err := c.VerifyAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxHeight() == 0 {
+		t.Fatal("no blocks committed")
+	}
+	return c
+}
+
+// TestGossipClusterEquivalence: the same workload commits and agrees
+// with gossip on and off, and the gossip run actually rides the relay
+// (frames forwarded, duplicates suppressed, direct-broadcast vote
+// traffic replaced by relay frames).
+func TestGossipClusterEquivalence(t *testing.T) {
+	const n, txs = 7, 60
+	off := runGossipLoad(t, n, false, txs)
+	on := runGossipLoad(t, n, true, txs)
+
+	offTxs, onTxs := committedTxs(off), committedTxs(on)
+	if offTxs != txs || onTxs != txs {
+		t.Fatalf("committed txs off=%d on=%d, want %d each", offTxs, onTxs, txs)
+	}
+
+	var relay consensus.RelayStats
+	for i := 0; i < n; i++ {
+		st := on.NodeCounters(i).Relay
+		relay.ForwardedFrames += st.ForwardedFrames
+		relay.Suppressed += st.Suppressed
+		relay.Delivered += st.Delivered
+	}
+	if relay.ForwardedFrames == 0 || relay.Delivered == 0 {
+		t.Fatalf("gossip cluster did not use the relay: %+v", relay)
+	}
+	if relay.Suppressed == 0 {
+		t.Fatalf("epidemic redundancy produced no dupemap hits: %+v", relay)
+	}
+	// Off-path: not a single relay frame, and zero relay counters.
+	for _, ks := range off.Traffic().ByKind() {
+		if ks.Kind == consensus.KindRelay {
+			t.Fatal("gossip-off cluster emitted relay frames")
+		}
+	}
+	for i := 0; i < n; i++ {
+		if st := off.NodeCounters(i).Relay; st != (consensus.RelayStats{}) {
+			t.Fatalf("gossip-off node %d has relay stats %+v", i, st)
+		}
+	}
+	// On-path: votes travel inside relay frames, not as direct sends.
+	var direct int64
+	for _, ks := range on.Traffic().ByKind() {
+		switch ks.Kind {
+		case consensus.KindPrepare, consensus.KindCommit, consensus.KindPrePrepare:
+			direct += ks.Count
+		}
+	}
+	if direct != 0 {
+		t.Fatalf("gossip cluster sent %d votes outside the relay", direct)
+	}
+}
+
+// TestGossipOffIsDeterministic: two gossip-off runs of the same seed
+// are byte-for-byte the same simulation — the knob's default must not
+// perturb the pre-existing path (the CI quick gate then pins the
+// absolute numbers against the recorded trajectory).
+func TestGossipOffIsDeterministic(t *testing.T) {
+	a := runGossipLoad(t, 7, false, 40)
+	b := runGossipLoad(t, 7, false, 40)
+	if am, bm := a.Traffic().Messages(), b.Traffic().Messages(); am != bm {
+		t.Fatalf("message totals diverge: %d vs %d", am, bm)
+	}
+	if ab, bb := a.Traffic().Bytes(), b.Traffic().Bytes(); ab != bb {
+		t.Fatalf("byte totals diverge: %d vs %d", ab, bb)
+	}
+	if ah, bh := a.MaxHeight(), b.MaxHeight(); ah != bh {
+		t.Fatalf("heights diverge: %d vs %d", ah, bh)
+	}
+}
+
+// TestGossipMessageBound is the scalability claim in miniature: with
+// gossip on, per-node relay frames per committed slot stay within
+// 4·f·log₂(n) — the all-to-all path would need n−1 sends per broadcast
+// and there are several broadcasts per slot per node.
+func TestGossipMessageBound(t *testing.T) {
+	const n, txs = 22, 200
+	c := runGossipLoad(t, n, true, txs)
+
+	slots := float64(c.MaxHeight())
+	var frames float64
+	fanout := 0
+	for i := 0; i < n; i++ {
+		frames += float64(c.NodeCounters(i).Relay.ForwardedFrames)
+		if f := c.Node(i).Relay.Fanout(); f > fanout {
+			fanout = f
+		}
+	}
+	perNodePerSlot := frames / float64(n) / slots
+	bound := 4 * float64(fanout) * math.Log2(float64(n))
+	if perNodePerSlot > bound {
+		t.Fatalf("relay frames per node per slot %.1f exceeds 4·f·log2(n) = %.1f (f=%d, slots=%.0f)",
+			perNodePerSlot, bound, fanout, slots)
+	}
+	t.Logf("n=%d: %.1f relay frames/node/slot (bound %.1f, all-to-all would be ~%d sends/broadcast)",
+		n, perNodePerSlot, bound, n-1)
+}
+
+// committedTxs counts normal transactions in node 0's chain.
+func committedTxs(c *Cluster) int {
+	chain := c.Node(0).App.Chain()
+	total := 0
+	for h := uint64(1); h <= chain.Height(); h++ {
+		b, err := chain.BlockAt(h)
+		if err != nil {
+			continue
+		}
+		for i := range b.Txs {
+			if b.Txs[i].Type == types.TxNormal {
+				total++
+			}
+		}
+	}
+	return total
+}

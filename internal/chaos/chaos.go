@@ -87,6 +87,13 @@ type Options struct {
 	ShedThresholds [3]float64
 	// LatencyTarget enables commit-latency EWMA shed escalation (0 = off).
 	LatencyTarget time.Duration
+	// Gossip replaces direct all-to-all broadcast with the epidemic
+	// relay on every node: fanout-f forwarding with round-scoped
+	// duplicate suppression. Faults then hit a sparser, redundant
+	// dissemination graph instead of n² direct links.
+	Gossip bool
+	// GossipFanout overrides the relay fanout (0 = auto, ~log₂ n).
+	GossipFanout int
 }
 
 // slot is one node's durable storage: what survives a crash. The WAL
@@ -329,6 +336,22 @@ func (c *Cluster) boot(i int, amnesia bool) error {
 	node := &runtime.Node{
 		ID: kp.Address(), Key: kp, App: app, Engine: engine,
 		Exec: c.net.Executor(kp.Address()),
+	}
+	if c.opts.Gossip {
+		peers := make([]gcrypto.Address, len(c.genesis.Endorsers))
+		for k := range c.genesis.Endorsers {
+			peers[k] = c.genesis.Endorsers[k].Address
+		}
+		// A restart builds a fresh relay: the dupemap dies with the
+		// process, and re-delivered duplicates are absorbed by the
+		// engine's idempotent vote tables. The seed is per-node and
+		// stable across incarnations so reruns stay bit-for-bit.
+		node.Relay = consensus.NewRelay(consensus.RelayConfig{
+			Self:   kp.Address(),
+			Peers:  peers,
+			Fanout: c.opts.GossipFanout,
+			Seed:   c.opts.Seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15),
+		})
 	}
 	if c.opts.RateLimit > 0 {
 		adm := runtime.NewAdmission(runtime.AdmissionConfig{

@@ -87,6 +87,19 @@ func (ck *Checker) observeEnvelope(env *consensus.Envelope) {
 			return
 		}
 		ck.note(env.From, env.MsgKind, m.Era, m.View, m.Seq, m.Digest)
+	case consensus.KindRelay:
+		// Gossip wraps the originator's sealed votes inside unsealed
+		// relay frames: unwrap every inner envelope so an equivocation
+		// is caught no matter how many hops carried it. The decoder
+		// rejects nested relay frames, so the recursion terminates.
+		entries, err := env.RelayEntries()
+		if err != nil {
+			ck.violations = append(ck.violations, fmt.Sprintf("%s from %s: undecodable relay frame", env.MsgKind, env.From.Short()))
+			return
+		}
+		for _, e := range entries {
+			ck.observeEnvelope(e.Env)
+		}
 	case consensus.KindNewView:
 		// Re-issued pre-prepares ride inside the NewView body and are
 		// never broadcast on their own: unpack them so a conflicting

@@ -1,0 +1,173 @@
+package consensus
+
+import (
+	"time"
+
+	"gpbft/internal/gcrypto"
+)
+
+// Dupemap defaults. The TTL is deliberately generous: suppressing a
+// re-broadcast for too long only delays liveness mechanisms that
+// retransmit byte-identical envelopes (ed25519 is deterministic, so a
+// re-sealed identical payload hashes the same), while expiring too
+// early merely lets a benign duplicate through to an engine that
+// tolerates duplicates anyway.
+const (
+	// DefaultDupemapTTL is how long a digest stays suppressive when the
+	// commit watermark is NOT advancing (a stalled chain must not
+	// suppress retransmitted view-change traffic forever).
+	DefaultDupemapTTL = Time(10 * time.Second)
+	// DefaultDupemapRounds is how many watermark advancements an entry
+	// survives once the chain IS making progress.
+	DefaultDupemapRounds = 4
+	// DefaultDupemapCap bounds total retained digests per node.
+	DefaultDupemapCap = 1 << 16
+)
+
+// Watermark is local chain progress: the (era, seq) most recently
+// committed. Ordering is lexicographic — eras reset sequence spaces.
+type Watermark struct {
+	Era uint64
+	Seq uint64
+}
+
+func (w Watermark) less(o Watermark) bool {
+	if w.Era != o.Era {
+		return w.Era < o.Era
+	}
+	return w.Seq < o.Seq
+}
+
+// dupeGen is one round-scoped generation of digests: the entries
+// recorded between two watermark advancements. Expiry is wholesale —
+// a generation is dropped as a unit, never entry by entry.
+type dupeGen struct {
+	mark Watermark
+	born Time
+	set  map[gcrypto.Hash]struct{}
+}
+
+// DupeMap is the relay's round-scoped duplicate-suppression map:
+// digests of envelopes already delivered (or originated), bucketed by
+// commit-watermark generation. Advancing the (era, seq) watermark
+// retires old generations, so occupancy tracks the consensus window
+// rather than total traffic; a hard cap sheds the oldest generation
+// wholesale under synthetic floods. Not concurrency-safe: it is owned
+// by the node's single event loop, like the engines.
+type DupeMap struct {
+	ttl    Time
+	rounds int
+	cap    int
+
+	gens  []*dupeGen // oldest → newest; the last is the insert target
+	total int
+	stats DupeStats
+}
+
+// DupeStats are the map's lifetime counters plus current occupancy.
+type DupeStats struct {
+	// Entries and Generations are current occupancy.
+	Entries     int
+	Generations int
+	// Hits counts Seen calls that found the digest already present
+	// (each hit is one suppressed duplicate).
+	Hits uint64
+	// Inserts counts first-seen digests recorded.
+	Inserts uint64
+	// Evicted counts entries shed by cap pressure; Expired counts
+	// entries retired by watermark advancement or the time TTL.
+	Evicted uint64
+	Expired uint64
+}
+
+// NewDupeMap builds a map; zero arguments select the defaults.
+func NewDupeMap(ttl Time, rounds, capEntries int) *DupeMap {
+	if ttl <= 0 {
+		ttl = DefaultDupemapTTL
+	}
+	if rounds <= 0 {
+		rounds = DefaultDupemapRounds
+	}
+	if capEntries <= 0 {
+		capEntries = DefaultDupemapCap
+	}
+	return &DupeMap{ttl: ttl, rounds: rounds, cap: capEntries}
+}
+
+// Len returns the current entry count across all generations.
+func (d *DupeMap) Len() int { return d.total }
+
+// Stats returns the counters with occupancy filled in.
+func (d *DupeMap) Stats() DupeStats {
+	s := d.stats
+	s.Entries = d.total
+	s.Generations = len(d.gens)
+	return s
+}
+
+func (d *DupeMap) dropOldest(counter *uint64) {
+	g := d.gens[0]
+	d.total -= len(g.set)
+	*counter += uint64(len(g.set))
+	d.gens = d.gens[1:]
+}
+
+// expireTime retires generations older than the TTL. Watermark-driven
+// expiry (Advance) is the primary mechanism; the clock backstop exists
+// for a stalled chain, where no commits means no watermark movement
+// and liveness depends on retransmitted byte-identical envelopes
+// eventually passing through again.
+func (d *DupeMap) expireTime(now Time) {
+	for len(d.gens) > 0 && now-d.gens[0].born >= d.ttl {
+		d.dropOldest(&d.stats.Expired)
+	}
+}
+
+// Seen records the digest at the current generation and reports
+// whether it was already present anywhere in the retained window.
+func (d *DupeMap) Seen(now Time, h gcrypto.Hash) bool {
+	d.expireTime(now)
+	for _, g := range d.gens {
+		if _, ok := g.set[h]; ok {
+			d.stats.Hits++
+			return true
+		}
+	}
+	if d.total >= d.cap && len(d.gens) > 0 {
+		// Cap pressure: shed the oldest round wholesale. When a single
+		// flooded round IS the whole map, reset it — bounded memory beats
+		// perfect suppression (engines tolerate duplicates regardless).
+		if len(d.gens) == 1 {
+			g := d.gens[0]
+			d.total -= len(g.set)
+			d.stats.Evicted += uint64(len(g.set))
+			g.set = make(map[gcrypto.Hash]struct{})
+			g.born = now
+		} else {
+			d.dropOldest(&d.stats.Evicted)
+		}
+	}
+	if len(d.gens) == 0 {
+		d.gens = append(d.gens, &dupeGen{born: now, set: make(map[gcrypto.Hash]struct{})})
+	}
+	cur := d.gens[len(d.gens)-1]
+	cur.set[h] = struct{}{}
+	d.total++
+	d.stats.Inserts++
+	return false
+}
+
+// Advance moves the commit watermark. A strictly larger (era, seq)
+// opens a fresh generation and retires every generation more than
+// `rounds` advancements old; stale or repeated watermarks are ignored
+// (commits can be observed out of order through the sync path).
+func (d *DupeMap) Advance(now Time, era, seq uint64) {
+	w := Watermark{Era: era, Seq: seq}
+	if len(d.gens) > 0 && !d.gens[len(d.gens)-1].mark.less(w) {
+		return
+	}
+	d.gens = append(d.gens, &dupeGen{mark: w, born: now, set: make(map[gcrypto.Hash]struct{})})
+	for len(d.gens) > d.rounds+1 {
+		d.dropOldest(&d.stats.Expired)
+	}
+}

@@ -1,0 +1,243 @@
+package consensus
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+)
+
+func hashN(n uint64) gcrypto.Hash {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], n)
+	return gcrypto.HashBytes(b[:])
+}
+
+// TestDupeMapCollision: the map keys on the digest, so byte-identical
+// envelopes collide deliberately (that IS suppression), including the
+// deterministic-ed25519 case where re-sealing the same payload yields
+// the same bytes — while distinct payloads never interfere.
+func TestDupeMapCollision(t *testing.T) {
+	d := NewDupeMap(0, 0, 0)
+	kp := gcrypto.DeterministicKeyPair(1)
+	a1 := EncodeEnvelope(Seal(kp, &kindPayload{K: KindPrepare, Data: []byte("vote-a")}))
+	a2 := EncodeEnvelope(Seal(kp, &kindPayload{K: KindPrepare, Data: []byte("vote-a")}))
+	b := EncodeEnvelope(Seal(kp, &kindPayload{K: KindPrepare, Data: []byte("vote-b")}))
+
+	if string(a1) != string(a2) {
+		t.Fatal("re-sealing an identical payload should reproduce identical bytes (deterministic ed25519)")
+	}
+	if d.Seen(0, gcrypto.HashBytes(a1)) {
+		t.Fatal("first sighting reported as duplicate")
+	}
+	if !d.Seen(0, gcrypto.HashBytes(a2)) {
+		t.Fatal("identical re-seal not suppressed")
+	}
+	if d.Seen(0, gcrypto.HashBytes(b)) {
+		t.Fatal("distinct payload suppressed")
+	}
+	if st := d.Stats(); st.Hits != 1 || st.Inserts != 2 {
+		t.Fatalf("stats %+v, want 1 hit / 2 inserts", st)
+	}
+}
+
+// TestDupeMapWatermarkExpiry: entries survive exactly `rounds`
+// watermark advancements, then a re-sighting registers as novel again.
+func TestDupeMapWatermarkExpiry(t *testing.T) {
+	const rounds = 3
+	d := NewDupeMap(0, rounds, 0)
+	h := hashN(42)
+	d.Seen(0, h)
+	for i := 1; i <= rounds; i++ {
+		d.Advance(Time(i), 0, uint64(i))
+		if !d.Seen(Time(i), h) {
+			t.Fatalf("entry expired after %d advancements, want %d retained", i, rounds)
+		}
+	}
+	// The retention loop reinserts h into the newest generation each
+	// time, so push watermarks until every generation that could hold it
+	// has rotated out without touching h in between.
+	for i := rounds + 1; i <= 3*rounds+2; i++ {
+		d.Advance(Time(i), 0, uint64(i))
+	}
+	if d.Seen(100, h) {
+		t.Fatal("entry survived full watermark rotation")
+	}
+}
+
+// TestDupeMapStaleWatermarkIgnored: commits observed out of order (the
+// sync path) must not reopen or reorder generations.
+func TestDupeMapStaleWatermarkIgnored(t *testing.T) {
+	d := NewDupeMap(0, 0, 0)
+	d.Seen(0, hashN(1))
+	d.Advance(0, 2, 10)
+	gens := len(d.gens)
+	d.Advance(0, 2, 10) // repeat
+	d.Advance(0, 2, 9)  // stale seq
+	d.Advance(0, 1, 99) // stale era (lexicographic: era dominates)
+	if len(d.gens) != gens {
+		t.Fatalf("stale watermarks changed generations: %d -> %d", gens, len(d.gens))
+	}
+	d.Advance(0, 3, 0) // new era, seq reset — still strictly larger
+	if len(d.gens) != gens+1 {
+		t.Fatal("era bump with seq reset not accepted as progress")
+	}
+}
+
+// TestDupeMapTimeTTL: with no commits at all (stalled chain), the clock
+// backstop must eventually forget digests, or liveness-critical
+// retransmissions (byte-identical view-changes) would be suppressed
+// forever.
+func TestDupeMapTimeTTL(t *testing.T) {
+	ttl := Time(5 * time.Second)
+	d := NewDupeMap(ttl, 0, 0)
+	h := hashN(7)
+	d.Seen(0, h)
+	if !d.Seen(ttl-1, h) {
+		t.Fatal("suppressed window ended early")
+	}
+	// The hit above did not refresh the generation's birth time; one
+	// tick past the TTL the whole generation (re-inserted h included)
+	// must be gone... but the re-insert landed in the same generation,
+	// so its clock is the generation's. Verify expiry from birth.
+	d2 := NewDupeMap(ttl, 0, 0)
+	d2.Seen(0, h)
+	if d2.Seen(ttl, h) {
+		t.Fatal("entry survived past TTL on a stalled chain")
+	}
+	if st := d2.Stats(); st.Expired != 1 {
+		t.Fatalf("expired counter %d, want 1", st.Expired)
+	}
+}
+
+// TestDupeMapBoundedFlood: a million distinct digests with zero
+// watermark progress must never push occupancy past the cap — the
+// bounded-memory guarantee under synthetic floods.
+func TestDupeMapBoundedFlood(t *testing.T) {
+	const cap = 1 << 12
+	d := NewDupeMap(0, 0, cap)
+	for i := uint64(0); i < 1_000_000; i++ {
+		if i%5000 == 0 {
+			// Occasional progress: generations rotate under the flood too.
+			d.Advance(Time(i), 0, i/5000+1)
+		}
+		d.Seen(Time(i), hashN(i))
+		if d.Len() > cap {
+			t.Fatalf("occupancy %d exceeds cap %d at envelope %d", d.Len(), cap, i)
+		}
+	}
+	st := d.Stats()
+	if st.Inserts != 1_000_000 {
+		t.Fatalf("inserts %d, want 1000000", st.Inserts)
+	}
+	if st.Evicted+st.Expired < 1_000_000-cap {
+		t.Fatalf("evicted %d + expired %d leave more than cap resident", st.Evicted, st.Expired)
+	}
+	if st.Entries > cap {
+		t.Fatalf("final occupancy %d exceeds cap %d", st.Entries, cap)
+	}
+}
+
+// TestDupeMapSingleGenFloodResets covers the cap-pressure path where
+// one flooded round IS the whole map: it must reset wholesale rather
+// than grow or thrash.
+func TestDupeMapSingleGenFloodResets(t *testing.T) {
+	const cap = 64
+	d := NewDupeMap(0, 0, cap)
+	for i := uint64(0); i < 10*cap; i++ {
+		d.Seen(0, hashN(i))
+	}
+	if d.Len() > cap {
+		t.Fatalf("single-generation flood occupancy %d exceeds cap %d", d.Len(), cap)
+	}
+	if st := d.Stats(); st.Evicted == 0 {
+		t.Fatal("cap pressure never evicted")
+	}
+}
+
+// TestDupeMapSuppressionCounters is the table-driven check that each
+// operation sequence lands exactly the expected counter totals.
+func TestDupeMapSuppressionCounters(t *testing.T) {
+	type op struct {
+		advance bool
+		era     uint64
+		seq     uint64
+		hash    uint64
+		at      Time
+	}
+	cases := []struct {
+		name             string
+		ttl              Time
+		rounds           int
+		ops              []op
+		hits             uint64
+		inserts          uint64
+		expired          uint64
+		finalEntries     int
+		finalGenerations int
+	}{
+		{
+			name: "no duplicates",
+			ops:  []op{{hash: 1}, {hash: 2}, {hash: 3}},
+			hits: 0, inserts: 3, finalEntries: 3, finalGenerations: 1,
+		},
+		{
+			name: "burst of duplicates",
+			ops:  []op{{hash: 1}, {hash: 1}, {hash: 1}, {hash: 2}, {hash: 1}},
+			hits: 3, inserts: 2, finalEntries: 2, finalGenerations: 1,
+		},
+		{
+			name:   "duplicate across one advancement",
+			rounds: 2,
+			ops: []op{
+				{hash: 1},
+				{advance: true, seq: 1},
+				{hash: 1}, // still retained one round back
+			},
+			hits: 1, inserts: 1, finalEntries: 1, finalGenerations: 2,
+		},
+		{
+			name:   "novel again after rotation",
+			rounds: 1,
+			ops: []op{
+				{hash: 1},
+				{advance: true, seq: 1},
+				{advance: true, seq: 2},
+				{hash: 1}, // initial generation rotated out
+			},
+			hits: 0, inserts: 2, expired: 1, finalEntries: 1, finalGenerations: 2,
+		},
+		{
+			name: "ttl expiry counts expired",
+			ttl:  Time(time.Second),
+			ops: []op{
+				{hash: 1, at: 0},
+				{hash: 2, at: Time(time.Second)}, // first generation aged out
+				{hash: 1, at: Time(time.Second)},
+			},
+			hits: 0, inserts: 3, expired: 1, finalEntries: 2, finalGenerations: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDupeMap(tc.ttl, tc.rounds, 0)
+			for _, o := range tc.ops {
+				if o.advance {
+					d.Advance(o.at, o.era, o.seq)
+					continue
+				}
+				d.Seen(o.at, hashN(o.hash))
+			}
+			st := d.Stats()
+			if st.Hits != tc.hits || st.Inserts != tc.inserts || st.Expired != tc.expired {
+				t.Fatalf("counters hits=%d inserts=%d expired=%d, want %d/%d/%d",
+					st.Hits, st.Inserts, st.Expired, tc.hits, tc.inserts, tc.expired)
+			}
+			if st.Entries != tc.finalEntries || st.Generations != tc.finalGenerations {
+				t.Fatalf("occupancy entries=%d gens=%d, want %d/%d",
+					st.Entries, st.Generations, tc.finalEntries, tc.finalGenerations)
+			}
+		})
+	}
+}

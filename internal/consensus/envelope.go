@@ -39,6 +39,12 @@ const (
 	// KindTxReject is an admission-control reply: a node telling a
 	// submitter that its transaction was not accepted and when to retry.
 	KindTxReject
+	// KindRelay is a gossip relay frame: a batch of hop-counted inner
+	// envelopes being epidemically forwarded on behalf of their
+	// originators. The frame itself is unsealed — each inner envelope
+	// carries its originator's signature, and the relayer is attributed
+	// by the authenticated channel it arrived on.
+	KindRelay
 )
 
 // String names the message kind.
@@ -64,6 +70,8 @@ func (k MsgKind) String() string {
 		return "block-sync"
 	case KindTxReject:
 		return "tx-reject"
+	case KindRelay:
+		return "relay"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -100,6 +108,15 @@ type Envelope struct {
 	// accept/reject semantics stay byte-exact with the serial path.
 	verified    bool
 	verifiedSum gcrypto.Hash
+
+	// relayEntries memoizes the decoded batch of a KindRelay body so
+	// the pre-verify worker's decode (which also warms every inner
+	// envelope's verify memo) is the one the event loop reuses. Same
+	// ownership rule as the verify memo: one writer, strictly before
+	// the single event loop reads.
+	relayEntries []RelayEntry
+	relayErr     error
+	relayDone    bool
 }
 
 // Errors returned by envelope operations.

@@ -1,0 +1,396 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"gpbft/internal/codec"
+	"gpbft/internal/gcrypto"
+)
+
+// Gossip relay: epidemic dissemination of consensus traffic. Instead
+// of the originator writing one copy of every envelope to all n−1
+// peers (O(n²) messages per slot across the committee), each node
+// queues what it originates or first delivers and periodically flushes
+// the queue as ONE batched relay frame to a fanout-f random subset of
+// peers. Epidemic spreading reaches the whole committee in O(log n)
+// hops with high probability, the batch amortises per-message channel
+// costs, and the dupemap keeps re-deliveries off the engines.
+const (
+	relayMagic = "gpbft/relay/v1"
+
+	// DefaultMaxRelayHops bounds epidemic propagation depth; log₂ of any
+	// plausible committee plus slack. A frame arriving at hop h re-queues
+	// its novel entries at h+1 and stops forwarding at the bound.
+	DefaultMaxRelayHops = 8
+	// maxRelayHopBound is the decode-time sanity cap on the hop counter.
+	maxRelayHopBound = 64
+	// MaxRelayEntries bounds entries per frame; an oversized pending
+	// queue is split across frames.
+	MaxRelayEntries = 1024
+	// DefaultRelayFlush is the batching interval: lower bounds dissemination
+	// latency added per hop, upper bounds how many frames per second each
+	// node sends (fanout / interval, independent of committee size).
+	DefaultRelayFlush = Time(20 * time.Millisecond)
+	// DefaultRelayFanout is used when RelayConfig.Fanout is zero and the
+	// peer count is unknown at construction; SetPeers recomputes
+	// ceil(log₂(n+1))+1 thereafter.
+	DefaultRelayFanout = 3
+)
+
+// RelayTimerID is the reserved timer identity for relay flush ticks.
+// Engine TimerAllocators hand out small sequential IDs starting at 1,
+// so a high fixed bit can never collide.
+const RelayTimerID = TimerID(1) << 62
+
+// ErrRelayFrame reports a malformed relay frame.
+var ErrRelayFrame = errors.New("consensus: invalid relay frame")
+
+// RelayEntry is one hop-counted inner envelope inside a relay frame.
+// Wire holds the inner envelope's canonical bytes: relaying re-uses
+// the originator's exact encoding, so the digest — and therefore the
+// dupemap key and any evidence derived from the bytes — is identical
+// at every hop.
+type RelayEntry struct {
+	Hop  uint8
+	Wire []byte
+	Env  *Envelope
+}
+
+// EncodeRelayBody builds the canonical body of a relay frame.
+func EncodeRelayBody(entries []RelayEntry) []byte {
+	w := codec.NewWriter(64)
+	w.String(relayMagic)
+	w.Count(len(entries))
+	for i := range entries {
+		w.Uint8(entries[i].Hop)
+		w.WriteBytes(entries[i].Wire)
+	}
+	return w.Bytes()
+}
+
+// DecodeRelayBody parses and validates a relay frame body. Strictness
+// matches the evidence codec: non-minimal varints are rejected by the
+// reader, trailing bytes by Finish, and structurally hostile frames
+// (empty batch, hop counter past any plausible propagation depth,
+// nested relay frames, inner envelopes that don't decode) by explicit
+// checks here, so a Byzantine relayer cannot smuggle unparseable or
+// recursive payloads past the dupemap.
+func DecodeRelayBody(body []byte) ([]RelayEntry, error) {
+	r := codec.NewReader(body)
+	if magic := r.ReadString(); magic != relayMagic {
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRelayFrame, err)
+		}
+		return nil, fmt.Errorf("%w: bad magic %q", ErrRelayFrame, magic)
+	}
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRelayFrame, err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrRelayFrame)
+	}
+	if n > MaxRelayEntries {
+		return nil, fmt.Errorf("%w: %d entries exceeds cap %d", ErrRelayFrame, n, MaxRelayEntries)
+	}
+	entries := make([]RelayEntry, 0, n)
+	for i := 0; i < n; i++ {
+		hop := r.Uint8()
+		wire := r.ReadBytes()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRelayFrame, err)
+		}
+		if hop == 0 || hop > maxRelayHopBound {
+			return nil, fmt.Errorf("%w: hop %d out of range", ErrRelayFrame, hop)
+		}
+		env, err := DecodeEnvelope(wire)
+		if err != nil {
+			return nil, fmt.Errorf("%w: inner envelope: %v", ErrRelayFrame, err)
+		}
+		if env.MsgKind == KindRelay {
+			return nil, fmt.Errorf("%w: nested relay frame", ErrRelayFrame)
+		}
+		entries = append(entries, RelayEntry{Hop: hop, Wire: wire, Env: env})
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRelayFrame, err)
+	}
+	return entries, nil
+}
+
+// RelayEntries decodes a KindRelay envelope's batch, memoized under the
+// same single-writer-before-event-loop rule as the verify memo: the
+// transport's pre-verify worker decodes (and verifies inner envelopes)
+// off the hot path, and the event loop reuses that result.
+func (e *Envelope) RelayEntries() ([]RelayEntry, error) {
+	if e.MsgKind != KindRelay {
+		return nil, ErrEnvelopeKind
+	}
+	if !e.relayDone {
+		e.relayEntries, e.relayErr = DecodeRelayBody(e.Body)
+		e.relayDone = true
+	}
+	return e.relayEntries, e.relayErr
+}
+
+// NewRelayEnvelope wraps a batch of entries in an UNSEALED envelope.
+// The frame carries no signature by design: each inner envelope keeps
+// its originator's seal (Byzantine accountability names the
+// originator), and the relayer is attributed by the authenticated
+// channel the frame arrives on — the signed TCP handshake identity or
+// the simulated sender. A relay frame must therefore never be passed
+// to Verify; receivers unwrap it and verify the inner envelopes.
+func NewRelayEnvelope(relayer gcrypto.Address, entries []RelayEntry) *Envelope {
+	return &Envelope{
+		MsgKind: KindRelay,
+		From:    relayer,
+		Body:    EncodeRelayBody(entries),
+
+		relayEntries: entries,
+		relayDone:    true,
+	}
+}
+
+// RelayConfig parameterises a node's relay.
+type RelayConfig struct {
+	Self  gcrypto.Address
+	Peers []gcrypto.Address // committee including or excluding self; self is filtered
+
+	// Fanout is the number of random peers each flush targets; 0 means
+	// ceil(log₂(peers+1))+1, recomputed on every SetPeers.
+	Fanout int
+	// MaxHops bounds propagation depth; 0 means DefaultMaxRelayHops.
+	MaxHops int
+	// FlushEvery is the batching interval; 0 means DefaultRelayFlush.
+	FlushEvery Time
+
+	// Dupemap tuning; zeros select the dupemap defaults.
+	DupeTTL    Time
+	DupeRounds int
+	DupeCap    int
+
+	// Seed drives target selection. Each node must use a distinct seed
+	// (derive from the cluster seed and the node index) or every node
+	// picks the same "random" targets and the epidemic degenerates.
+	Seed int64
+}
+
+// RelayStats is a point-in-time snapshot of relay counters; all fields
+// are maintained atomically so metrics scrapes don't synchronise with
+// the event loop.
+type RelayStats struct {
+	// ForwardedFrames counts relay frames sent (each flush sends the
+	// same frame to Fanout targets; every copy counts).
+	ForwardedFrames uint64
+	// ForwardedEntries counts inner envelopes across those frames.
+	ForwardedEntries uint64
+	// Suppressed counts inner envelopes dropped as dupemap hits.
+	Suppressed uint64
+	// Dropped counts inner envelopes not re-forwarded because the hop
+	// bound was reached (they were still delivered locally).
+	Dropped uint64
+	// Delivered counts novel inner envelopes handed to the engine.
+	Delivered uint64
+	// DupemapEntries / DupemapGenerations are occupancy gauges.
+	DupemapEntries     uint64
+	DupemapGenerations uint64
+}
+
+// Relay is a node's gossip relay engine. Like the consensus engines it
+// is a pure state machine owned by the node's event loop: Broadcast,
+// Receive, Flush, Advance and SetPeers must all be called from that
+// loop. Only Stats is safe from other goroutines.
+type Relay struct {
+	self    gcrypto.Address
+	peers   []gcrypto.Address
+	fanout  int
+	auto    bool // fanout derived from peer count
+	maxHops int
+	every   Time
+
+	pending []RelayEntry
+	scratch []gcrypto.Address
+	rng     *rand.Rand
+	dupe    *DupeMap
+
+	forwardedFrames  atomic.Uint64
+	forwardedEntries atomic.Uint64
+	suppressed       atomic.Uint64
+	dropped          atomic.Uint64
+	delivered        atomic.Uint64
+	dupeEntries      atomic.Uint64
+	dupeGens         atomic.Uint64
+}
+
+// autoFanout is ceil(log₂(n+1))+1, floored at the default: log-degree
+// random graphs are connected with high probability, and the +1 absorbs
+// faulty peers.
+func autoFanout(n int) int {
+	f := 1
+	for p := 1; p < n+1; p *= 2 {
+		f++
+	}
+	if f < DefaultRelayFanout {
+		f = DefaultRelayFanout
+	}
+	return f
+}
+
+// NewRelay builds a relay for one node.
+func NewRelay(cfg RelayConfig) *Relay {
+	r := &Relay{
+		self:    cfg.Self,
+		fanout:  cfg.Fanout,
+		auto:    cfg.Fanout <= 0,
+		maxHops: cfg.MaxHops,
+		every:   cfg.FlushEvery,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		dupe:    NewDupeMap(cfg.DupeTTL, cfg.DupeRounds, cfg.DupeCap),
+	}
+	if r.maxHops <= 0 {
+		r.maxHops = DefaultMaxRelayHops
+	}
+	if r.every <= 0 {
+		r.every = DefaultRelayFlush
+	}
+	r.SetPeers(cfg.Peers)
+	return r
+}
+
+// SetPeers replaces the relay's peer set (self is filtered out); the
+// runtime calls it at construction and on every era switch so the
+// epidemic always spans the current committee.
+func (r *Relay) SetPeers(peers []gcrypto.Address) {
+	r.peers = r.peers[:0]
+	for _, p := range peers {
+		if p != r.self {
+			r.peers = append(r.peers, p)
+		}
+	}
+	if r.auto {
+		r.fanout = autoFanout(len(r.peers))
+	}
+}
+
+// Fanout returns the current flush fanout.
+func (r *Relay) Fanout() int { return r.fanout }
+
+// PeerCount returns the current peer-set size (self excluded).
+func (r *Relay) PeerCount() int { return len(r.peers) }
+
+// FlushEvery returns the batching interval for timer arming.
+func (r *Relay) FlushEvery() Time { return r.every }
+
+// HasPending reports whether a flush timer needs to be armed.
+func (r *Relay) HasPending() bool { return len(r.pending) > 0 }
+
+// Broadcast queues an envelope this node originated. Its digest is
+// marked seen so an echo arriving back over the epidemic is suppressed
+// rather than re-queued.
+func (r *Relay) Broadcast(now Time, env *Envelope) {
+	wire := EncodeEnvelope(env)
+	r.dupe.Seen(now, gcrypto.HashBytes(wire))
+	r.pending = append(r.pending, RelayEntry{Hop: 1, Wire: wire, Env: env})
+	r.gauges()
+}
+
+// Receive unwraps an incoming relay frame and returns the novel inner
+// envelopes, in frame order, for engine delivery. Novel entries under
+// the hop bound are queued for re-forwarding at hop+1.
+func (r *Relay) Receive(now Time, frame *Envelope) ([]*Envelope, error) {
+	entries, err := frame.RelayEntries()
+	if err != nil {
+		return nil, err
+	}
+	var novel []*Envelope
+	for i := range entries {
+		ent := entries[i]
+		if r.dupe.Seen(now, gcrypto.HashBytes(ent.Wire)) {
+			r.suppressed.Add(1)
+			continue
+		}
+		novel = append(novel, ent.Env)
+		r.delivered.Add(1)
+		if int(ent.Hop) >= r.maxHops {
+			r.dropped.Add(1)
+			continue
+		}
+		r.pending = append(r.pending, RelayEntry{Hop: ent.Hop + 1, Wire: ent.Wire, Env: ent.Env})
+	}
+	r.gauges()
+	return novel, nil
+}
+
+// Flush drains the pending queue into batched relay frames and sends
+// each frame to a fresh fanout-sized random peer subset via send.
+func (r *Relay) Flush(now Time, send func(to gcrypto.Address, env *Envelope)) {
+	if len(r.pending) == 0 || len(r.peers) == 0 || r.fanout == 0 {
+		r.pending = r.pending[:0]
+		return
+	}
+	for off := 0; off < len(r.pending); off += MaxRelayEntries {
+		end := off + MaxRelayEntries
+		if end > len(r.pending) {
+			end = len(r.pending)
+		}
+		// Copy, don't alias: the frame (and its memoized entry slice)
+		// stays referenced while in flight, but r.pending's backing array
+		// is reused for the next batch the moment this loop returns.
+		batch := append([]RelayEntry(nil), r.pending[off:end]...)
+		frame := NewRelayEnvelope(r.self, batch)
+		targets := r.pickTargets()
+		for _, to := range targets {
+			send(to, frame)
+		}
+		r.forwardedFrames.Add(uint64(len(targets)))
+		r.forwardedEntries.Add(uint64(len(batch) * len(targets)))
+	}
+	r.pending = r.pending[:0]
+	r.gauges()
+}
+
+// pickTargets draws a fanout-sized random peer subset by partial
+// Fisher–Yates over a scratch copy; deterministic under the seeded rng.
+func (r *Relay) pickTargets() []gcrypto.Address {
+	k := r.fanout
+	if k > len(r.peers) {
+		k = len(r.peers)
+	}
+	r.scratch = append(r.scratch[:0], r.peers...)
+	for i := 0; i < k; i++ {
+		j := i + r.rng.Intn(len(r.scratch)-i)
+		r.scratch[i], r.scratch[j] = r.scratch[j], r.scratch[i]
+	}
+	return r.scratch[:k]
+}
+
+// Advance forwards commit progress to the dupemap watermark.
+func (r *Relay) Advance(now Time, era, seq uint64) {
+	r.dupe.Advance(now, era, seq)
+	r.gauges()
+}
+
+func (r *Relay) gauges() {
+	r.dupeEntries.Store(uint64(r.dupe.Len()))
+	r.dupeGens.Store(uint64(len(r.dupe.gens)))
+}
+
+// Stats snapshots the relay counters; safe from any goroutine.
+func (r *Relay) Stats() RelayStats {
+	return RelayStats{
+		ForwardedFrames:    r.forwardedFrames.Load(),
+		ForwardedEntries:   r.forwardedEntries.Load(),
+		Suppressed:         r.suppressed.Load(),
+		Dropped:            r.dropped.Load(),
+		Delivered:          r.delivered.Load(),
+		DupemapEntries:     r.dupeEntries.Load(),
+		DupemapGenerations: r.dupeGens.Load(),
+	}
+}
+
+// DupeStats exposes the dupemap counters; event-loop only.
+func (r *Relay) DupeStats() DupeStats { return r.dupe.Stats() }

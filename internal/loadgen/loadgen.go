@@ -60,6 +60,17 @@ type Config struct {
 	// on every node (tx/s per identity; 0 = off). An attack run with
 	// RateLimit 0 measures the unarmored baseline under flood.
 	RateLimit float64
+
+	// Gossip replaces direct all-to-all broadcast with the epidemic
+	// relay (fanout-f forwarding, round-scoped duplicate suppression).
+	// Off keeps the exact pre-existing dissemination path.
+	Gossip bool
+	// GossipFanout overrides the relay fanout (0 = auto, ~log₂ n).
+	GossipFanout int
+	// GossipFlush overrides the relay flush interval (0 = default).
+	// Shorter flushes cut per-hop dissemination latency at the cost of
+	// more (smaller) relay frames.
+	GossipFlush time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -116,6 +127,16 @@ type Result struct {
 	Rejected        uint64 `json:"rejected,omitempty"`
 	Shed            uint64 `json:"shed,omitempty"`
 	EvictedShed     uint64 `json:"evicted_shed,omitempty"`
+	// Gossip-run extras (zero and omitted for direct-broadcast runs):
+	// the relay counters summed over the committee and the message-
+	// complexity measurement the sweep gate asserts against.
+	Gossip          bool    `json:"gossip,omitempty"`
+	RelayFanout     int     `json:"relay_fanout,omitempty"`
+	RelayForwarded  uint64  `json:"relay_forwarded,omitempty"`
+	RelaySuppressed uint64  `json:"relay_suppressed,omitempty"`
+	RelayDropped    uint64  `json:"relay_dropped,omitempty"`
+	Slots           uint64  `json:"slots,omitempty"`
+	FramesPerSlot   float64 `json:"frames_per_node_per_slot,omitempty"`
 }
 
 func (r Result) String() string {

@@ -5,9 +5,29 @@ import (
 	"time"
 
 	"gpbft"
+	"gpbft/internal/consensus"
 	"gpbft/internal/gcrypto"
 	"gpbft/internal/types"
 )
+
+// fillRelayResult sums per-node relay counters into the result and
+// derives the per-node frames-per-slot figure the sweep gate checks.
+func fillRelayResult(res *Result, committee int, slots uint64, nodeStats func(i int) (consensus.RelayStats, int)) {
+	res.Gossip = true
+	res.Slots = slots
+	for i := 0; i < committee; i++ {
+		st, fanout := nodeStats(i)
+		res.RelayForwarded += st.ForwardedFrames
+		res.RelaySuppressed += st.Suppressed
+		res.RelayDropped += st.Dropped
+		if fanout > res.RelayFanout {
+			res.RelayFanout = fanout
+		}
+	}
+	if slots > 0 {
+		res.FramesPerSlot = float64(res.RelayForwarded) / float64(committee) / float64(slots)
+	}
+}
 
 // runSim drives a simulated G-PBFT cluster at the offered rate in
 // virtual time. Results are fully deterministic for a given config and
@@ -22,6 +42,14 @@ func runSim(c Config) (Result, error) {
 	o.MempoolCap = c.MempoolCap
 	o.MaxInFlight = c.MaxInFlight
 	o.RateLimit = c.RateLimit
+	o.Gossip = c.Gossip
+	o.GossipFanout = c.GossipFanout
+	o.GossipFlush = c.GossipFlush
+	// Sweep committees can exceed the default endorser cap; a silently
+	// truncated committee would bench a smaller cluster than advertised.
+	if c.Committee > o.MaxEndorsers {
+		o.MaxEndorsers = c.Committee
+	}
 	// Freeze the committee: the bench measures the commit hot path, not
 	// era churn (chaos and harness experiments cover that).
 	o.DisableEraSwitch = true
@@ -92,6 +120,11 @@ func runSim(c Config) (Result, error) {
 			res.Shed += cs.Admission.Shed
 			res.EvictedShed += cl.Node(i).App.Pool().Stats().EvictedShed
 		}
+	}
+	if c.Gossip {
+		fillRelayResult(&res, c.Committee, cl.MaxHeight(), func(i int) (consensus.RelayStats, int) {
+			return cl.NodeCounters(i).Relay, cl.Node(i).Relay.Fanout()
+		})
 	}
 	return res, nil
 }

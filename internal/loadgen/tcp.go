@@ -87,6 +87,7 @@ func runTCP(c Config) (Result, error) {
 	tcps := make([]*transport.TCP, n)
 	runners := make([]*transport.Runner, n)
 	chains := make([]*ledger.Chain, n)
+	nodes := make([]*runtime.Node, n)
 	var wg sync.WaitGroup
 	defer func() {
 		cancel()
@@ -128,6 +129,19 @@ func runTCP(c Config) (Result, error) {
 			return Result{}, err
 		}
 		node := &runtime.Node{ID: keys[i].Address(), Key: keys[i], App: app, Engine: eng}
+		if c.Gossip {
+			peers := make([]gcrypto.Address, n)
+			for k := range keys {
+				peers[k] = keys[k].Address()
+			}
+			node.Relay = consensus.NewRelay(consensus.RelayConfig{
+				Self:   keys[i].Address(),
+				Peers:  peers,
+				Fanout: c.GossipFanout,
+				Seed:   c.Seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15),
+			})
+		}
+		nodes[i] = node
 		if i == 0 {
 			node.OnCommit = func(_ consensus.Time, b *types.Block) {
 				rec.observe(b, time.Now())
@@ -235,12 +249,18 @@ func runTCP(c Config) (Result, error) {
 	if elapsed <= 0 {
 		elapsed = time.Since(start).Seconds()
 	}
-	return Result{
+	res := Result{
 		Offered:   total,
 		Committed: committed,
 		Elapsed:   elapsed,
 		TPS:       float64(committed) / elapsed,
 		P50Ms:     stats.Quantile(lat, 0.50),
 		P99Ms:     stats.Quantile(lat, 0.99),
-	}, nil
+	}
+	if c.Gossip {
+		fillRelayResult(&res, n, chains[0].Head().Header.Height, func(i int) (consensus.RelayStats, int) {
+			return nodes[i].Counters().Relay, nodes[i].Relay.Fanout()
+		})
+	}
+	return res, nil
 }

@@ -117,6 +117,59 @@ func TestCheckpointMismatchedDigestIgnored(t *testing.T) {
 	}
 }
 
+// TestCheckpointPruneNeverReproposes: a quorum checkpoint can stabilize
+// ABOVE a lagging replica's execution point (the committed blocks are
+// still in flight to it). Stabilization prunes the instances and
+// sent-vote guards for those slots — so if the replica is the primary,
+// a later proposal pass must not rebuild a pruned slot from today's
+// pool and sign a second, conflicting pre-prepare for it. Regression
+// test for an equivocation found by the gossip chaos schedule.
+func TestCheckpointPruneNeverReproposes(t *testing.T) {
+	prim := newUnitRig(t, 0).primaryPos()
+	r := newUnitRigWithK(t, prim, 2)
+	r.eng.Init(0)
+
+	// The primary proposes seq 1 from its pool.
+	tx1 := clientTx(0, 1)
+	if err := r.app.SubmitTx(tx1); err != nil {
+		t.Fatal(err)
+	}
+	acts := r.eng.OnRequest(0, tx1)
+	if !hasKind(acts, consensus.KindPrePrepare) {
+		t.Fatal("primary did not propose seq 1")
+	}
+
+	// The rest of the committee raced ahead: it committed slots 1-2 (the
+	// primary's commits never came back to it) and checkpointed at 2.
+	ckDigest := gcrypto.HashBytes([]byte("peer-checkpoint-state"))
+	for i := 0; i < 4; i++ {
+		if i == prim {
+			continue
+		}
+		r.eng.OnEnvelope(0, consensus.Seal(r.keys[i], &pbft.Checkpoint{
+			Era: 0, Seq: 2, Digest: ckDigest,
+		}))
+	}
+	if r.eng.LowWater() != 2 {
+		t.Fatalf("low water %d after quorum of checkpoints, want 2", r.eng.LowWater())
+	}
+
+	// New pool contents arrive. The pruned slots are final; re-proposing
+	// one would equivocate against the seq-1 pre-prepare already signed.
+	tx2 := clientTx(1, 2)
+	if err := r.app.SubmitTx(tx2); err != nil {
+		t.Fatal(err)
+	}
+	for _, acts := range [][]consensus.Action{
+		r.eng.OnRequest(0, tx2),
+		r.eng.OnCommitApplied(0),
+	} {
+		if hasKind(acts, consensus.KindPrePrepare) {
+			t.Fatal("primary re-proposed a slot at or below the stable checkpoint")
+		}
+	}
+}
+
 // newUnitRigWithK builds a rig with a custom checkpoint interval.
 func newUnitRigWithK(t *testing.T, selfPos int, k uint64) *unitRig {
 	t.Helper()

@@ -526,7 +526,17 @@ func (e *Engine) maybePropose(now consensus.Time, acts []consensus.Action) []con
 	if hw := e.highWater(); maxSeq > hw {
 		maxSeq = hw
 	}
-	for seq := e.execNext; seq <= maxSeq; seq++ {
+	// A quorum checkpoint can stabilize while this replica's execution
+	// still lags it (the synced blocks are in flight): those slots are
+	// final, their instances and sent-vote guards are pruned, and
+	// re-proposing one would rebuild a different block from today's pool
+	// and equivocate against our own earlier pre-prepare. Stay silent
+	// below the stable checkpoint; sync moves execNext past it.
+	seqStart := e.execNext
+	if seqStart <= e.lowWater {
+		seqStart = e.lowWater + 1
+	}
+	for seq := seqStart; seq <= maxSeq; seq++ {
 		if inst := e.insts[seq]; inst != nil && inst.view == e.view && inst.prePrepare != nil {
 			continue // already proposed in this view
 		}

@@ -44,8 +44,19 @@ type Node struct {
 	// load shedding, and is fed commit latencies for its EWMA. Nil
 	// reproduces the unprotected behavior exactly.
 	Admission *Admission
+	// Relay, if set, replaces all-to-all broadcast with epidemic gossip:
+	// engine Broadcast actions are queued and periodically flushed as
+	// batched relay frames to a random fanout, and incoming relay frames
+	// are unwrapped through the duplicate-suppression map before engine
+	// delivery. Nil reproduces the direct-broadcast path exactly.
+	Relay *consensus.Relay
 	// CommitErr records the first commit failure (a bug or a fork).
 	CommitErr error
+
+	// relayFlushArmed tracks whether a relay flush timer is pending, so
+	// the timer is armed on demand (only while the queue is non-empty)
+	// and the event loop still reaches quiescence when traffic stops.
+	relayFlushArmed bool
 
 	ctr nodeCounters
 }
@@ -83,6 +94,9 @@ type CounterSnapshot struct {
 	// Sync is the engine's catch-up activity (zero value when the
 	// engine does not report sync statistics).
 	Sync SyncStats
+	// Relay is the gossip relay snapshot (zero value when gossip is
+	// disabled).
+	Relay consensus.RelayStats
 }
 
 // SyncMode records how a node last caught up with the chain.
@@ -151,6 +165,9 @@ func (n *Node) Counters() CounterSnapshot {
 	if sp, ok := n.Engine.(SyncStatsProvider); ok {
 		cs.Sync = sp.SyncStats()
 	}
+	if n.Relay != nil {
+		cs.Relay = n.Relay.Stats()
+	}
 	return cs
 }
 
@@ -169,16 +186,57 @@ func (n *Node) HandleTimer(now consensus.Time, id consensus.TimerID) {
 	n.Fire(now, id)
 }
 
-// Deliver feeds a received envelope to the engine.
+// Deliver feeds a received envelope to the engine. Relay frames are
+// unwrapped first: each novel inner envelope counts and delivers like
+// a directly received one, duplicates are suppressed by the dupemap,
+// and a stray frame with gossip disabled is dropped (a relay frame is
+// unsealed, so it must never reach an engine's Verify path).
 func (n *Node) Deliver(now consensus.Time, env *consensus.Envelope) {
+	if env.MsgKind == consensus.KindRelay {
+		if n.Relay == nil {
+			return
+		}
+		novel, err := n.Relay.Receive(now, env)
+		if err != nil {
+			return
+		}
+		for _, inner := range novel {
+			n.ctr.delivered.Add(1)
+			n.apply(now, n.Engine.OnEnvelope(now, inner))
+		}
+		n.armRelayFlush(now)
+		return
+	}
 	n.ctr.delivered.Add(1)
 	n.apply(now, n.Engine.OnEnvelope(now, env))
 }
 
-// Fire feeds a timer expiry to the engine.
+// Fire feeds a timer expiry to the engine. The reserved relay timer is
+// handled here: it drains the relay's pending queue as batched frames
+// to the fanout and never reaches the engine.
 func (n *Node) Fire(now consensus.Time, id consensus.TimerID) {
+	if id == consensus.RelayTimerID {
+		n.ctr.fired.Add(1)
+		n.relayFlushArmed = false
+		if n.Relay != nil {
+			n.Relay.Flush(now, func(to gcrypto.Address, env *consensus.Envelope) {
+				n.Exec.Send(to, env)
+			})
+		}
+		return
+	}
 	n.ctr.fired.Add(1)
 	n.apply(now, n.Engine.OnTimer(now, id))
+}
+
+// armRelayFlush schedules a flush tick if the relay has queued entries
+// and no tick is already pending.
+func (n *Node) armRelayFlush(now consensus.Time) {
+	if n.Relay == nil || n.relayFlushArmed || !n.Relay.HasPending() {
+		return
+	}
+	n.relayFlushArmed = true
+	n.Exec.SetTimer(consensus.RelayTimerID, n.Relay.FlushEvery())
 }
 
 // Submit injects a locally received transaction: through admission
@@ -212,6 +270,7 @@ func (n *Node) apply(now consensus.Time, acts []consensus.Action) {
 		}
 		committed = n.applyList(now, cn.OnCommitApplied(now))
 	}
+	n.armRelayFlush(now)
 }
 
 func (n *Node) applyList(now consensus.Time, acts []consensus.Action) (committed bool) {
@@ -220,6 +279,15 @@ func (n *Node) applyList(now consensus.Time, acts []consensus.Action) (committed
 		case consensus.Send:
 			n.Exec.Send(act.To, act.Env)
 		case consensus.Broadcast:
+			// With gossip enabled, a committee broadcast is queued on the
+			// relay instead of written to every peer: the next flush sends
+			// one batched frame to a random fanout and the epidemic covers
+			// the rest. An empty peer set (solo committee) falls back to
+			// the direct path so nothing is blackholed.
+			if n.Relay != nil && n.Relay.PeerCount() > 0 {
+				n.Relay.Broadcast(now, act.Env)
+				continue
+			}
 			for _, to := range act.To {
 				n.Exec.Send(to, act.Env)
 			}
@@ -243,11 +311,17 @@ func (n *Node) applyList(now consensus.Time, acts []consensus.Action) (committed
 			if n.OnCommit != nil {
 				n.OnCommit(now, act.Block)
 			}
+			if n.Relay != nil {
+				n.Relay.Advance(now, act.Block.Header.Era, act.Block.Header.Height)
+			}
 		case consensus.StartTimer:
 			n.Exec.SetTimer(act.ID, act.Delay)
 		case consensus.StopTimer:
 			n.Exec.CancelTimer(act.ID)
 		case consensus.EraSwitched:
+			if n.Relay != nil {
+				n.Relay.SetPeers(act.Committee)
+			}
 			if n.OnEraSwitch != nil {
 				n.OnEraSwitch(now, act.Era, act.Committee)
 			}

@@ -1,0 +1,195 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gpbft/internal/codec"
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/simnet"
+	"gpbft/internal/types"
+)
+
+// blobPayload is a minimal vote-like payload for broadcast tests.
+type blobPayload struct{ Data []byte }
+
+func (p *blobPayload) Kind() consensus.MsgKind          { return consensus.KindPrepare }
+func (p *blobPayload) MarshalCanonical(w *codec.Writer) { w.WriteBytes(p.Data) }
+func (p *blobPayload) UnmarshalCanonical(r *codec.Reader) error {
+	p.Data = r.ReadBytes()
+	return r.Err()
+}
+
+// broadcastEngine is a stub engine that broadcasts a fixed list of
+// pre-sealed envelopes one per timer tick and records how many times
+// each incoming envelope digest reaches it — the measurement probe for
+// the delivery property.
+type broadcastEngine struct {
+	peers    []gcrypto.Address
+	outbox   []*consensus.Envelope
+	next     int
+	stagger  consensus.Time
+	received map[gcrypto.Hash]int
+}
+
+const bcastTimer = consensus.TimerID(1)
+
+func (e *broadcastEngine) Init(consensus.Time) []consensus.Action {
+	e.received = make(map[gcrypto.Hash]int)
+	if len(e.outbox) == 0 {
+		return nil
+	}
+	return []consensus.Action{consensus.StartTimer{ID: bcastTimer, Delay: time.Duration(e.stagger)}}
+}
+
+func (e *broadcastEngine) OnEnvelope(_ consensus.Time, env *consensus.Envelope) []consensus.Action {
+	e.received[gcrypto.HashBytes(consensus.EncodeEnvelope(env))]++
+	return nil
+}
+
+func (e *broadcastEngine) OnTimer(_ consensus.Time, id consensus.TimerID) []consensus.Action {
+	if id != bcastTimer || e.next >= len(e.outbox) {
+		return nil
+	}
+	env := e.outbox[e.next]
+	e.next++
+	acts := []consensus.Action{consensus.Broadcast{To: e.peers, Env: env}}
+	if e.next < len(e.outbox) {
+		acts = append(acts, consensus.StartTimer{ID: bcastTimer, Delay: time.Duration(e.stagger)})
+	}
+	return acts
+}
+
+func (e *broadcastEngine) OnRequest(consensus.Time, *types.Transaction) []consensus.Action {
+	return nil
+}
+
+// TestBroadcastDeliveryProperty drives a committee over the seeded
+// simulator through drop/reorder/duplicate faults and checks the
+// delivery contract per (member, envelope) pair:
+//
+//   - direct broadcast on a clean network: exactly once (baseline);
+//   - gossip at flooding fanout under duplication and reordering:
+//     exactly once — the dupemap is load-bearing here, since the
+//     network alone would deliver duplicates straight to the engine;
+//   - gossip at log-fanout under drops and duplication: at most once
+//     always, and every envelope still reaches a quorum (epidemic
+//     redundancy), with no starved member.
+//
+// Everything is seeded, so the assertions are exact, not statistical.
+func TestBroadcastDeliveryProperty(t *testing.T) {
+	const (
+		nNodes  = 7
+		perNode = 8
+	)
+	scenarios := []struct {
+		name        string
+		gossip      bool
+		fanout      int // 0 = auto (log n); nNodes-1 = flooding
+		drop        float64
+		dup         float64
+		exactlyOnce bool
+	}{
+		{name: "direct clean network", exactlyOnce: true},
+		{name: "gossip flooding fanout, duplicate+reorder faults",
+			gossip: true, fanout: nNodes - 1, dup: 0.3, exactlyOnce: true},
+		{name: "gossip log fanout, drop+duplicate faults",
+			gossip: true, drop: 0.05, dup: 0.2},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			net := simnet.New(simnet.Config{
+				Seed: 1234,
+				Latency: simnet.UniformLatency{
+					Base:   time.Millisecond,
+					Jitter: 3 * time.Millisecond, // overlapping windows => reordering
+				},
+				ProcTime:      50 * time.Microsecond,
+				SendTime:      10 * time.Microsecond,
+				DropRate:      sc.drop,
+				DuplicateRate: sc.dup,
+			})
+
+			keys := make([]*gcrypto.KeyPair, nNodes)
+			addrs := make([]gcrypto.Address, nNodes)
+			for i := range keys {
+				keys[i] = gcrypto.DeterministicKeyPair(i)
+				addrs[i] = keys[i].Address()
+			}
+
+			// Pre-seal every broadcast so the test knows the full expected
+			// digest set up front.
+			engines := make([]*broadcastEngine, nNodes)
+			nodes := make([]*Node, nNodes)
+			origin := make(map[gcrypto.Hash]int)
+			for i := range engines {
+				others := make([]gcrypto.Address, 0, nNodes-1)
+				for j, a := range addrs {
+					if j != i {
+						others = append(others, a)
+					}
+				}
+				eng := &broadcastEngine{peers: others, stagger: consensus.Time(5 * time.Millisecond)}
+				for k := 0; k < perNode; k++ {
+					env := consensus.Seal(keys[i], &blobPayload{Data: []byte(fmt.Sprintf("n%d-m%d", i, k))})
+					eng.outbox = append(eng.outbox, env)
+					origin[gcrypto.HashBytes(consensus.EncodeEnvelope(env))] = i
+				}
+				engines[i] = eng
+				node := &Node{ID: addrs[i], Key: keys[i], Engine: eng, Exec: net.Executor(addrs[i])}
+				if sc.gossip {
+					node.Relay = consensus.NewRelay(consensus.RelayConfig{
+						Self:       addrs[i],
+						Peers:      addrs,
+						Fanout:     sc.fanout,
+						FlushEvery: consensus.Time(2 * time.Millisecond),
+						Seed:       int64(1000 + i),
+					})
+				}
+				nodes[i] = node
+				net.AddNode(addrs[i], node)
+			}
+			net.Schedule(0, func(now consensus.Time) {
+				for _, n := range nodes {
+					n.Start(now)
+				}
+			})
+			if net.RunUntilIdle(2*time.Minute) == 0 {
+				t.Fatal("simulation processed no events")
+			}
+
+			var suppressed uint64
+			for _, n := range nodes {
+				suppressed += n.Counters().Relay.Suppressed
+			}
+			if sc.gossip && sc.dup > 0 && suppressed == 0 {
+				t.Fatal("duplicate faults injected but dupemap suppressed nothing")
+			}
+
+			for digest, from := range origin {
+				delivered := 0
+				for i, eng := range engines {
+					if i == from {
+						continue // a node never delivers its own broadcast to itself
+					}
+					switch count := eng.received[digest]; {
+					case count > 1:
+						t.Fatalf("node %d delivered an envelope from node %d %d times (at-most-once violated)", i, from, count)
+					case count == 1:
+						delivered++
+					case count == 0 && sc.exactlyOnce:
+						t.Fatalf("node %d starved of an envelope from node %d (exactly-once violated)", i, from)
+					}
+				}
+				// Quorum coverage even under loss: the originator plus
+				// `delivered` receivers must reach 2f+1 of the committee.
+				f := (nNodes - 1) / 3
+				if delivered+1 < 2*f+1 {
+					t.Fatalf("envelope from node %d reached only %d/%d members (quorum %d)", from, delivered+1, nNodes, 2*f+1)
+				}
+			}
+		})
+	}
+}

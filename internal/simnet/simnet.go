@@ -69,6 +69,11 @@ type Config struct {
 	SendTime time.Duration
 	// DropRate drops each message independently with this probability.
 	DropRate float64
+	// DuplicateRate delivers each surviving message a second time with
+	// this probability, with an independent latency draw — so the copy
+	// usually arrives reordered relative to the original. Models
+	// retransmission-happy links for gossip/dupemap property tests.
+	DuplicateRate float64
 	// WireOverhead is added to each message's metered size (frame and
 	// transport headers; 66 approximates Ethernet+IPv4+TCP).
 	WireOverhead int
@@ -224,6 +229,15 @@ func (n *Network) Send(from, to NodeID, env *consensus.Envelope) {
 		lat = n.cfg.Latency.Delay(from, to, size, n.rng)
 	}
 	n.push(&event{at: sendDone + lat, kind: evArrival, node: to, env: env})
+	// Both guards consume rng only when the fault is armed, so existing
+	// seeds replay bit-for-bit with the fault off.
+	if n.cfg.DuplicateRate > 0 && n.rng.Float64() < n.cfg.DuplicateRate {
+		dup := time.Duration(0)
+		if n.cfg.Latency != nil {
+			dup = n.cfg.Latency.Delay(from, to, size, n.rng)
+		}
+		n.push(&event{at: sendDone + dup, kind: evArrival, node: to, env: env})
+	}
 }
 
 // SetTimer schedules HandleTimer(id) on a node after delay.
@@ -305,6 +319,10 @@ func (n *Network) Restart(id NodeID, h Handler) {
 // current virtual time. Chaos schedules use it to run the fault phase
 // under lossy conditions and the recovery phase on a clean network.
 func (n *Network) SetDropRate(p float64) { n.cfg.DropRate = p }
+
+// SetDuplicateRate changes the message-duplication probability at the
+// current virtual time.
+func (n *Network) SetDuplicateRate(p float64) { n.cfg.DuplicateRate = p }
 
 // Partition blocks traffic between two nodes (both directions).
 func (n *Network) Partition(a, b NodeID) { n.blocked[[2]NodeID{a, b}] = true }

@@ -127,6 +127,20 @@ type verifyJob struct {
 // engine's own Open rejects it exactly as it would have without the
 // pipeline (only success is memoized, so semantics are unchanged).
 func preVerify(env *consensus.Envelope) {
+	if env.MsgKind == consensus.KindRelay {
+		// A relay frame is unsealed by design; the work to front-load is
+		// decoding the batch (memoized on the envelope — the event loop
+		// reuses this result) and verifying each inner envelope.
+		// Recursion is safe: the decoder rejects nested relay frames.
+		entries, err := env.RelayEntries()
+		if err != nil {
+			return
+		}
+		for i := range entries {
+			preVerify(entries[i].Env)
+		}
+		return
+	}
 	if env.MsgKind == consensus.KindRequest {
 		// Request envelopes skip the seal check end to end (see
 		// pbft.onRequestEnv): the transaction inside is what

@@ -14,6 +14,7 @@ import (
 type counters struct {
 	framesIn          atomic.Int64
 	framesOut         atomic.Int64
+	writeBatches      atomic.Int64
 	bytesIn           atomic.Int64
 	bytesOut          atomic.Int64
 	dropped           atomic.Int64
@@ -78,8 +79,11 @@ type PeerStats struct {
 type Stats struct {
 	FramesIn  int64
 	FramesOut int64
-	BytesIn   int64
-	BytesOut  int64
+	// WriteBatches counts connection writes; FramesOut/WriteBatches is
+	// the coalescing ratio (frames delivered per syscall).
+	WriteBatches int64
+	BytesIn      int64
+	BytesOut     int64
 	// Dropped counts outbound envelopes discarded on full queues or
 	// after a failed write+redial cycle.
 	Dropped int64
@@ -113,6 +117,7 @@ func (t *TCP) Stats() Stats {
 	s := Stats{
 		FramesIn:          t.ctr.framesIn.Load(),
 		FramesOut:         t.ctr.framesOut.Load(),
+		WriteBatches:      t.ctr.writeBatches.Load(),
 		BytesIn:           t.ctr.bytesIn.Load(),
 		BytesOut:          t.ctr.bytesOut.Load(),
 		Dropped:           t.ctr.dropped.Load(),
@@ -158,6 +163,7 @@ func (s Stats) WritePrometheus(w io.Writer, prefix string) {
 	}
 	counter("transport_frames_in_total", s.FramesIn)
 	counter("transport_frames_out_total", s.FramesOut)
+	counter("transport_write_batches_total", s.WriteBatches)
 	counter("transport_bytes_in_total", s.BytesIn)
 	counter("transport_bytes_out_total", s.BytesOut)
 	counter("transport_dropped_total", s.Dropped)

@@ -605,8 +605,15 @@ func (p *peer) deliver(frames [][]byte) bool {
 		}
 		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
 		if _, err := conn.Write(buf); err == nil {
+			// Count every frame in the coalesced batch, not the batch as
+			// one: each envelope the receiver counts as a FrameIn must be
+			// a FrameOut here, and relayed gossip traffic leans on that
+			// (one relay frame in can fan out as several frames here). The
+			// batch itself is counted separately so coalescing efficiency
+			// (frames per connection write) stays observable.
 			p.t.ctr.framesOut.Add(int64(len(frames)))
 			p.t.ctr.bytesOut.Add(int64(len(buf)))
+			p.t.ctr.writeBatches.Add(1)
 			return true
 		}
 		p.dropConn(conn)
@@ -688,12 +695,18 @@ func (p *peer) dial(endpoint string) (net.Conn, error) {
 	}
 	p.t.configureConn(conn)
 	if p.t.cfg.Key != nil {
+		hello := EncodeHello(NewHello(p.t.cfg.Key))
 		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
-		if err := writeRawFrame(conn, EncodeHello(NewHello(p.t.cfg.Key))); err != nil {
+		if err := writeRawFrame(conn, hello); err != nil {
 			conn.Close()
 			return nil, err
 		}
 		conn.SetWriteDeadline(time.Time{})
+		// The hello is a frame on the wire like any other — the reject
+		// path counts its replies, so the dial path must count its hello,
+		// or BytesOut undercounts every (re)connection.
+		p.t.ctr.framesOut.Add(1)
+		p.t.ctr.bytesOut.Add(int64(len(hello) + 4))
 	}
 	p.t.ctr.dials.Add(1)
 	if redial {

@@ -86,6 +86,26 @@ type Options struct {
 	LaneWeights    [3]int
 	FairShare      int
 	ShedThresholds [3]float64
+	// Gossip replaces all-to-all consensus broadcast with an epidemic
+	// relay: each node queues its broadcasts and periodically flushes
+	// them as one batched relay frame to a random fanout of committee
+	// peers, with a round-scoped dupemap suppressing re-deliveries.
+	// Off keeps the direct per-peer broadcast path bit-for-bit (the
+	// ablation baseline, like RateLimit 0 for the overload armor).
+	Gossip bool
+	// GossipFanout is the number of random peers each relay flush
+	// targets (0 = ceil(log₂(n+1))+1 for the current committee size).
+	GossipFanout int
+	// GossipFlush is the relay batching interval (0 = consensus
+	// default). Smaller means lower added dissemination latency per
+	// hop; larger means fewer, bigger frames.
+	GossipFlush time.Duration
+	// DupemapTTL is the wall-clock backstop for dupemap generations on
+	// a stalled chain (0 = consensus default); DupemapCap bounds total
+	// retained digests per node (0 = default). All ignored unless
+	// Gossip is set.
+	DupemapTTL time.Duration
+	DupemapCap int
 	// Snapshots enables signed era snapshots (GPBFT only): every era
 	// boundary each node exports its canonical chain state, signs it,
 	// and retains the newest RetainSnapshots checkpoints. A node whose

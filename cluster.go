@@ -42,37 +42,65 @@ type Cluster struct {
 
 // NewCluster builds and starts (at virtual time 0) a cluster.
 func NewCluster(opts Options) (*Cluster, error) {
+	return newClusterOn(opts, clusterSite{})
+}
+
+// clusterSite places a cluster on shared infrastructure. The zero value
+// means "stand-alone": own simulator, own metrics, default chain ID,
+// keys from index 0 — exactly the historical NewCluster behaviour. The
+// geo-sharded hierarchy passes one shared network and metrics recorder
+// plus a per-region chain ID and key base so several region committees
+// coexist on a single event loop without address collisions.
+type clusterSite struct {
+	net     *simnet.Network
+	metrics *Metrics
+	chainID string
+	keyBase int
+}
+
+// newClusterOn builds and starts (at virtual time 0) a cluster on the
+// given site.
+func newClusterOn(opts Options, site clusterSite) (*Cluster, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	if site.metrics == nil {
+		site.metrics = NewMetrics()
+	}
+	if site.chainID == "" {
+		site.chainID = fmt.Sprintf("gpbft-sim-%d", opts.Seed)
+	}
 	c := &Cluster{
 		opts:    opts,
-		metrics: NewMetrics(),
+		metrics: site.metrics,
 		nonces:  make([]uint64, opts.Nodes),
 	}
-	c.net = simnet.New(simnet.Config{
-		Seed: opts.Seed,
-		Latency: simnet.UniformLatency{
-			Base:        opts.Network.LatencyBase,
-			Jitter:      opts.Network.LatencyJitter,
-			BytesPerSec: opts.Network.BytesPerSec,
-		},
-		ProcTime: opts.Network.ProcTime,
-		SendTime: opts.Network.SendTime,
-		DropRate: opts.Network.DropRate,
-	})
+	c.net = site.net
+	if c.net == nil {
+		c.net = simnet.New(simnet.Config{
+			Seed: opts.Seed,
+			Latency: simnet.UniformLatency{
+				Base:        opts.Network.LatencyBase,
+				Jitter:      opts.Network.LatencyJitter,
+				BytesPerSec: opts.Network.BytesPerSec,
+			},
+			ProcTime: opts.Network.ProcTime,
+			SendTime: opts.Network.SendTime,
+			DropRate: opts.Network.DropRate,
+		})
+	}
 
 	// Grid layout: every node gets a distinct CSC cell in the region.
 	c.positions = gridLayout(opts.Region, opts.Nodes)
 	c.keys = make([]*gcrypto.KeyPair, opts.Nodes)
 	for i := range c.keys {
-		c.keys[i] = gcrypto.DeterministicKeyPair(i)
+		c.keys[i] = gcrypto.DeterministicKeyPair(site.keyBase + i)
 	}
 
 	// Genesis committee: the core nodes of Section III-C.
 	committeeSize := opts.committeeSize()
 	g := &ledger.Genesis{
-		ChainID:   fmt.Sprintf("gpbft-sim-%d", opts.Seed),
+		ChainID:   site.chainID,
 		Timestamp: opts.Epoch,
 		Policy:    opts.policy(),
 	}
@@ -229,7 +257,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 				FlushEvery: consensus.Time(opts.GossipFlush),
 				DupeTTL:    consensus.Time(opts.DupemapTTL),
 				DupeCap:    opts.DupemapCap,
-				Seed:       opts.Seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15),
+				Seed:       opts.Seed ^ int64(uint64(site.keyBase+i+1)*0x9e3779b97f4a7c15),
 			})
 		}
 		if i == 0 {
@@ -346,6 +374,25 @@ func (c *Cluster) NewNodeTx(i int, at time.Duration, payload []byte, fee uint64)
 	c.nonces[i]++
 	tx := &types.Transaction{
 		Type:    types.TxNormal,
+		Nonce:   c.nonces[i],
+		Payload: payload,
+		Fee:     fee,
+		Geo: types.GeoInfo{
+			Location:  c.positions[i],
+			Timestamp: c.opts.Epoch.Add(at),
+		},
+	}
+	tx.Sign(c.keys[i])
+	return tx
+}
+
+// NewTypedNodeTx builds a transaction of an arbitrary type authored by
+// node i at its deployed position — the entry point for cross-region
+// transfer locks and other typed payloads.
+func (c *Cluster) NewTypedNodeTx(i int, at time.Duration, typ types.TxType, payload []byte, fee uint64) *types.Transaction {
+	c.nonces[i]++
+	tx := &types.Transaction{
+		Type:    typ,
 		Nonce:   c.nonces[i],
 		Payload: payload,
 		Fee:     fee,

@@ -45,7 +45,8 @@ func main() {
 		serial    = flag.Bool("serial", false, "serial ablation: seed-equivalent verification path")
 		gossip    = flag.Bool("gossip", false, "epidemic relay dissemination instead of direct all-to-all broadcast")
 		fanout    = flag.Int("fanout", 0, "relay fanout for -gossip (0 = auto, ~log2 n)")
-		sweep     = flag.Bool("sweep", false, "gossip committee-size sweep (n = 22, 46, 64) with scalability gates")
+		sweep     = flag.Bool("sweep", false, "gossip committee-size sweep (n = 22, 46, 64, 100) with scalability gates")
+		shardRun  = flag.Bool("shard", false, "geo-shard scaling suite (1, 2, 4 regions at the same total offered load) with speedup gates")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		name      = flag.String("name", "", "entry name (default: derived from mode/committee/path)")
 		outDir    = flag.String("out", ".", "directory for fresh BENCH_*.json")
@@ -56,9 +57,12 @@ func main() {
 	flag.Parse()
 
 	var runs []plannedRun
-	if *sweep {
+	switch {
+	case *sweep:
 		runs = planSweepRuns(*fanout, *seed)
-	} else {
+	case *shardRun:
+		runs = planShardRuns(*seed)
+	default:
 		runs = planRuns(*quick, *mode, *committee, *rate, *duration, *batch, *shards, *poolCap,
 			*workers, *inflight, *serial, *gossip, *fanout, *seed, *name)
 	}
@@ -81,6 +85,12 @@ func main() {
 
 	if *sweep {
 		if err := checkSweepGates(results); err != nil {
+			fmt.Fprintf(os.Stderr, "gpbft-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *shardRun {
+		if err := checkShardGates(results); err != nil {
 			fmt.Fprintf(os.Stderr, "gpbft-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -175,9 +185,82 @@ func planRuns(quick bool, mode string, committee, rate int, duration time.Durati
 }
 
 // sweepCommittees are the gossip sweep sizes: the paper's deployment
-// scale (22), roughly double it, and a size the direct all-to-all path
-// was never asked to carry.
-var sweepCommittees = []int{22, 46, 64}
+// scale (22), roughly double it, a size the direct all-to-all path was
+// never asked to carry, and the n=100 point that pins the epidemic
+// message-complexity bound well past the paper's scale.
+var sweepCommittees = []int{22, 46, 64, 100}
+
+// shardRegionCounts are the geo-shard suite sizes: the anchored
+// single-region baseline and the 2x / 4x parallel deployments, all at
+// the same total offered load.
+var shardRegionCounts = []int{1, 2, 4}
+
+// planShardRuns is the geo-shard scaling suite: the same total offered
+// load (far beyond one committee's saturation point) spread over 1, 2
+// and 4 region committees of 7 nodes each, every deployment anchored
+// by the top-level checkpoint committee. The multi-region runs also
+// push cross-region transfers through the receipt path so the entries
+// exercise — and the gate asserts — the exactly-once guarantee.
+func planShardRuns(seed int64) []plannedRun {
+	var runs []plannedRun
+	for _, r := range shardRegionCounts {
+		cfg := loadgen.Config{
+			Mode:      "sim",
+			Committee: 7,
+			Rate:      4000,
+			Duration:  2 * time.Second,
+			Seed:      seed,
+			Regions:   r,
+		}
+		if r > 1 {
+			cfg.Transfers = 8 * r
+		}
+		runs = append(runs, plannedRun{name: fmt.Sprintf("sim-shard-r%d", r), cfg: cfg})
+	}
+	return runs
+}
+
+// checkShardGates enforces the hierarchy's scaling claims:
+//
+//  1. parallelism pays — 4 regions commit at least 3x the aggregate
+//     TPS of the anchored single-region baseline at the same total
+//     offered load;
+//  2. the anchor layer stays off the hot path — the 4-region honest
+//     commit p50 stays within 1.5x of the baseline's;
+//  3. cross-region transfers are exactly-once — every submitted
+//     transfer was applied at its destination (the ledger itself
+//     refuses double-credits, so applied == submitted is the whole
+//     invariant).
+func checkShardGates(results []loadgen.Result) error {
+	byRegions := make(map[int]loadgen.Result)
+	for _, r := range results {
+		if r.Regions > 0 {
+			byRegions[r.Regions] = r
+		}
+	}
+	base, okB := byRegions[1]
+	big, okG := byRegions[shardRegionCounts[len(shardRegionCounts)-1]]
+	if !okB || !okG {
+		return fmt.Errorf("shard gate: missing shard results (have %d)", len(byRegions))
+	}
+	if big.TPS < 3*base.TPS {
+		return fmt.Errorf("shard gate: r%d aggregate TPS %.1f below 3x single-region baseline %.1f",
+			big.Regions, big.TPS, base.TPS)
+	}
+	if big.P50Ms > 1.5*base.P50Ms {
+		return fmt.Errorf("shard gate: r%d p50 %.1fms exceeds 1.5x baseline %.1fms",
+			big.Regions, big.P50Ms, base.P50Ms)
+	}
+	for _, r := range results {
+		if r.Regions > 1 && r.TransfersApplied != r.Transfers {
+			return fmt.Errorf("shard gate: r%d applied %d of %d cross-region transfers",
+				r.Regions, r.TransfersApplied, r.Transfers)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "shard gates passed: r%d/r1 TPS ratio %.2f, p50 %.0fms vs %.0fms, transfers exactly-once\n",
+		big.Regions, big.TPS/base.TPS, big.P50Ms, base.P50Ms)
+	return nil
+}
 
 // planSweepRuns is the gossip committee-size sweep: the same offered
 // load over growing committees on the deterministic simulator, with

@@ -50,6 +50,7 @@ import (
 	"gpbft/internal/ledger"
 	"gpbft/internal/pbft"
 	"gpbft/internal/runtime"
+	"gpbft/internal/shard"
 	"gpbft/internal/store"
 	"gpbft/internal/transport"
 	"gpbft/internal/types"
@@ -97,6 +98,7 @@ func run() error {
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this host:port (empty = off)")
 		retain    = flag.Int("retain-eras", 2, "signed era snapshots retained in <data>.snap; each era boundary writes one and compacts the block log below the oldest kept (gpbft with -data; 0 = off)")
 		fsThresh  = flag.Uint64("fast-sync-threshold", 0, "block gap at which catch-up installs a peer snapshot instead of replaying (0 = engine default)")
+		shardLen  = flag.Int("shard-prefix-len", 0, "geohash prefix length for the node's shard region tag, logged and exported as gpbft_node_shard_region (0 = off; a TCP deployment is one region — multi-region hierarchies run in the sim, see gpbft-bench -shard)")
 	)
 	flag.Parse()
 
@@ -120,6 +122,20 @@ func run() error {
 		positions[i] = geo.Point{Lng: 114.175 + float64(i)*0.0004, Lat: 22.302 + float64(i%7)*0.0005}
 	}
 	self := keys[*index]
+
+	// Region tag: the geohash-prefix shard key this node's position falls
+	// in. A TCP deployment runs a single region (the hierarchy itself is
+	// sim-only), but tagging nodes lets an operator confirm a fleet's
+	// members agree on their region before wiring them into one committee.
+	shardRegion := ""
+	if *shardLen > 0 {
+		sr, err := shard.KeyOf(positions[*index], *shardLen)
+		if err != nil {
+			return fmt.Errorf("shard key: %v", err)
+		}
+		shardRegion = sr
+		log.Printf("shard region %q (geohash prefix length %d)", shardRegion, *shardLen)
+	}
 
 	g := &ledger.Genesis{ChainID: *chainID, Timestamp: epoch, Policy: ledger.DefaultPolicy()}
 	g.Policy.EraPeriod = *eraPeriod
@@ -424,6 +440,13 @@ func run() error {
 			fmt.Fprintf(w, "# TYPE gpbft_mempool_lane_depth gauge\n")
 			for l, depth := range c.Pool.Lanes {
 				fmt.Fprintf(w, "gpbft_mempool_lane_depth{lane=%q} %d\n", runtime.Lane(l), depth)
+			}
+			fmt.Fprintf(w, "# TYPE gpbft_mempool_shard_depth gauge\n")
+			for sh, depth := range c.Pool.ShardDepths {
+				fmt.Fprintf(w, "gpbft_mempool_shard_depth{shard=\"%d\"} %d\n", sh, depth)
+			}
+			if shardRegion != "" {
+				fmt.Fprintf(w, "# TYPE gpbft_node_shard_region gauge\ngpbft_node_shard_region{region=%q} 1\n", shardRegion)
 			}
 			if node.Relay != nil {
 				r := c.Relay

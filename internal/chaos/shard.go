@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"gpbft"
+	"gpbft/internal/consensus"
+	"gpbft/internal/gcrypto"
+)
+
+// ShardReport summarises a geo-shard chaos schedule: the cross-region
+// transfer ledger and the hierarchy's progress under faults.
+type ShardReport struct {
+	// Transfers submitted vs applied at their destinations; the
+	// schedule fails unless they match AND every recipient's balance
+	// equals exactly the transferred amount (no double-credit).
+	Transfers int
+	Applied   int
+	// Dupes counts committed duplicate applies (failover retries the
+	// ledger absorbed as no-ops) summed over regions — expected to be
+	// small but legal, never credited twice.
+	Dupes uint64
+	// AnchorHeight is the anchor committee's committed height at the
+	// end; MinRegionHeight the lowest region head.
+	AnchorHeight    uint64
+	MinRegionHeight uint64
+}
+
+// shardTransfer pairs a scheduled cross-region transfer with the
+// recipient identity whose final balance proves exactly-once delivery.
+type shardTransfer struct {
+	at        time.Duration
+	source    int
+	dest      int
+	recipient gcrypto.Address
+	amount    uint64
+}
+
+// RunShardSchedule drives the geo-sharded hierarchy through its two
+// designed failure modes while cross-region transfers are in flight:
+//
+//   - a full region partition (the region's consensus nodes AND its
+//     anchor delegate drop off the world) landing mid-transfer, then
+//     healing;
+//   - an anchor-delegate crash (fail-stop of another region's only
+//     checkpoint emitter), then recovery with memory intact.
+//
+// The property under test is exactly-once transfer delivery end to
+// end: after heal + recovery + drain, every submitted transfer is
+// applied at its destination, no recipient is credited twice (each
+// recipient's balance equals exactly its transfer amount), every
+// region's nodes agree on their chains, the anchor replicas agree on
+// theirs, and every anchored region root matches the region's actual
+// history — the fork/height invariants at both layers.
+func RunShardSchedule(seed int64) (*ShardReport, error) {
+	const regions, nodesPerRegion = 4, 4
+	o := gpbft.DefaultOptions(gpbft.GPBFT, nodesPerRegion)
+	o.Seed = seed
+	o.ShardRegions = regions
+	o.AnchorPeriod = 200 * time.Millisecond
+	o.BatchSize = 8
+	o.DisableEraSwitch = true
+	s, err := gpbft.NewShardCluster(o)
+	if err != nil {
+		return nil, err
+	}
+
+	// Background traffic in every region for the whole window.
+	for k := 0; k < 40; k++ {
+		at := time.Duration(k+1) * 50 * time.Millisecond
+		s.SubmitNodeTx(at, k%regions, k%nodesPerRegion, []byte{0xc4, byte(k)}, 1)
+	}
+
+	// Transfers bracketing the fault window: the ring 0→1→2→3→0 before
+	// any fault, then transfers in and out of the soon-to-be-isolated
+	// region 1 and the delegate-crashed region 2 while the faults hold.
+	var transfers []shardTransfer
+	mk := func(at time.Duration, src, dst, idx int) {
+		transfers = append(transfers, shardTransfer{
+			at: at, source: src, dest: dst,
+			recipient: gcrypto.DeterministicKeyPair(800_000 + idx).Address(),
+			amount:    uint64(10 + idx),
+		})
+	}
+	for i := 0; i < regions; i++ {
+		mk(300*time.Millisecond, i, (i+1)%regions, i)
+	}
+	mk(700*time.Millisecond, 0, 1, 4)  // into the isolated region
+	mk(800*time.Millisecond, 1, 3, 5)  // out of the isolated region
+	mk(900*time.Millisecond, 2, 3, 6)  // out of the delegate-crashed region
+	mk(1000*time.Millisecond, 3, 2, 7) // into the delegate-crashed region
+	for _, tr := range transfers {
+		if _, err := s.SubmitTransfer(tr.at, tr.source, 0, tr.dest, tr.recipient, tr.amount); err != nil {
+			return nil, err
+		}
+	}
+
+	// The fault window: isolate region 1 at 500ms, fail-stop region 2's
+	// only delegate at 600ms, heal and recover at 1.5s/1.6s.
+	net := s.Net()
+	net.Schedule(500*time.Millisecond, func(consensus.Time) { s.IsolateRegion(1) })
+	net.Schedule(600*time.Millisecond, func(consensus.Time) { s.CrashDelegate(s.DelegateOf(2)[0]) })
+	net.Schedule(1500*time.Millisecond, func(consensus.Time) { s.HealRegion(1) })
+	net.Schedule(1600*time.Millisecond, func(consensus.Time) { s.RecoverDelegate(s.DelegateOf(2)[0]) })
+
+	// Pump long past the faults so every stalled checkpoint and apply
+	// drains, then let the loop quiesce.
+	drain := 30 * time.Second
+	s.StartAnchors(drain)
+	s.RunUntilIdle(drain + 5*time.Minute)
+
+	rep := &ShardReport{
+		Transfers:    s.TransfersSubmitted(),
+		Applied:      s.TransfersApplied(),
+		AnchorHeight: s.AnchorHeight(),
+	}
+	minH, err := s.VerifyAgreement()
+	if err != nil {
+		return nil, err
+	}
+	rep.MinRegionHeight = minH
+	if rep.MinRegionHeight == 0 {
+		return nil, fmt.Errorf("chaos: a region committed nothing")
+	}
+	if rep.AnchorHeight == 0 {
+		return nil, fmt.Errorf("chaos: the anchor committee committed nothing")
+	}
+	if rep.Applied != rep.Transfers {
+		return nil, fmt.Errorf("chaos: %d of %d cross-region transfers applied (lost receipt)", rep.Applied, rep.Transfers)
+	}
+	// Exactly-once, per recipient: the balance must equal the single
+	// transferred amount — a double-apply would double it, a lost
+	// receipt would zero it.
+	for idx, tr := range transfers {
+		chain := s.Region(tr.dest).Node(0).App.Chain()
+		if bal := chain.Rewards().Balance(tr.recipient); bal != tr.amount {
+			return nil, fmt.Errorf("chaos: transfer %d: recipient balance %d, want exactly %d", idx, bal, tr.amount)
+		}
+		if _, ok := chain.ReceiptApplied(gcrypto.Hash{}); ok {
+			return nil, fmt.Errorf("chaos: zero receipt ID marked applied")
+		}
+	}
+	for i := 0; i < s.Regions(); i++ {
+		rep.Dupes += s.Region(i).Node(0).App.Chain().ReceiptDupes()
+	}
+	return rep, nil
+}

@@ -1,0 +1,141 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// poleNeighbors checks the Neighbors invariants for a cell touching a
+// pole: the set must stay valid, deduplicated, origin-free and at the
+// origin's precision even though the polar row clamps (the N/S step
+// returns the cell itself, collapsing that side of the ring).
+func poleNeighbors(t *testing.T, lat float64) {
+	t.Helper()
+	h := MustEncode(Point{Lng: 31.4, Lat: lat}, 5)
+	ns, err := Neighbors(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A polar cell loses its N (or S) rank to the clamp, leaving the
+	// two lateral cells plus the three on the equator side.
+	if len(ns) < 3 || len(ns) > 8 {
+		t.Fatalf("polar cell %q: %d neighbours, want 3..8: %v", h, len(ns), ns)
+	}
+	seen := map[string]bool{}
+	for _, n := range ns {
+		if n == h {
+			t.Errorf("polar cell %q: neighbour set contains origin", h)
+		}
+		if seen[n] {
+			t.Errorf("polar cell %q: duplicate neighbour %q", h, n)
+		}
+		seen[n] = true
+		if len(n) != len(h) {
+			t.Errorf("polar cell %q: neighbour %q at different precision", h, n)
+		}
+		if !Valid(n) {
+			t.Errorf("polar cell %q: invalid neighbour %q", h, n)
+		}
+	}
+}
+
+func TestNeighborsAtNorthPole(t *testing.T) { poleNeighbors(t, 89.9999) }
+func TestNeighborsAtSouthPole(t *testing.T) { poleNeighbors(t, -89.9999) }
+
+// TestNeighborsAcrossAntimeridian pins the wrap behaviour for the full
+// eight-cell ring of a cell hugging lng=180: the set keeps all eight
+// distinct members, and the eastern rank lands on the far side of the
+// antimeridian rather than clamping or walking off the map.
+func TestNeighborsAcrossAntimeridian(t *testing.T) {
+	h := MustEncode(Point{Lng: 179.999, Lat: 12.5}, 5)
+	ns, err := Neighbors(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 8 {
+		t.Fatalf("antimeridian cell %q: %d neighbours, want 8: %v", h, len(ns), ns)
+	}
+	wrapped := 0
+	for _, n := range ns {
+		pt, err := Decode(n)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", n, err)
+		}
+		if pt.Lng < 0 {
+			wrapped++
+		}
+	}
+	// N+1/E/S+1 ranks (NE, E, SE) must all wrap to negative longitude.
+	if wrapped != 3 {
+		t.Fatalf("antimeridian cell %q: %d neighbours wrapped west of the date line, want 3", h, wrapped)
+	}
+}
+
+// TestNeighborsAtMapCorner combines both edges: the cell at the
+// southwest corner of the map (lng=-180, lat=-90, hash "00000") sits on
+// a pole AND the antimeridian, so its ring both clamps and wraps.
+func TestNeighborsAtMapCorner(t *testing.T) {
+	h := MustEncode(Point{Lng: -180, Lat: -90}, 5)
+	ns, err := Neighbors(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) == 0 {
+		t.Fatalf("corner cell %q has no neighbours", h)
+	}
+	for _, n := range ns {
+		if n == h || !Valid(n) || len(n) != len(h) {
+			t.Fatalf("corner cell %q: bad neighbour %q in %v", h, n, ns)
+		}
+	}
+}
+
+// TestCellSizeExtremeRows pins the outermost rows of the precision
+// table: the coarsest legal cell spans a continent, the finest a few
+// centimetres, and out-of-range precisions fail loudly on both sides.
+func TestCellSizeExtremeRows(t *testing.T) {
+	w1, h1, err := CellSizeMeters(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision 1 is a 45x45 degree cell: ~5000 km on a side at the
+	// equator (one geohash character = 5 bits, 3 lng + 2 lat).
+	if w1 < 4.5e6 || w1 > 5.5e6 || h1 < 4.5e6 || h1 > 5.5e6 {
+		t.Fatalf("precision 1 cell %.0f x %.0f m, want ~5,000 km sides", w1, h1)
+	}
+	w12, h12, err := CellSizeMeters(MaxGeohashPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision 12 resolves below 4x2 cm at the equator.
+	if w12 > 0.05 || h12 > 0.02 || w12 <= 0 || h12 <= 0 {
+		t.Fatalf("precision 12 cell %v x %v m, want centimetre scale", w12, h12)
+	}
+	if _, _, err := CellSizeMeters(MaxGeohashPrecision + 1); err != ErrGeohashPrecision {
+		t.Errorf("precision %d: want ErrGeohashPrecision, got %v", MaxGeohashPrecision+1, err)
+	}
+	if _, _, err := CellSizeMeters(-1); err != ErrGeohashPrecision {
+		t.Errorf("precision -1: want ErrGeohashPrecision, got %v", err)
+	}
+}
+
+// TestCellSizeAspectRatio pins the bit-split geometry across the whole
+// table: odd precisions get the extra bit on longitude, so their cells
+// are square at the equator, while even precisions are twice as wide
+// as tall.
+func TestCellSizeAspectRatio(t *testing.T) {
+	for p := 1; p <= MaxGeohashPrecision; p++ {
+		w, h, err := CellSizeMeters(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := w / h
+		want := 1.0
+		if p%2 == 0 {
+			want = 2.0
+		}
+		if math.Abs(ratio-want) > 0.05*want {
+			t.Errorf("precision %d: aspect ratio %.3f, want ~%.1f", p, ratio, want)
+		}
+	}
+}

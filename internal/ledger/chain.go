@@ -7,6 +7,7 @@ import (
 
 	"gpbft/internal/evidence"
 	"gpbft/internal/gcrypto"
+	"gpbft/internal/shard"
 	"gpbft/internal/types"
 )
 
@@ -63,6 +64,16 @@ type Chain struct {
 	witnesses *WitnessIndex
 	txIndex   map[gcrypto.Hash]TxLocation
 
+	// Cross-region state (see receipts.go): receipts minted by
+	// committed transfer locks (commit order), the applied-receipt
+	// index keyed by lock tx ID (destination-side exactly-once), the
+	// count of harmless duplicate applies, and — on anchor chains —
+	// the index derived from committed region checkpoints.
+	outbound        []shard.Receipt
+	appliedReceipts map[gcrypto.Hash]TxLocation
+	receiptDupes    uint64
+	anchors         *shard.AnchorIndex
+
 	// Accountability state (see accountability.go): the dynamic
 	// blacklist from committed evidence, the committed-evidence dedup
 	// set, chain-detected records awaiting submission, and the geo
@@ -104,6 +115,8 @@ func NewChain(g *Genesis) (*Chain, error) {
 		lastGeo:       make(map[gcrypto.Address]geoEntry),
 		cellSeen:      make(map[string]map[gcrypto.Address]geoEntry),
 		everEndorsers: make(map[gcrypto.Address]bool, len(g.Endorsers)),
+
+		appliedReceipts: make(map[gcrypto.Hash]TxLocation),
 	}
 	for _, e := range g.Endorsers {
 		c.accounts[e.Address] = e.PubKey
@@ -335,6 +348,36 @@ func (c *Chain) validateStatelessLocked(b *types.Block) error {
 				return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
 			}
 		}
+		if tx.Type == types.TxTransferLock {
+			if _, err := shard.DecodeTransfer(tx.Payload); err != nil {
+				return fmt.Errorf("%w: tx %d: bad transfer payload: %v", ErrTxInvalid, i, err)
+			}
+		}
+		if tx.Type == types.TxTransferApply {
+			// Duplicate applies are legal (failover retries); application
+			// is idempotent per receipt ID. Only structure is checked.
+			if _, err := shard.DecodeReceipt(tx.Payload); err != nil {
+				return fmt.Errorf("%w: tx %d: bad receipt payload: %v", ErrTxInvalid, i, err)
+			}
+		}
+		if tx.Type == types.TxRegionCheckpoint {
+			// Like TxConfig, only a committee member may attest a region
+			// head; and a checkpoint conflicting with an already-anchored
+			// root for the same (region, height) is a cross-region fork
+			// proof — refuse to commit it.
+			if _, ok := c.endorsers[tx.Sender]; !ok {
+				return ErrConfigSender
+			}
+			cp, err := shard.DecodeCheckpoint(tx.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: tx %d: bad checkpoint payload: %v", ErrTxInvalid, i, err)
+			}
+			if c.anchors != nil {
+				if err := c.anchors.Check(cp); err != nil {
+					return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -407,6 +450,35 @@ func (c *Chain) AddBlock(b *types.Block) error {
 				continue // validated above; defensive
 			}
 			c.applyConfigLocked(change)
+		}
+		if tx.Type == types.TxTransferLock {
+			if tr, err := shard.DecodeTransfer(tx.Payload); err == nil {
+				c.outbound = append(c.outbound, shard.Receipt{
+					ID:         tx.ID(),
+					Source:     tr.Source,
+					Dest:       tr.Dest,
+					Recipient:  tr.Recipient,
+					Amount:     tr.Amount,
+					LockHeight: b.Header.Height,
+				})
+			}
+		}
+		if tx.Type == types.TxTransferApply {
+			if rc, err := shard.DecodeReceipt(tx.Payload); err == nil {
+				if _, dup := c.appliedReceipts[rc.ID]; dup {
+					c.receiptDupes++
+				} else {
+					c.appliedReceipts[rc.ID] = TxLocation{Height: b.Header.Height, TxIndex: i}
+					c.rewards.Credit(rc.Recipient, rc.Amount)
+				}
+			}
+		}
+		if tx.Type == types.TxRegionCheckpoint {
+			if cp, err := shard.DecodeCheckpoint(tx.Payload); err == nil {
+				// Conflicts were refused in validation; Apply here can
+				// only fold consistent state.
+				_ = c.anchorsLocked().Apply(cp)
+			}
 		}
 	}
 	// Endorsers with recorded fork evidence forfeit endorsement shares:

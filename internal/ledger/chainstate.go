@@ -10,6 +10,7 @@ import (
 	"gpbft/internal/codec"
 	"gpbft/internal/gcrypto"
 	"gpbft/internal/geo"
+	"gpbft/internal/shard"
 	"gpbft/internal/types"
 )
 
@@ -55,6 +56,16 @@ type ChainState struct {
 	Witnesses   []WitnessRecord
 	Balances    []BalanceRecord
 	TxIndex     []TxIndexRecord
+
+	// Cross-region state (see receipts.go): outbound transfer receipts
+	// in commit order, applied receipts sorted by ID, the duplicate-
+	// apply counter, and — for anchor chains — the anchored checkpoint
+	// history and covered receipts.
+	Outbound       []shard.Receipt
+	Applied        []AppliedReceipt
+	ReceiptDupes   uint64
+	Anchors        []shard.AnchorRecord
+	AnchorReceipts []shard.Receipt
 }
 
 // AccountRecord is one known sender: address and public key.
@@ -99,7 +110,9 @@ var (
 	ErrStateShape   = errors.New("ledger: malformed chain state")
 )
 
-const chainStateTag = "gpbft/chainstate/v1"
+// chainStateTag versions the canonical encoding; v2 appended the
+// cross-region receipt and anchor indexes.
+const chainStateTag = "gpbft/chainstate/v2"
 
 // Height returns the checkpoint height.
 func (st *ChainState) Height() uint64 { return st.Base.Header.Height }
@@ -179,6 +192,30 @@ func (st *ChainState) MarshalCanonical(w *codec.Writer) {
 		w.Raw(st.TxIndex[i].ID[:])
 		w.Uint64(st.TxIndex[i].Loc.Height)
 		w.Uint64(uint64(st.TxIndex[i].Loc.TxIndex))
+	}
+
+	w.Count(len(st.Outbound))
+	for i := range st.Outbound {
+		st.Outbound[i].MarshalCanonical(w)
+	}
+	w.Count(len(st.Applied))
+	for i := range st.Applied {
+		w.Raw(st.Applied[i].ID[:])
+		w.Uint64(st.Applied[i].Loc.Height)
+		w.Uint64(uint64(st.Applied[i].Loc.TxIndex))
+	}
+	w.Uint64(st.ReceiptDupes)
+	w.Count(len(st.Anchors))
+	for i := range st.Anchors {
+		a := &st.Anchors[i]
+		w.String(a.Region)
+		w.Uint64(a.Era)
+		w.Uint64(a.Height)
+		w.Raw(a.Root[:])
+	}
+	w.Count(len(st.AnchorReceipts))
+	for i := range st.AnchorReceipts {
+		st.AnchorReceipts[i].MarshalCanonical(w)
 	}
 }
 
@@ -295,6 +332,50 @@ func (st *ChainState) UnmarshalCanonical(r *codec.Reader) error {
 		st.TxIndex[i].Loc.Height = r.Uint64()
 		st.TxIndex[i].Loc.TxIndex = int(r.Uint64())
 	}
+
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Outbound = make([]shard.Receipt, n)
+	for i := 0; i < n; i++ {
+		if err := st.Outbound[i].UnmarshalCanonical(r); err != nil {
+			return err
+		}
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Applied = make([]AppliedReceipt, n)
+	for i := 0; i < n; i++ {
+		r.RawInto(st.Applied[i].ID[:])
+		st.Applied[i].Loc.Height = r.Uint64()
+		st.Applied[i].Loc.TxIndex = int(r.Uint64())
+	}
+	st.ReceiptDupes = r.Uint64()
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.Anchors = make([]shard.AnchorRecord, n)
+	for i := 0; i < n; i++ {
+		a := &st.Anchors[i]
+		a.Region = r.ReadString()
+		a.Era = r.Uint64()
+		a.Height = r.Uint64()
+		r.RawInto(a.Root[:])
+	}
+	n = r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	st.AnchorReceipts = make([]shard.Receipt, n)
+	for i := 0; i < n; i++ {
+		if err := st.AnchorReceipts[i].UnmarshalCanonical(r); err != nil {
+			return err
+		}
+	}
 	return r.Err()
 }
 
@@ -393,6 +474,8 @@ func (c *Chain) exportStateLocked() *ChainState {
 	sort.Slice(st.TxIndex, func(i, j int) bool {
 		return bytes.Compare(st.TxIndex[i].ID[:], st.TxIndex[j].ID[:]) < 0
 	})
+
+	c.exportReceiptsLocked(st)
 	return st
 }
 
@@ -559,6 +642,8 @@ func (c *Chain) applyStateLocked(st *ChainState) {
 	for _, rec := range st.TxIndex {
 		c.txIndex[rec.ID] = rec.Loc
 	}
+
+	c.applyReceiptsLocked(st)
 
 	// Local detection state restarts empty (see the ChainState doc).
 	c.forks = nil

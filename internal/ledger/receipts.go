@@ -1,0 +1,153 @@
+package ledger
+
+import (
+	"bytes"
+	"sort"
+
+	"gpbft/internal/gcrypto"
+	"gpbft/internal/shard"
+)
+
+// This file is the chain's cross-region surface: the outbound receipt
+// index minted by committed transfer locks, the applied-receipt index
+// that makes destination application exactly-once, and the anchor
+// index derived from committed region checkpoints. All three are pure
+// functions of committed blocks, so every honest node in a region (or
+// in the anchor committee) derives identical indexes, and all three
+// ride the canonical ChainState so snapshots preserve them.
+
+// AppliedReceipt locates the committed application of one receipt.
+type AppliedReceipt struct {
+	ID  gcrypto.Hash
+	Loc TxLocation
+}
+
+// OutboundReceipts returns the receipts minted by transfer locks
+// committed at heights strictly above `since`, in commit order — the
+// slice a delegate folds into its next RegionCheckpoint.
+func (c *Chain) OutboundReceipts(since uint64) []shard.Receipt {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]shard.Receipt, 0, 4)
+	for _, rc := range c.outbound {
+		if rc.LockHeight > since {
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// OutboundCount returns how many transfer locks this chain has minted.
+func (c *Chain) OutboundCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.outbound)
+}
+
+// ReceiptApplied reports whether the receipt has been applied on this
+// chain, and where.
+func (c *Chain) ReceiptApplied(id gcrypto.Hash) (TxLocation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, ok := c.appliedReceipts[id]
+	return loc, ok
+}
+
+// AppliedReceiptCount returns how many distinct receipts this chain
+// has applied.
+func (c *Chain) AppliedReceiptCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.appliedReceipts)
+}
+
+// ReceiptDupes counts committed apply transactions whose receipt was
+// already applied — harmless no-ops (delegate failover retries), but a
+// nonzero count is worth watching.
+func (c *Chain) ReceiptDupes() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.receiptDupes
+}
+
+// AnchorLatest returns the newest anchored checkpoint for a region
+// (anchor chains only; region chains never see checkpoint txs).
+func (c *Chain) AnchorLatest(region string) (shard.CheckpointPoint, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.anchors == nil {
+		return shard.CheckpointPoint{}, false
+	}
+	return c.anchors.Latest(region)
+}
+
+// AnchorCovered reports whether a receipt is covered by a committed
+// checkpoint on this chain.
+func (c *Chain) AnchorCovered(id gcrypto.Hash) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.anchors != nil && c.anchors.Covered(id)
+}
+
+// AnchorReceipts returns every receipt covered by committed
+// checkpoints, in first-anchored order.
+func (c *Chain) AnchorReceipts() []shard.Receipt {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.anchors == nil {
+		return nil
+	}
+	return c.anchors.Receipts()
+}
+
+// AnchorRegions returns the region prefixes with at least one anchored
+// checkpoint, sorted.
+func (c *Chain) AnchorRegions() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.anchors == nil {
+		return nil
+	}
+	return c.anchors.Regions()
+}
+
+// anchorsLocked lazily allocates the anchor index. Caller holds c.mu.
+func (c *Chain) anchorsLocked() *shard.AnchorIndex {
+	if c.anchors == nil {
+		c.anchors = shard.NewAnchorIndex()
+	}
+	return c.anchors
+}
+
+// exportReceiptsLocked flattens the receipt indexes deterministically.
+// Caller holds c.mu (read).
+func (c *Chain) exportReceiptsLocked(st *ChainState) {
+	st.Outbound = append([]shard.Receipt(nil), c.outbound...)
+	st.Applied = make([]AppliedReceipt, 0, len(c.appliedReceipts))
+	for id, loc := range c.appliedReceipts {
+		st.Applied = append(st.Applied, AppliedReceipt{ID: id, Loc: loc})
+	}
+	sort.Slice(st.Applied, func(i, j int) bool {
+		return bytes.Compare(st.Applied[i].ID[:], st.Applied[j].ID[:]) < 0
+	})
+	st.ReceiptDupes = c.receiptDupes
+	if c.anchors != nil {
+		st.Anchors, st.AnchorReceipts = c.anchors.Export()
+	}
+}
+
+// applyReceiptsLocked restores the receipt indexes from a snapshot.
+// Caller holds c.mu.
+func (c *Chain) applyReceiptsLocked(st *ChainState) {
+	c.outbound = append([]shard.Receipt(nil), st.Outbound...)
+	c.appliedReceipts = make(map[gcrypto.Hash]TxLocation, len(st.Applied))
+	for _, a := range st.Applied {
+		c.appliedReceipts[a.ID] = a.Loc
+	}
+	c.receiptDupes = st.ReceiptDupes
+	if len(st.Anchors) > 0 || len(st.AnchorReceipts) > 0 {
+		c.anchors = shard.RestoreAnchorIndex(st.Anchors, st.AnchorReceipts)
+	} else {
+		c.anchors = nil
+	}
+}

@@ -67,6 +67,17 @@ func (r *RewardLedger) ApplyBlock(b *types.Block, committee []gcrypto.Address, e
 	}
 }
 
+// Credit adds amount to addr's balance directly — the destination-side
+// materialisation of an anchored cross-region transfer receipt.
+func (r *RewardLedger) Credit(addr gcrypto.Address, amount uint64) {
+	if amount == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.balances[addr] += amount
+}
+
 // Balance returns the accrued fee balance of addr.
 func (r *RewardLedger) Balance(addr gcrypto.Address) uint64 {
 	r.mu.RLock()

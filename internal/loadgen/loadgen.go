@@ -61,6 +61,23 @@ type Config struct {
 	// RateLimit 0 measures the unarmored baseline under flood.
 	RateLimit float64
 
+	// --- geo-sharding (sim mode only) ---
+	// Regions > 0 selects the geo-sharded hierarchy: that many region
+	// committees of Committee nodes each run in parallel on one
+	// simulator, anchored by a top-level checkpoint committee, and the
+	// offered Rate is spread across the regions. 0 keeps the plain
+	// single-cluster path bit-for-bit.
+	Regions int
+	// ShardPrefixLen is the geohash prefix length of the shard key
+	// (0 = shard.DefaultPrefixLen).
+	ShardPrefixLen int
+	// AnchorPeriod is the region-checkpoint pump interval (0 = default).
+	AnchorPeriod time.Duration
+	// Transfers injects this many cross-region transfers spread over
+	// the load window (needs Regions >= 2). The run fails its gate if
+	// any transfer is not applied exactly once at its destination.
+	Transfers int
+
 	// Gossip replaces direct all-to-all broadcast with the epidemic
 	// relay (fanout-f forwarding, round-scoped duplicate suppression).
 	// Off keeps the exact pre-existing dissemination path.
@@ -127,6 +144,14 @@ type Result struct {
 	Rejected        uint64 `json:"rejected,omitempty"`
 	Shed            uint64 `json:"shed,omitempty"`
 	EvictedShed     uint64 `json:"evicted_shed,omitempty"`
+	// Shard-run extras (zero and omitted for single-cluster runs): the
+	// region count, the anchor committee's committed height, and the
+	// cross-region transfer ledger (submitted vs applied — the
+	// exactly-once gate compares them).
+	Regions          int    `json:"regions,omitempty"`
+	AnchorHeight     uint64 `json:"anchor_height,omitempty"`
+	Transfers        int    `json:"transfers,omitempty"`
+	TransfersApplied int    `json:"transfers_applied,omitempty"`
 	// Gossip-run extras (zero and omitted for direct-broadcast runs):
 	// the relay counters summed over the committee and the message-
 	// complexity measurement the sweep gate asserts against.
@@ -188,7 +213,11 @@ func Run(name string, cfg Config) (Result, error) {
 	)
 	switch c.Mode {
 	case "sim":
-		res, err = runSim(c)
+		if c.Regions > 0 {
+			res, err = runShardSim(c)
+		} else {
+			res, err = runSim(c)
+		}
 	case "tcp":
 		res, err = runTCP(c)
 	default:

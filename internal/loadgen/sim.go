@@ -29,6 +29,83 @@ func fillRelayResult(res *Result, committee int, slots uint64, nodeStats func(i 
 	}
 }
 
+// runShardSim drives the geo-sharded hierarchy: Regions committees of
+// Committee nodes each, in parallel on one simulator, the offered rate
+// spread across them round-robin, plus optional cross-region transfers
+// riding the receipt-based two-phase path. TPS is measured over the
+// window from first submission to last tracked commit — the anchor
+// pump keeps ticking (cheaply) long after the workload drains, so the
+// raw event-loop end time would understate throughput.
+func runShardSim(c Config) (Result, error) {
+	r := c.Regions
+	o := gpbft.DefaultOptions(gpbft.GPBFT, c.Committee)
+	o.Seed = c.Seed
+	o.BatchSize = c.BatchSize
+	o.MempoolShards = c.MempoolShards
+	o.MempoolCap = c.MempoolCap
+	o.MaxInFlight = c.MaxInFlight
+	o.RateLimit = c.RateLimit
+	o.ShardRegions = r
+	o.ShardPrefixLen = c.ShardPrefixLen
+	o.AnchorPeriod = c.AnchorPeriod
+	if c.Committee > o.MaxEndorsers {
+		o.MaxEndorsers = c.Committee
+	}
+	o.DisableEraSwitch = true
+	s, err := gpbft.NewShardCluster(o)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The same total offered load as an unsharded run, spread evenly:
+	// tx k enters region k%r through one of its nodes round-robin.
+	total := int(float64(c.Rate) * c.Duration.Seconds())
+	interval := c.Duration / time.Duration(total)
+	start := 10 * time.Millisecond
+	for k := 0; k < total; k++ {
+		at := start + time.Duration(k)*interval
+		s.SubmitNodeTx(at, k%r, (k/r)%c.Committee, []byte{byte(k), byte(k >> 8), byte(k >> 16)}, 1)
+	}
+	if c.Transfers > 0 && r > 1 {
+		tInterval := c.Duration / time.Duration(c.Transfers)
+		for k := 0; k < c.Transfers; k++ {
+			at := start + time.Duration(k)*tInterval
+			recipient := gcrypto.DeterministicKeyPair(700_000 + k).Address()
+			if _, err := s.SubmitTransfer(at, k%r, k%c.Committee, (k+1)%r, recipient, uint64(k+1)); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	// Keep the anchor pump alive well past the load window so every
+	// receipt is anchored and applied before the loop quiesces.
+	drain := c.Duration + 20*time.Second
+	s.StartAnchors(drain)
+	s.RunUntilIdle(drain + 5*time.Minute)
+
+	m := s.Metrics()
+	committed := m.CommittedCount()
+	if committed == 0 {
+		return Result{}, fmt.Errorf("loadgen: shard run committed nothing (offered %d)", total)
+	}
+	if _, err := s.VerifyAgreement(); err != nil {
+		return Result{}, fmt.Errorf("loadgen: shard run lost agreement: %w", err)
+	}
+	elapsed := (time.Duration(m.LastCommitAt()) - start).Seconds()
+	res := Result{
+		Offered:          total,
+		Committed:        committed,
+		Elapsed:          elapsed,
+		TPS:              float64(committed) / elapsed,
+		P50Ms:            float64(m.Quantile(0.50)) / float64(time.Millisecond),
+		P99Ms:            float64(m.Quantile(0.99)) / float64(time.Millisecond),
+		Regions:          r,
+		AnchorHeight:     s.AnchorHeight(),
+		Transfers:        s.TransfersSubmitted(),
+		TransfersApplied: s.TransfersApplied(),
+	}
+	return res, nil
+}
+
 // runSim drives a simulated G-PBFT cluster at the offered rate in
 // virtual time. Results are fully deterministic for a given config and
 // seed, which is what makes the CI bench gate stable: virtual-time TPS

@@ -68,6 +68,11 @@ func laneForType(t types.TxType) Lane {
 	switch t {
 	case types.TxConfig, types.TxEvidence, types.TxWitness, types.TxLocationReport:
 		return LaneControl
+	case types.TxTransferApply, types.TxRegionCheckpoint:
+		// Cross-region plumbing: delegate-submitted applies and
+		// checkpoints must not starve behind a flood of data traffic, or
+		// anchored transfers stall region-wide.
+		return LaneControl
 	default:
 		return LaneNormal
 	}
@@ -148,6 +153,11 @@ type PoolStats struct {
 	EvictedShed uint64
 	// Lanes is the current per-lane depth (all zero without QoS).
 	Lanes [laneCount]int
+	// ShardDepths is the current pending count per lock stripe,
+	// index-aligned with the shard table. A skewed profile means one
+	// stripe's senders dominate the pool — the early-warning signal for
+	// region imbalance before it becomes a latency cliff.
+	ShardDepths []int
 }
 
 // poolEntry is one admitted transaction with its global admission
@@ -730,6 +740,13 @@ func (m *Mempool) Stats() PoolStats {
 	}
 	for l := range st.Lanes {
 		st.Lanes[l] = int(m.laneDepth[l].Load())
+	}
+	st.ShardDepths = make([]int, len(m.shards))
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		st.ShardDepths[i] = len(s.pending)
+		s.mu.Unlock()
 	}
 	return st
 }

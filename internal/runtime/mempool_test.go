@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"math/rand"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -192,8 +193,8 @@ func TestMempoolStatsCounters(t *testing.T) {
 		t.Fatalf("MarkCommitted removed %d", n)
 	}
 	st := p.Stats()
-	want := PoolStats{Pending: 0, Shards: 4, Admitted: 2, RejectedFull: 1, RejectedDup: 1, Dropped: 1, Committed: 1}
-	if st != want {
+	want := PoolStats{Pending: 0, Shards: 4, Admitted: 2, RejectedFull: 1, RejectedDup: 1, Dropped: 1, Committed: 1, ShardDepths: []int{0, 0, 0, 0}}
+	if !reflect.DeepEqual(st, want) {
 		t.Fatalf("stats %+v, want %+v", st, want)
 	}
 }

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"errors"
+	"reflect"
 
 	"gpbft/internal/codec"
 	"testing"
@@ -173,12 +174,20 @@ func TestNodeCounters(t *testing.T) {
 	}
 
 	c := n.Counters()
+	depthSum := 0
+	for _, d := range c.Pool.ShardDepths {
+		depthSum += d
+	}
+	if len(c.Pool.ShardDepths) != DefaultMempoolShards || depthSum != c.Pool.Pending {
+		t.Fatalf("shard depths %v don't sum to pending %d", c.Pool.ShardDepths, c.Pool.Pending)
+	}
+	c.Pool.ShardDepths = nil
 	want := CounterSnapshot{
 		Delivered: 2, Fired: 1, Submitted: 1, Rejected: 1,
 		Committed: 1, LastHeight: 1,
 		Pool: PoolStats{Pending: 1, Shards: DefaultMempoolShards, Admitted: 1},
 	}
-	if c != want {
+	if !reflect.DeepEqual(c, want) {
 		t.Fatalf("counters %+v, want %+v", c, want)
 	}
 }

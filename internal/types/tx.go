@@ -42,6 +42,21 @@ const (
 	// endorser misbehavior (double-sign, Sybil pair, location spoof).
 	// Committed evidence feeds the chain's dynamic blacklist.
 	TxEvidence
+	// TxTransferLock carries a shard.Transfer: the first phase of a
+	// cross-region transfer, committed in the source region. Its commit
+	// mints a receipt keyed by this transaction's ID.
+	TxTransferLock
+	// TxTransferApply carries a shard.Receipt: the second phase,
+	// committed in the destination region once the anchor committee has
+	// committed a source checkpoint covering the receipt. Application is
+	// idempotent per receipt ID, which is what makes the two-phase path
+	// exactly-once under delegate failover.
+	TxTransferApply
+	// TxRegionCheckpoint carries a shard.RegionCheckpoint: a region
+	// delegate's attestation of its region chain's head, committed on
+	// the anchor chain. Only current endorsers (of the anchor chain) may
+	// send it, mirroring TxConfig.
+	TxRegionCheckpoint
 )
 
 // String names the transaction type.
@@ -57,13 +72,19 @@ func (t TxType) String() string {
 		return "witness"
 	case TxEvidence:
 		return "evidence"
+	case TxTransferLock:
+		return "transfer-lock"
+	case TxTransferApply:
+		return "transfer-apply"
+	case TxRegionCheckpoint:
+		return "region-checkpoint"
 	default:
 		return fmt.Sprintf("txtype(%d)", uint8(t))
 	}
 }
 
 // Valid reports whether t is a known type.
-func (t TxType) Valid() bool { return t <= TxEvidence }
+func (t TxType) Valid() bool { return t <= TxRegionCheckpoint }
 
 // RejectReason explains why admission control refused a transaction.
 // It travels inside the signed TxRejected reply so clients can tell a
@@ -211,6 +232,12 @@ func (tx *Transaction) verifyStructure() error {
 	// structural.
 	if tx.Type == TxEvidence && len(tx.Payload) == 0 {
 		return fmt.Errorf("%w: evidence transaction must carry a record", ErrTxPayload)
+	}
+	// Shard payloads (transfer locks/applies, region checkpoints) decode
+	// and validate in the ledger layer for the same reason; only
+	// non-emptiness is structural here.
+	if (tx.Type == TxTransferLock || tx.Type == TxTransferApply || tx.Type == TxRegionCheckpoint) && len(tx.Payload) == 0 {
+		return fmt.Errorf("%w: %s transaction must carry a payload", ErrTxPayload, tx.Type)
 	}
 	if len(tx.SenderPub) != ed25519.PublicKeySize {
 		return ErrTxSignature

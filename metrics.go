@@ -35,6 +35,7 @@ type Metrics struct {
 	evicted    int
 	evidence   int
 	maxPending int
+	lastCommit consensus.Time
 }
 
 // NewMetrics returns an empty recorder with the default pending cap.
@@ -114,8 +115,16 @@ func (m *Metrics) ObserveCommit(now consensus.Time, b *types.Block) {
 		delete(m.submits, id)
 		m.committed[id] = now
 		m.latencies = append(m.latencies, time.Duration(now-sub))
+		m.lastCommit = now
 	}
 }
+
+// LastCommitAt returns the virtual time at which the most recent
+// tracked transaction committed (0 when none have). Load generators
+// use it to bound the measurement window when background machinery —
+// the geo-shard anchor pump — keeps the event loop ticking long after
+// the workload has drained.
+func (m *Metrics) LastCommitAt() consensus.Time { return m.lastCommit }
 
 // ObserveEraSwitch counts completed era switches.
 func (m *Metrics) ObserveEraSwitch() { m.eraCount++ }

@@ -118,6 +118,21 @@ type Options struct {
 	// FastSyncThreshold is the block gap at which a lagging node
 	// prefers a snapshot over full replay (0 = engine default).
 	FastSyncThreshold uint64
+	// ShardRegions splits the deployment into this many geohash-prefix
+	// regions, each running its own full consensus instance over a
+	// region-local committee, anchored by a top-level checkpoint
+	// committee (NewShardCluster). 0 or 1 keeps the single-region
+	// cluster bit-for-bit. Only consulted by NewShardCluster; plain
+	// NewCluster ignores it.
+	ShardRegions int
+	// ShardPrefixLen is the geohash prefix length used as the shard key
+	// (0 = shard.DefaultPrefixLen). Longer prefixes mean smaller,
+	// denser regions.
+	ShardPrefixLen int
+	// AnchorPeriod is the interval at which region delegates emit
+	// signed region checkpoints to the anchor committee and destination
+	// regions apply anchored transfer receipts (0 = default 500ms).
+	AnchorPeriod time.Duration
 	// GeoTimerProposer orders the committee by geographic timer (the
 	// incentive bias). Only meaningful under GPBFT.
 	GeoTimerProposer bool

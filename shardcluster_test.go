@@ -1,0 +1,102 @@
+package gpbft
+
+import (
+	"testing"
+	"time"
+
+	"gpbft/internal/gcrypto"
+)
+
+func shardOptions(regions, nodes int) Options {
+	o := DefaultOptions(GPBFT, nodes)
+	o.ShardRegions = regions
+	o.DisableEraSwitch = true
+	return o
+}
+
+func TestShardClusterSingleRegionCommits(t *testing.T) {
+	s, err := NewShardCluster(shardOptions(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		s.SubmitNodeTx(time.Duration(k+1)*50*time.Millisecond, 0, k%4, []byte{byte(k)}, 1)
+	}
+	s.StartAnchors(3 * time.Second)
+	s.RunUntilIdle(time.Minute)
+	if got := s.Metrics().CommittedCount(); got != 8 {
+		t.Fatalf("committed %d of 8", got)
+	}
+	if _, err := s.VerifyAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// The anchor committee attested the lone region's progress.
+	pt, ok := s.AnchorNode(0).App.Chain().AnchorLatest(s.Prefix(0))
+	if !ok || pt.Height == 0 {
+		t.Fatalf("region head never anchored: %+v, %v", pt, ok)
+	}
+}
+
+func TestShardClusterParallelRegionsAndTransfer(t *testing.T) {
+	s, err := NewShardCluster(shardOptions(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Regions() != 2 || s.AnchorSize() != 4 {
+		t.Fatalf("regions=%d anchors=%d", s.Regions(), s.AnchorSize())
+	}
+	// Independent traffic in both regions.
+	for k := 0; k < 6; k++ {
+		at := time.Duration(k+1) * 50 * time.Millisecond
+		s.SubmitNodeTx(at, 0, k%4, []byte{1, byte(k)}, 1)
+		s.SubmitNodeTx(at, 1, k%4, []byte{2, byte(k)}, 1)
+	}
+	// A cross-region transfer: lock in region 0, credit in region 1.
+	recipient := gcrypto.DeterministicKeyPair(777_000).Address()
+	if _, err := s.SubmitTransfer(100*time.Millisecond, 0, 0, 1, recipient, 42); err != nil {
+		t.Fatal(err)
+	}
+	s.StartAnchors(8 * time.Second)
+	s.RunUntilIdle(time.Minute)
+
+	if _, err := s.VerifyAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().CommittedCount(); got < 13 {
+		t.Fatalf("committed %d of 13", got)
+	}
+	if got := s.TransfersApplied(); got != 1 {
+		t.Fatalf("transfers applied: %d", got)
+	}
+	// The credit landed exactly once in the destination region.
+	destChain := s.Region(1).Node(0).App.Chain()
+	if bal := destChain.Rewards().Balance(recipient); bal != 42 {
+		t.Fatalf("recipient balance %d, want 42", bal)
+	}
+	// And the source region minted exactly one outbound receipt.
+	if n := s.Region(0).Node(0).App.Chain().OutboundCount(); n != 1 {
+		t.Fatalf("outbound receipts: %d", n)
+	}
+}
+
+func TestShardClusterRegionRouting(t *testing.T) {
+	s, err := NewShardCluster(shardOptions(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Regions(); i++ {
+		for k := 0; k < s.Region(i).NodeCount(); k++ {
+			got, ok := s.RegionFor(s.Region(i).Position(k))
+			if !ok || got != i {
+				t.Fatalf("node %d of region %d routed to %d (%v)", k, i, got, ok)
+			}
+		}
+	}
+	// Delegates route to their home region too.
+	for j := 0; j < s.AnchorSize(); j++ {
+		got, ok := s.RegionFor(s.anchorPos[j])
+		if !ok || got != j%s.Regions() {
+			t.Fatalf("delegate %d routed to %d (%v)", j, got, ok)
+		}
+	}
+}

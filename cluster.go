@@ -56,6 +56,10 @@ type clusterSite struct {
 	metrics *Metrics
 	chainID string
 	keyBase int
+	// shardPrefix, when non-empty, pins every node's chain to one
+	// region: transfer locks must source here, applies must be destined
+	// here. Set identically on all of a region's nodes.
+	shardPrefix string
 }
 
 // newClusterOn builds and starts (at virtual time 0) a cluster on the
@@ -135,6 +139,9 @@ func newClusterOn(opts Options, site clusterSite) (*Cluster, error) {
 		chain, err := ledger.NewChain(g)
 		if err != nil {
 			return nil, err
+		}
+		if site.shardPrefix != "" {
+			chain.SetShardPrefix(site.shardPrefix)
 		}
 		pool := runtime.NewMempoolShards(opts.MempoolCap, opts.MempoolShards)
 		if opts.RateLimit > 0 {

@@ -20,6 +20,7 @@ var (
 	ErrDuplicateBlock = errors.New("ledger: block already committed")
 	ErrTxInvalid      = errors.New("ledger: block contains invalid transaction")
 	ErrConfigSender   = errors.New("ledger: config transaction from non-endorser")
+	ErrApplySender    = errors.New("ledger: transfer apply from non-endorser")
 	ErrUnknownHeight  = errors.New("ledger: no block at height")
 	ErrEraRegressed   = errors.New("ledger: block era lower than head era")
 )
@@ -67,11 +68,19 @@ type Chain struct {
 	// Cross-region state (see receipts.go): receipts minted by
 	// committed transfer locks (commit order), the applied-receipt
 	// index keyed by lock tx ID (destination-side exactly-once), the
-	// count of harmless duplicate applies, and — on anchor chains —
-	// the index derived from committed region checkpoints.
+	// count of harmless duplicate applies, the count of committed
+	// locks refused for insufficient sender balance, and — on anchor
+	// chains — the index derived from committed region checkpoints.
+	// shardPrefix, when set, is the geohash prefix of the region this
+	// chain serves; it is deployment configuration (every node of a
+	// region is constructed with the same prefix), not chain content,
+	// and pins transfer locks to Source == prefix and transfer applies
+	// to Dest == prefix.
+	shardPrefix     string
 	outbound        []shard.Receipt
 	appliedReceipts map[gcrypto.Hash]TxLocation
 	receiptDupes    uint64
+	lockRejects     uint64
 	anchors         *shard.AnchorIndex
 
 	// Accountability state (see accountability.go): the dynamic
@@ -127,6 +136,9 @@ func NewChain(g *Genesis) (*Chain, error) {
 	for _, e := range g.Endorsers {
 		c.endorsers[e.Address] = e
 		c.everEndorsers[e.Address] = true
+		if g.Policy.EndorserEndowment > 0 {
+			c.rewards.Credit(e.Address, g.Policy.EndorserEndowment)
+		}
 	}
 	return c, nil
 }
@@ -318,7 +330,6 @@ func (c *Chain) validateStatelessLocked(b *types.Block) error {
 			return err
 		}
 	}
-	policy := &c.genesis.Policy
 	// Signature checks dominate block validation cost; fan them out over
 	// the verification pool (with memoization of previously accepted
 	// signatures) and report the lowest failing index — exactly where
@@ -326,60 +337,114 @@ func (c *Chain) validateStatelessLocked(b *types.Block) error {
 	if i, err := gcrypto.FirstBatchError(types.VerifyTxs(b.Txs)); err != nil {
 		return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
 	}
+	// seenCkpts tracks checkpoints within THIS block so two conflicting
+	// roots for one (region, height) can never ride a single block —
+	// the index-based Check below only sees previously committed state.
+	var seenCkpts map[string]gcrypto.Hash
 	for i := range b.Txs {
 		tx := &b.Txs[i]
-		if !policy.InRegion(tx.Geo.Location) {
-			return fmt.Errorf("%w: tx %d outside deployment region", ErrTxInvalid, i)
+		if tx.Type == types.TxRegionCheckpoint && seenCkpts == nil {
+			seenCkpts = make(map[string]gcrypto.Hash, 2)
 		}
-		if tx.Type == types.TxConfig {
-			if _, ok := c.endorsers[tx.Sender]; !ok {
-				return ErrConfigSender
-			}
-			if _, err := types.DecodeConfigChange(tx.Payload); err != nil {
-				return fmt.Errorf("%w: tx %d: bad config payload: %v", ErrTxInvalid, i, err)
-			}
-		}
-		if tx.Type == types.TxEvidence {
-			rec, err := evidence.Decode(tx.Payload)
-			if err != nil {
-				return fmt.Errorf("%w: tx %d: bad evidence payload: %v", ErrTxInvalid, i, err)
-			}
-			if err := rec.Verify(c.verifyCtxLocked()); err != nil {
-				return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
-			}
-		}
-		if tx.Type == types.TxTransferLock {
-			if _, err := shard.DecodeTransfer(tx.Payload); err != nil {
-				return fmt.Errorf("%w: tx %d: bad transfer payload: %v", ErrTxInvalid, i, err)
-			}
-		}
-		if tx.Type == types.TxTransferApply {
-			// Duplicate applies are legal (failover retries); application
-			// is idempotent per receipt ID. Only structure is checked.
-			if _, err := shard.DecodeReceipt(tx.Payload); err != nil {
-				return fmt.Errorf("%w: tx %d: bad receipt payload: %v", ErrTxInvalid, i, err)
-			}
-		}
-		if tx.Type == types.TxRegionCheckpoint {
-			// Like TxConfig, only a committee member may attest a region
-			// head; and a checkpoint conflicting with an already-anchored
-			// root for the same (region, height) is a cross-region fork
-			// proof — refuse to commit it.
-			if _, ok := c.endorsers[tx.Sender]; !ok {
-				return ErrConfigSender
-			}
-			cp, err := shard.DecodeCheckpoint(tx.Payload)
-			if err != nil {
-				return fmt.Errorf("%w: tx %d: bad checkpoint payload: %v", ErrTxInvalid, i, err)
-			}
-			if c.anchors != nil {
-				if err := c.anchors.Check(cp); err != nil {
-					return fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
-				}
-			}
+		if err := c.checkTxLocked(tx, seenCkpts); err != nil {
+			return fmt.Errorf("tx %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// checkTxLocked applies the per-transaction policy checks shared by
+// block validation and mempool admission: deployment-region membership,
+// payload structure, and the sender/region restrictions of the
+// coordination transaction types. seenCkpts, when non-nil, accumulates
+// intra-block checkpoint roots for the in-block fork check (admission
+// passes nil). Caller holds c.mu (read).
+func (c *Chain) checkTxLocked(tx *types.Transaction, seenCkpts map[string]gcrypto.Hash) error {
+	if !c.genesis.Policy.InRegion(tx.Geo.Location) {
+		return fmt.Errorf("%w: outside deployment region", ErrTxInvalid)
+	}
+	switch tx.Type {
+	case types.TxConfig:
+		if _, ok := c.endorsers[tx.Sender]; !ok {
+			return ErrConfigSender
+		}
+		if _, err := types.DecodeConfigChange(tx.Payload); err != nil {
+			return fmt.Errorf("%w: bad config payload: %v", ErrTxInvalid, err)
+		}
+	case types.TxEvidence:
+		rec, err := evidence.Decode(tx.Payload)
+		if err != nil {
+			return fmt.Errorf("%w: bad evidence payload: %v", ErrTxInvalid, err)
+		}
+		if err := rec.Verify(c.verifyCtxLocked()); err != nil {
+			return fmt.Errorf("%w: %v", ErrTxInvalid, err)
+		}
+	case types.TxTransferLock:
+		tr, err := shard.DecodeTransfer(tx.Payload)
+		if err != nil {
+			return fmt.Errorf("%w: bad transfer payload: %v", ErrTxInvalid, err)
+		}
+		// On a region chain, only transfers originating HERE may lock:
+		// a committed foreign-source lock would mint a receipt no valid
+		// checkpoint of this region can ever carry.
+		if c.shardPrefix != "" && tr.Source != c.shardPrefix {
+			return fmt.Errorf("%w: transfer lock for foreign source region %q (this chain serves %q)", ErrTxInvalid, tr.Source, c.shardPrefix)
+		}
+	case types.TxTransferApply:
+		// Application is idempotent per receipt ID (duplicate applies
+		// commit as counted no-ops), but the right to submit one is
+		// restricted like TxConfig: applying a receipt credits value,
+		// so an arbitrary identity forging receipt payloads must not
+		// mint balances. A region chain additionally refuses receipts
+		// not destined for it.
+		if _, ok := c.endorsers[tx.Sender]; !ok {
+			return ErrApplySender
+		}
+		rc, err := shard.DecodeReceipt(tx.Payload)
+		if err != nil {
+			return fmt.Errorf("%w: bad receipt payload: %v", ErrTxInvalid, err)
+		}
+		if c.shardPrefix != "" && rc.Dest != c.shardPrefix {
+			return fmt.Errorf("%w: receipt destined for region %q (this chain serves %q)", ErrTxInvalid, rc.Dest, c.shardPrefix)
+		}
+	case types.TxRegionCheckpoint:
+		// Like TxConfig, only a committee member may attest a region
+		// head; and a checkpoint conflicting with an already-anchored
+		// root for the same (region, height) is a cross-region fork
+		// proof — refuse to commit it.
+		if _, ok := c.endorsers[tx.Sender]; !ok {
+			return ErrConfigSender
+		}
+		cp, err := shard.DecodeCheckpoint(tx.Payload)
+		if err != nil {
+			return fmt.Errorf("%w: bad checkpoint payload: %v", ErrTxInvalid, err)
+		}
+		if c.anchors != nil {
+			if err := c.anchors.Check(cp); err != nil {
+				return fmt.Errorf("%w: %v", ErrTxInvalid, err)
+			}
+		}
+		if seenCkpts != nil {
+			key := fmt.Sprintf("%s@%d", cp.Region, cp.Height)
+			if root, dup := seenCkpts[key]; dup && root != cp.Root {
+				return fmt.Errorf("%w: conflicting in-block checkpoint roots for region %s height %d", ErrTxInvalid, cp.Region, cp.Height)
+			}
+			seenCkpts[key] = cp.Root
+		}
+	}
+	return nil
+}
+
+// CheckTxAdmissible reports whether tx could validly appear in a block
+// given the chain's current committee and region configuration.
+// Mempool admission runs it so an invalid submission is refused at the
+// door instead of poisoning proposals — a block carrying such a
+// transaction would be rejected by every honest validator, turning one
+// bad submission into a consensus stall.
+func (c *Chain) CheckTxAdmissible(tx *types.Transaction) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.checkTxLocked(tx, nil)
 }
 
 // AddBlock validates and commits b: appends it, feeds every
@@ -453,14 +518,24 @@ func (c *Chain) AddBlock(b *types.Block) error {
 		}
 		if tx.Type == types.TxTransferLock {
 			if tr, err := shard.DecodeTransfer(tx.Payload); err == nil {
-				c.outbound = append(c.outbound, shard.Receipt{
-					ID:         tx.ID(),
-					Source:     tr.Source,
-					Dest:       tr.Dest,
-					Recipient:  tr.Recipient,
-					Amount:     tr.Amount,
-					LockHeight: b.Header.Height,
-				})
+				// The lock debits the sender at commit, so a transfer can
+				// only move value the sender provably holds in this region
+				// — the destination credit never mints from nothing.
+				// Balances are stateful, so pipelined validation cannot
+				// pre-screen funds: an underfunded lock commits as a
+				// counted no-op and mints no receipt.
+				if c.rewards.Debit(tx.Sender, tr.Amount) {
+					c.outbound = append(c.outbound, shard.Receipt{
+						ID:         tx.ID(),
+						Source:     tr.Source,
+						Dest:       tr.Dest,
+						Recipient:  tr.Recipient,
+						Amount:     tr.Amount,
+						LockHeight: b.Header.Height,
+					})
+				} else {
+					c.lockRejects++
+				}
 			}
 		}
 		if tx.Type == types.TxTransferApply {
@@ -475,9 +550,21 @@ func (c *Chain) AddBlock(b *types.Block) error {
 		}
 		if tx.Type == types.TxRegionCheckpoint {
 			if cp, err := shard.DecodeCheckpoint(tx.Payload); err == nil {
-				// Conflicts were refused in validation; Apply here can
-				// only fold consistent state.
-				_ = c.anchorsLocked().Apply(cp)
+				// Validation refused conflicts both against the index and
+				// within the block, under the same lock hold as this
+				// apply, so Apply cannot conflict here. If it ever does,
+				// keep the fork proof instead of dropping it: the anchored
+				// root stands and the proposer who packed the conflicting
+				// checkpoint is on the record.
+				if err := c.anchorsLocked().Apply(cp); err != nil {
+					committed, _ := c.anchors.RootAt(cp.Region, cp.Height)
+					c.recordForkLocked(ForkEvidence{
+						Height:    b.Header.Height,
+						Committed: committed,
+						Conflict:  cp.Root,
+						Proposer:  b.Header.Proposer,
+					})
+				}
 			}
 		}
 	}

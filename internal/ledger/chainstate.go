@@ -64,6 +64,7 @@ type ChainState struct {
 	Outbound       []shard.Receipt
 	Applied        []AppliedReceipt
 	ReceiptDupes   uint64
+	LockRejects    uint64
 	Anchors        []shard.AnchorRecord
 	AnchorReceipts []shard.Receipt
 }
@@ -111,8 +112,8 @@ var (
 )
 
 // chainStateTag versions the canonical encoding; v2 appended the
-// cross-region receipt and anchor indexes.
-const chainStateTag = "gpbft/chainstate/v2"
+// cross-region receipt and anchor indexes, v3 the refused-lock counter.
+const chainStateTag = "gpbft/chainstate/v3"
 
 // Height returns the checkpoint height.
 func (st *ChainState) Height() uint64 { return st.Base.Header.Height }
@@ -205,6 +206,7 @@ func (st *ChainState) MarshalCanonical(w *codec.Writer) {
 		w.Uint64(uint64(st.Applied[i].Loc.TxIndex))
 	}
 	w.Uint64(st.ReceiptDupes)
+	w.Uint64(st.LockRejects)
 	w.Count(len(st.Anchors))
 	for i := range st.Anchors {
 		a := &st.Anchors[i]
@@ -354,6 +356,7 @@ func (st *ChainState) UnmarshalCanonical(r *codec.Reader) error {
 		st.Applied[i].Loc.TxIndex = int(r.Uint64())
 	}
 	st.ReceiptDupes = r.Uint64()
+	st.LockRejects = r.Uint64()
 	n = r.Count()
 	if r.Err() != nil {
 		return r.Err()

@@ -96,6 +96,12 @@ type AdmittancePolicy struct {
 	// measuring accountability, genesis-level so that every replica
 	// agrees on committee composition.
 	DisableExpulsion bool
+	// EndorserEndowment credits every genesis endorser this balance at
+	// chain initialisation. Cross-region transfer locks debit the
+	// sender (value is conserved across regions, never minted by a
+	// transfer), so sharded deployments fund committee members up
+	// front; zero keeps the historical empty reward ledger.
+	EndorserEndowment uint64
 }
 
 // DefaultPolicy returns the paper's experiment policy.
@@ -243,6 +249,7 @@ func (g *Genesis) MarshalCanonical(w *codec.Writer) {
 	w.Float64(p.WitnessRangeMeters)
 	w.Int64(int64(p.SybilWindow))
 	w.Bool(p.DisableExpulsion)
+	w.Uint64(p.EndorserEndowment)
 }
 
 // Hash returns the digest of the canonical genesis encoding.

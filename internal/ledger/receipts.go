@@ -22,18 +22,40 @@ type AppliedReceipt struct {
 	Loc TxLocation
 }
 
+// SetShardPrefix pins the chain to one region of a sharded deployment:
+// transfer locks must originate here (Source == prefix) and transfer
+// applies must be destined here (Dest == prefix). It is deployment
+// configuration, set once at node construction — every honest node of
+// a region is configured identically, so validation stays a pure
+// function of (configuration, chain content). Unset (the default, and
+// the anchor chain's setting) applies no region pinning.
+func (c *Chain) SetShardPrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shardPrefix = prefix
+}
+
+// ShardPrefix returns the configured region prefix ("" when unset).
+func (c *Chain) ShardPrefix() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shardPrefix
+}
+
 // OutboundReceipts returns the receipts minted by transfer locks
 // committed at heights strictly above `since`, in commit order — the
 // slice a delegate folds into its next RegionCheckpoint.
 func (c *Chain) OutboundReceipts(since uint64) []shard.Receipt {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make([]shard.Receipt, 0, 4)
-	for _, rc := range c.outbound {
-		if rc.LockHeight > since {
-			out = append(out, rc)
-		}
-	}
+	// outbound is appended in commit order, so LockHeight is
+	// non-decreasing: binary-search the first receipt above `since`
+	// instead of scanning the ever-growing slice on every anchor tick.
+	lo := sort.Search(len(c.outbound), func(i int) bool {
+		return c.outbound[i].LockHeight > since
+	})
+	out := make([]shard.Receipt, len(c.outbound)-lo)
+	copy(out, c.outbound[lo:])
 	return out
 }
 
@@ -68,6 +90,16 @@ func (c *Chain) ReceiptDupes() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.receiptDupes
+}
+
+// LockRejects counts committed transfer locks refused for insufficient
+// sender balance — nothing was debited and no receipt was minted. A
+// nonzero count means a client is trying to move value it doesn't
+// hold.
+func (c *Chain) LockRejects() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lockRejects
 }
 
 // AnchorLatest returns the newest anchored checkpoint for a region
@@ -131,6 +163,7 @@ func (c *Chain) exportReceiptsLocked(st *ChainState) {
 		return bytes.Compare(st.Applied[i].ID[:], st.Applied[j].ID[:]) < 0
 	})
 	st.ReceiptDupes = c.receiptDupes
+	st.LockRejects = c.lockRejects
 	if c.anchors != nil {
 		st.Anchors, st.AnchorReceipts = c.anchors.Export()
 	}
@@ -145,6 +178,7 @@ func (c *Chain) applyReceiptsLocked(st *ChainState) {
 		c.appliedReceipts[a.ID] = a.Loc
 	}
 	c.receiptDupes = st.ReceiptDupes
+	c.lockRejects = st.LockRejects
 	if len(st.Anchors) > 0 || len(st.AnchorReceipts) > 0 {
 		c.anchors = shard.RestoreAnchorIndex(st.Anchors, st.AnchorReceipts)
 	} else {

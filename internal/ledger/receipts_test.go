@@ -23,6 +23,15 @@ func testPrefixes(t *testing.T) (src, dst string) {
 	return src, nb[0]
 }
 
+// fundedGenesis is testGenesis with every endorser endowed: transfer
+// locks debit the sender, so lock tests need funded senders.
+func fundedGenesis(t testing.TB, n int, endowment uint64) *Genesis {
+	t.Helper()
+	g := testGenesis(t, n)
+	g.Policy.EndorserEndowment = endowment
+	return g
+}
+
 // shardTx builds a signed transaction of the given type from key i.
 func shardTx(i int, nonce uint64, typ types.TxType, payload []byte) types.Transaction {
 	kp := gcrypto.DeterministicKeyPair(i)
@@ -42,12 +51,15 @@ func shardTx(i int, nonce uint64, typ types.TxType, payload []byte) types.Transa
 
 func TestTransferLockMintsReceipt(t *testing.T) {
 	src, dst := testPrefixes(t)
-	c, _ := NewChain(testGenesis(t, 4))
+	c, _ := NewChain(fundedGenesis(t, 4, 100))
+	sender := gcrypto.DeterministicKeyPair(0).Address()
 	recipient := gcrypto.DeterministicKeyPair(99).Address()
 	lock := shardTx(0, 1, types.TxTransferLock, shard.EncodeTransfer(&shard.Transfer{
 		Source: src, Dest: dst, Recipient: recipient, Amount: 25,
 	}))
-	if err := c.AddBlock(nextBlock(c, []types.Transaction{lock}, 0)); err != nil {
+	// Proposer 1, so the sender collects no fee share (3 endorsers
+	// split 0 each) and the debit is exact.
+	if err := c.AddBlock(nextBlock(c, []types.Transaction{lock}, 1)); err != nil {
 		t.Fatal(err)
 	}
 	out := c.OutboundReceipts(0)
@@ -58,6 +70,10 @@ func TestTransferLockMintsReceipt(t *testing.T) {
 	if rc.ID != lock.ID() || rc.Dest != dst || rc.Amount != 25 || rc.LockHeight != 1 {
 		t.Fatalf("receipt %+v", rc)
 	}
+	// The lock debited the sender: value moved, it was not minted.
+	if got := c.Rewards().Balance(sender); got != 75 {
+		t.Fatalf("sender balance after lock: %d, want 75", got)
+	}
 	if got := c.OutboundReceipts(1); len(got) != 0 {
 		t.Fatalf("since=lockHeight should exclude: %d", len(got))
 	}
@@ -65,6 +81,60 @@ func TestTransferLockMintsReceipt(t *testing.T) {
 	bad := shardTx(0, 2, types.TxTransferLock, []byte("junk"))
 	if err := c.AddBlock(nextBlock(c, []types.Transaction{bad}, 0)); !errors.Is(err, ErrTxInvalid) {
 		t.Fatalf("bad lock payload: %v", err)
+	}
+}
+
+func TestTransferLockInsufficientFunds(t *testing.T) {
+	src, dst := testPrefixes(t)
+	c, _ := NewChain(fundedGenesis(t, 4, 100))
+	sender := gcrypto.DeterministicKeyPair(0).Address()
+	recipient := gcrypto.DeterministicKeyPair(99).Address()
+	over := shardTx(0, 1, types.TxTransferLock, shard.EncodeTransfer(&shard.Transfer{
+		Source: src, Dest: dst, Recipient: recipient, Amount: 1000,
+	}))
+	// Balances are stateful, so the block commits — but the over-balance
+	// lock is a counted no-op: no debit, no receipt.
+	if err := c.AddBlock(nextBlock(c, []types.Transaction{over}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OutboundCount(); got != 0 {
+		t.Fatalf("over-balance lock minted %d receipts", got)
+	}
+	if got := c.LockRejects(); got != 1 {
+		t.Fatalf("lock rejects: %d", got)
+	}
+	if got := c.Rewards().Balance(sender); got != 100 {
+		t.Fatalf("sender balance after refused lock: %d, want 100", got)
+	}
+}
+
+func TestTransferRegionPinning(t *testing.T) {
+	src, dst := testPrefixes(t)
+	recipient := gcrypto.DeterministicKeyPair(99).Address()
+
+	// A chain pinned to src refuses a lock sourced elsewhere: its
+	// receipt could never ride a valid checkpoint of this region.
+	c, _ := NewChain(fundedGenesis(t, 4, 100))
+	c.SetShardPrefix(src)
+	foreign := shardTx(0, 1, types.TxTransferLock, shard.EncodeTransfer(&shard.Transfer{
+		Source: dst, Dest: src, Recipient: recipient, Amount: 5,
+	}))
+	if err := c.AddBlock(nextBlock(c, []types.Transaction{foreign}, 0)); !errors.Is(err, ErrTxInvalid) {
+		t.Fatalf("foreign-source lock: %v", err)
+	}
+	// Admission applies the same rule, so the tx never poisons a pool.
+	if err := c.CheckTxAdmissible(&foreign); err == nil {
+		t.Fatal("foreign-source lock admitted")
+	}
+
+	// And it refuses applying a receipt destined for another region.
+	rc := shard.Receipt{
+		ID:     gcrypto.HashBytes([]byte("misrouted")),
+		Source: src, Dest: dst, Recipient: recipient, Amount: 5, LockHeight: 1,
+	}
+	misrouted := shardTx(0, 1, types.TxTransferApply, shard.EncodeReceipt(&rc))
+	if err := c.AddBlock(nextBlock(c, []types.Transaction{misrouted}, 0)); !errors.Is(err, ErrTxInvalid) {
+		t.Fatalf("misrouted apply: %v", err)
 	}
 }
 
@@ -101,6 +171,54 @@ func TestTransferApplyExactlyOnce(t *testing.T) {
 	}
 	if c.AppliedReceiptCount() != 1 {
 		t.Fatalf("applied count %d", c.AppliedReceiptCount())
+	}
+}
+
+func TestTransferApplyRequiresEndorser(t *testing.T) {
+	src, dst := testPrefixes(t)
+	c, _ := NewChain(testGenesis(t, 4))
+	rc := shard.Receipt{
+		ID:     gcrypto.HashBytes([]byte("forged")),
+		Source: src, Dest: dst,
+		Recipient: gcrypto.DeterministicKeyPair(99).Address(),
+		Amount:    1 << 40, LockHeight: 1,
+	}
+	// Key 50 is no committee member: a forged receipt from an arbitrary
+	// identity must not mint balances.
+	forged := shardTx(50, 1, types.TxTransferApply, shard.EncodeReceipt(&rc))
+	if err := c.AddBlock(nextBlock(c, []types.Transaction{forged}, 0)); !errors.Is(err, ErrApplySender) {
+		t.Fatalf("forged apply: %v", err)
+	}
+	if err := c.CheckTxAdmissible(&forged); !errors.Is(err, ErrApplySender) {
+		t.Fatalf("forged apply admitted: %v", err)
+	}
+	if got := c.Rewards().Balance(rc.Recipient); got != 0 {
+		t.Fatalf("forged apply credited %d", got)
+	}
+}
+
+func TestConflictingCheckpointsInOneBlock(t *testing.T) {
+	src, _ := testPrefixes(t)
+	c, _ := NewChain(testGenesis(t, 4))
+	a := &shard.RegionCheckpoint{Region: src, Height: 3, Root: gcrypto.HashBytes([]byte("root-a"))}
+	b := &shard.RegionCheckpoint{Region: src, Height: 3, Root: gcrypto.HashBytes([]byte("root-b"))}
+	// Both roots are new to the anchor index, so each passes the
+	// index-based Check alone; the in-block tracker must still refuse
+	// the pair riding one block.
+	txs := []types.Transaction{
+		shardTx(0, 1, types.TxRegionCheckpoint, shard.EncodeCheckpoint(a)),
+		shardTx(1, 1, types.TxRegionCheckpoint, shard.EncodeCheckpoint(b)),
+	}
+	if err := c.AddBlock(nextBlock(c, txs, 0)); !errors.Is(err, ErrTxInvalid) {
+		t.Fatalf("conflicting in-block checkpoints: %v", err)
+	}
+	// The identical root twice is merely redundant, not a fork.
+	txs = []types.Transaction{
+		shardTx(0, 1, types.TxRegionCheckpoint, shard.EncodeCheckpoint(a)),
+		shardTx(1, 1, types.TxRegionCheckpoint, shard.EncodeCheckpoint(a)),
+	}
+	if err := c.AddBlock(nextBlock(c, txs, 0)); err != nil {
+		t.Fatalf("duplicate in-block checkpoints: %v", err)
 	}
 }
 
@@ -145,7 +263,7 @@ func TestRegionCheckpointAnchorsAndRefusesForks(t *testing.T) {
 
 func TestReceiptStateSurvivesSnapshot(t *testing.T) {
 	src, dst := testPrefixes(t)
-	c, _ := NewChain(testGenesis(t, 4))
+	c, _ := NewChain(fundedGenesis(t, 4, 100))
 	recipient := gcrypto.DeterministicKeyPair(99).Address()
 	lock := shardTx(0, 1, types.TxTransferLock, shard.EncodeTransfer(&shard.Transfer{
 		Source: src, Dest: dst, Recipient: recipient, Amount: 9,

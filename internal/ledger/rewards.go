@@ -78,6 +78,22 @@ func (r *RewardLedger) Credit(addr gcrypto.Address, amount uint64) {
 	r.balances[addr] += amount
 }
 
+// Debit removes amount from addr's balance, reporting success. It
+// fails — and changes nothing — when the balance is insufficient: the
+// source-side funds check of a cross-region transfer lock.
+func (r *RewardLedger) Debit(addr gcrypto.Address, amount uint64) bool {
+	if amount == 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.balances[addr] < amount {
+		return false
+	}
+	r.balances[addr] -= amount
+	return true
+}
+
 // Balance returns the accrued fee balance of addr.
 func (r *RewardLedger) Balance(addr gcrypto.Address) uint64 {
 	r.mu.RLock()

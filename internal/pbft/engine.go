@@ -695,13 +695,18 @@ func (e *Engine) onPrePrepare(now consensus.Time, env *consensus.Envelope) []con
 	}
 	var acts []consensus.Action
 	acts = e.acceptPrePrepare(now, &pp, env, acts)
-	// A backup that accepts multicasts prepare to all others.
-	prep := &Prepare{Era: pp.Era, View: pp.View, Seq: pp.Seq, Digest: pp.Digest}
-	prepEnv := consensus.Seal(e.cfg.Key, prep)
-	acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: prepEnv})
-	inst := e.insts[pp.Seq]
-	inst.prepares[e.self] = prepEnv
-	acts = e.maybePrepared(now, pp.Seq, acts)
+	// Accepting can complete the slot on the spot: recovered prepares
+	// and raced-ahead commits may already form certificates, and the
+	// resulting execution + checkpoint stabilization prunes the
+	// instance. Only a still-live slot needs this backup's own prepare.
+	if inst := e.insts[pp.Seq]; inst != nil {
+		// A backup that accepts multicasts prepare to all others.
+		prep := &Prepare{Era: pp.Era, View: pp.View, Seq: pp.Seq, Digest: pp.Digest}
+		prepEnv := consensus.Seal(e.cfg.Key, prep)
+		acts = append(acts, consensus.Broadcast{To: e.com.Others(e.self), Env: prepEnv})
+		inst.prepares[e.self] = prepEnv
+		acts = e.maybePrepared(now, pp.Seq, acts)
+	}
 	acts = e.drainBuffered(now, acts)
 	acts = e.ensureProgressTimer(acts)
 	return acts

@@ -162,6 +162,14 @@ func (a *App) SubmitTx(tx *types.Transaction) error {
 	if _, committed := a.chain.FindTx(tx.ID()); committed {
 		return nil
 	}
+	// Admission pre-screen with the exact per-tx rules block validation
+	// applies. The pool has no invalid-tx eviction and BuildBlock does
+	// no per-tx filtering, so a pooled block-invalid tx would be packed
+	// by honest proposers and stall consensus on repeated rejection;
+	// refusing it here keeps admission and validation from diverging.
+	if err := a.chain.CheckTxAdmissible(tx); err != nil {
+		return err
+	}
 	err := a.pool.Add(tx)
 	if err == ErrTxDuplicate {
 		return nil // idempotent submission

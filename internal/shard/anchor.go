@@ -63,33 +63,68 @@ func (a *AnchorIndex) Check(cp *RegionCheckpoint) error {
 	return nil
 }
 
+// RootAt returns the retained anchored root for (region, height), if
+// any — what a conflicting checkpoint would be diverging from.
+func (a *AnchorIndex) RootAt(region string, height uint64) (gcrypto.Hash, bool) {
+	h := a.history[region]
+	if h == nil {
+		return gcrypto.Hash{}, false
+	}
+	root, ok := h[height]
+	return root, ok
+}
+
+// belowWindowLocked reports whether height falls below the retained
+// fork-detection window for a region: the window is full and every
+// retained row is newer. Such a height's original row was pruned, so a
+// conflicting late root could no longer be detected — the caller must
+// not record it. The rule is a pure function of retained state, so
+// snapshot-restored nodes classify identically.
+func (a *AnchorIndex) belowWindow(region string, height uint64) bool {
+	h := a.history[region]
+	if len(h) < anchorHistoryDepth {
+		return false
+	}
+	for k := range h {
+		if k <= height {
+			return false
+		}
+	}
+	return true
+}
+
 // Apply folds a committed checkpoint into the index. Conflicts return
 // ErrAnchorFork and leave the index unchanged; stale checkpoints
 // (height at or below the latest, consistent roots) only merge any
-// receipts not yet covered.
+// receipts not yet covered. A checkpoint below the retained window —
+// whose original row was already pruned, so its root can no longer be
+// adjudicated — records nothing, but still merges receipts: receipt
+// coverage is deduplicated by ID and never forks.
 func (a *AnchorIndex) Apply(cp *RegionCheckpoint) error {
 	if err := a.Check(cp); err != nil {
 		return err
 	}
-	h := a.history[cp.Region]
-	if h == nil {
-		h = make(map[uint64]gcrypto.Hash, anchorHistoryDepth)
-		a.history[cp.Region] = h
-	}
-	h[cp.Height] = cp.Root
-	// Prune the oldest rows beyond the retention window.
-	if len(h) > anchorHistoryDepth {
-		heights := make([]uint64, 0, len(h))
-		for k := range h {
-			heights = append(heights, k)
+	if !a.belowWindow(cp.Region, cp.Height) {
+		h := a.history[cp.Region]
+		if h == nil {
+			h = make(map[uint64]gcrypto.Hash, anchorHistoryDepth)
+			a.history[cp.Region] = h
 		}
-		sort.Slice(heights, func(i, j int) bool { return heights[i] < heights[j] })
-		for _, k := range heights[:len(h)-anchorHistoryDepth] {
-			delete(h, k)
+		h[cp.Height] = cp.Root
+		// Prune the oldest rows beyond the retention window.
+		if len(h) > anchorHistoryDepth {
+			heights := make([]uint64, 0, len(h))
+			for k := range h {
+				heights = append(heights, k)
+			}
+			sort.Slice(heights, func(i, j int) bool { return heights[i] < heights[j] })
+			for _, k := range heights[:len(h)-anchorHistoryDepth] {
+				delete(h, k)
+			}
 		}
-	}
-	if cur, ok := a.latest[cp.Region]; !ok || cp.Height > cur.Height {
-		a.latest[cp.Region] = CheckpointPoint{Era: cp.Era, Height: cp.Height, Root: cp.Root}
+		if cur, ok := a.latest[cp.Region]; !ok || cp.Height > cur.Height {
+			a.latest[cp.Region] = CheckpointPoint{Era: cp.Era, Height: cp.Height, Root: cp.Root}
+		}
 	}
 	for i := range cp.Receipts {
 		rc := cp.Receipts[i]

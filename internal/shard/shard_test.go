@@ -223,4 +223,21 @@ func TestAnchorHistoryPruning(t *testing.T) {
 	if err := a.Check(recent); !errors.Is(err, ErrAnchorFork) {
 		t.Fatalf("in-window conflict missed: %v", err)
 	}
+	// Applying the below-window checkpoint records nothing: its
+	// original row was pruned, so its root can no longer be adjudicated
+	// and must not re-enter the fork surface — but any receipts it
+	// carries still merge (coverage is deduplicated by ID).
+	old.Receipts = []Receipt{testReceipt(77)}
+	if err := a.Apply(old); err != nil {
+		t.Fatalf("below-window apply: %v", err)
+	}
+	if _, ok := a.RootAt("wecnv", 1); ok {
+		t.Fatal("below-window root was recorded")
+	}
+	if !a.Covered(old.Receipts[0].ID) {
+		t.Fatal("below-window receipts not merged")
+	}
+	if pt, _ := a.Latest("wecnv"); pt.Height != anchorHistoryDepth+10 {
+		t.Fatalf("latest regressed to %d", pt.Height)
+	}
 }

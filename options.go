@@ -133,6 +133,12 @@ type Options struct {
 	// signed region checkpoints to the anchor committee and destination
 	// regions apply anchored transfer receipts (0 = default 500ms).
 	AnchorPeriod time.Duration
+	// EndorserEndowment is the genesis balance credited to each
+	// committee member. Transfer locks debit the sender, so sharded
+	// runs need funded senders; NewShardCluster defaults this to
+	// DefaultEndorserEndowment when zero. Plain clusters keep the
+	// historical zero (fees are the only income).
+	EndorserEndowment uint64
 	// GeoTimerProposer orders the committee by geographic timer (the
 	// incentive bias). Only meaningful under GPBFT.
 	GeoTimerProposer bool
@@ -284,6 +290,7 @@ func (o *Options) policy() ledger.AdmittancePolicy {
 		WitnessRangeMeters:  o.WitnessRangeMeters,
 		SybilWindow:         o.SybilWindow,
 		DisableExpulsion:    o.DisableExpulsion,
+		EndorserEndowment:   o.EndorserEndowment,
 	}
 }
 

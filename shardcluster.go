@@ -29,6 +29,12 @@ const anchorKeyBase = 9_000_000
 // share a simnet address.
 const regionKeyStride = 100_000
 
+// DefaultEndorserEndowment funds each region committee member at
+// genesis when Options.EndorserEndowment is zero. Transfer locks debit
+// the sender — cross-region value is conserved, never minted — so
+// sharded runs need senders holding more than fee dust.
+const DefaultEndorserEndowment = 1 << 20
+
 // ShardCluster is a geo-sharded hierarchical deployment: one full
 // consensus instance (committee, mempool, chain) per geohash-prefix
 // region, all sharing a single discrete-event simulator, plus a
@@ -92,6 +98,9 @@ func NewShardCluster(opts Options) (*ShardCluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.EndorserEndowment == 0 {
+		opts.EndorserEndowment = DefaultEndorserEndowment
+	}
 	router, err := shard.NewRouter(prefixes)
 	if err != nil {
 		return nil, err
@@ -131,10 +140,11 @@ func NewShardCluster(opts Options) (*ShardCluster, error) {
 		}
 		ropts.Region = region
 		cl, err := newClusterOn(ropts, clusterSite{
-			net:     s.net,
-			metrics: s.metrics,
-			chainID: fmt.Sprintf("gpbft-sim-%d-r-%s", opts.Seed, prefixes[i]),
-			keyBase: i * regionKeyStride,
+			net:         s.net,
+			metrics:     s.metrics,
+			chainID:     fmt.Sprintf("gpbft-sim-%d-r-%s", opts.Seed, prefixes[i]),
+			keyBase:     i * regionKeyStride,
+			shardPrefix: prefixes[i],
 		})
 		if err != nil {
 			return nil, err
@@ -329,6 +339,23 @@ func (s *ShardCluster) liveRegionNode(i int) int {
 	return -1
 }
 
+// liveEndorserNode returns the first non-crashed node of region i whose
+// identity the region chain currently admits as an endorser, or -1.
+// Receipt applies must come from endorsers, so the pump submits them
+// through a committee member.
+func (s *ShardCluster) liveEndorserNode(i int) int {
+	cl := s.regions[i]
+	for k := 0; k < cl.NodeCount(); k++ {
+		if s.crashedRegion[i][k] {
+			continue
+		}
+		if cl.Node(k).App.Chain().IsEndorser(cl.Address(k)) {
+			return k
+		}
+	}
+	return -1
+}
+
 // anchorTick is one pump round. All chain reads are delegate-local:
 // a region's checkpoint is built by its own delegate from its own
 // region's chain, and a destination region discovers anchored receipts
@@ -366,12 +393,23 @@ func (s *ShardCluster) emitCheckpoint(now consensus.Time, i, j int) {
 		}
 		since = pt.Height
 	}
+	// Keep only receipts sourced in this region. The chain already
+	// refuses foreign-source locks, so this is defense in depth: a
+	// single foreign receipt would make RegionCheckpoint.Validate
+	// reject every future checkpoint and stall the region's transfers.
+	receipts := chain.OutboundReceipts(since)
+	kept := receipts[:0]
+	for _, rc := range receipts {
+		if rc.Source == s.prefixes[i] {
+			kept = append(kept, rc)
+		}
+	}
 	cp := &shard.RegionCheckpoint{
 		Region:   s.prefixes[i],
 		Era:      head.Header.Era,
 		Height:   head.Header.Height,
 		Root:     head.Hash(),
-		Receipts: chain.OutboundReceipts(since),
+		Receipts: kept,
 	}
 	s.anchorNonces[j]++
 	tx := &types.Transaction{
@@ -395,7 +433,7 @@ func (s *ShardCluster) emitCheckpoint(now consensus.Time, i, j int) {
 // must lose no receipt — and application itself is idempotent per
 // receipt ID, so a retry that races a slow commit is a counted no-op.
 func (s *ShardCluster) applyAnchored(now consensus.Time, i, j int) {
-	k := s.liveRegionNode(i)
+	k := s.liveEndorserNode(i)
 	if k < 0 {
 		return
 	}

@@ -73,9 +73,21 @@ func TestShardClusterParallelRegionsAndTransfer(t *testing.T) {
 	if bal := destChain.Rewards().Balance(recipient); bal != 42 {
 		t.Fatalf("recipient balance %d, want 42", bal)
 	}
-	// And the source region minted exactly one outbound receipt.
-	if n := s.Region(0).Node(0).App.Chain().OutboundCount(); n != 1 {
+	// And the source region minted exactly one outbound receipt,
+	// debiting the sender — value moved across regions, never minted.
+	srcChain := s.Region(0).Node(0).App.Chain()
+	if n := srcChain.OutboundCount(); n != 1 {
 		t.Fatalf("outbound receipts: %d", n)
+	}
+	if n := srcChain.LockRejects(); n != 0 {
+		t.Fatalf("lock rejects: %d", n)
+	}
+	// Without the debit the sender would sit at endowment plus fee
+	// income; the locked 42 exceeds this run's total fees, so the
+	// balance must have dropped below the endowment.
+	sender := s.Region(0).Address(0)
+	if bal := srcChain.Rewards().Balance(sender); bal >= DefaultEndorserEndowment {
+		t.Fatalf("sender balance %d: lock never debited", bal)
 	}
 }
 
